@@ -1,0 +1,528 @@
+// Package energysssp is an energy-efficiency-oriented single-source
+// shortest path library: a from-scratch reproduction of "An Energy-Efficient
+// Single-Source Shortest Path Algorithm" (Karamati, Young, Vuduc, IPDPS
+// 2018).
+//
+// The library's centerpiece is a self-tuning near-far SSSP solver whose
+// delta threshold is retuned every iteration by an online-learning
+// controller so that the available parallelism tracks a user-chosen
+// set-point P — an algorithmic knob for trading performance against power.
+// Around it the package provides the fixed-delta near-far baseline
+// (Gunrock-style), classic delta-stepping, Bellman-Ford, and Dijkstra;
+// deterministic graph generators standing in for the paper's datasets; a
+// simulated Jetson TK1/TX1 GPU with DVFS and board-power models (the
+// hardware substitute documented in DESIGN.md); and an experiment harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	g := energysssp.CalLike(0.01, 42)
+//	out, err := energysssp.Run(g, 0, energysssp.RunConfig{
+//		Algorithm: energysssp.SelfTuning,
+//		SetPoint:  1000,
+//		Device:    "TK1",
+//	})
+//
+// See examples/ for complete programs.
+package energysssp
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"energysssp/internal/core"
+	"energysssp/internal/dvfs"
+	"energysssp/internal/gen"
+	"energysssp/internal/graph"
+	"energysssp/internal/harness"
+	"energysssp/internal/kcore"
+	"energysssp/internal/metrics"
+	"energysssp/internal/pagerank"
+	"energysssp/internal/parallel"
+	"energysssp/internal/power"
+	"energysssp/internal/sim"
+	"energysssp/internal/sssp"
+	"energysssp/internal/trace"
+)
+
+// Re-exported core types. The aliases keep user code inside the public
+// namespace while the implementation lives in internal packages.
+type (
+	// Graph is an immutable CSR weighted digraph.
+	Graph = graph.Graph
+	// Edge is a directed weighted edge for graph construction.
+	Edge = graph.Edge
+	// VID is a vertex id.
+	VID = graph.VID
+	// Weight is an edge weight (positive).
+	Weight = graph.Weight
+	// Dist is a path distance; Inf marks unreachable vertices.
+	Dist = graph.Dist
+	// Profile is a per-iteration runtime log (frontier sizes X1..X4,
+	// delta, simulated time/power).
+	Profile = metrics.Profile
+	// IterStat is one Profile entry.
+	IterStat = metrics.IterStat
+	// Summary holds distribution statistics of a profile series.
+	Summary = metrics.Summary
+	// Result reports one solver run.
+	Result = sssp.Result
+	// Table is a generic experiment result table (CSV/JSON renderable).
+	Table = trace.Table
+	// Device describes a simulated CPU+GPU board.
+	Device = sim.Device
+	// Freq is a GPU core/memory frequency pair (the DVFS knob).
+	Freq = sim.Freq
+	// PowerSummary holds time-weighted power statistics of a run.
+	PowerSummary = power.Summary
+	// ExperimentConfig parameterizes the paper-evaluation harness.
+	ExperimentConfig = harness.Config
+)
+
+// Inf is the distance of unreachable vertices.
+const Inf = graph.Inf
+
+// NewGraph builds a CSR graph from directed edges (see graph.New).
+func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.New(n, edges) }
+
+// LoadGraph reads a graph from a .gr (DIMACS), .mtx (Matrix Market), or
+// .tsv (edge list) file.
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// SaveGraph writes a graph to a .gr or .tsv file.
+func SaveGraph(path string, g *Graph) error { return graph.SaveFile(path, g) }
+
+// CalLike generates the road-network dataset substitute at the given scale
+// (1.0 reproduces the paper's 1.89M-vertex input).
+func CalLike(scale float64, seed uint64) *Graph { return gen.CalLike(scale, seed) }
+
+// WikiLike generates the scale-free dataset substitute at the given scale
+// (1.0 reproduces the paper's 1.63M-vertex, 19.7M-edge input).
+func WikiLike(scale float64, seed uint64) *Graph { return gen.WikiLike(scale, seed) }
+
+// Grid generates a rows×cols lattice with uniform random weights.
+func Grid(rows, cols, wmin, wmax int, seed uint64) *Graph {
+	return gen.Grid(rows, cols, wmin, wmax, seed)
+}
+
+// RMAT generates a scale-free digraph with 2^scale vertices and
+// edgeFactor·2^scale arcs (Graph500 partition probabilities).
+func RMAT(scale, edgeFactor, wmin, wmax int, seed uint64) *Graph {
+	return gen.RMAT(scale, edgeFactor, 0.57, 0.19, 0.19, wmin, wmax, seed)
+}
+
+// Algorithm selects an SSSP solver.
+type Algorithm int
+
+const (
+	// Dijkstra is the sequential heap-based reference oracle.
+	Dijkstra Algorithm = iota
+	// BellmanFord is frontier-parallel label correcting (delta → ∞).
+	BellmanFord
+	// DeltaStepping is the classic Meyer–Sanders bucket algorithm.
+	DeltaStepping
+	// NearFar is the Gunrock-style fixed-delta baseline of the paper.
+	NearFar
+	// SelfTuning is the paper's contribution: near-far with the
+	// parallelism-set-point controller retuning delta every iteration.
+	SelfTuning
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Dijkstra:
+		return "dijkstra"
+	case BellmanFord:
+		return "bellmanford"
+	case DeltaStepping:
+		return "deltastepping"
+	case NearFar:
+		return "nearfar"
+	case SelfTuning:
+		return "selftuning"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a name (as printed by String) to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "dijkstra":
+		return Dijkstra, nil
+	case "bellmanford", "bellman-ford", "bf":
+		return BellmanFord, nil
+	case "deltastepping", "delta-stepping", "ds":
+		return DeltaStepping, nil
+	case "nearfar", "near-far", "nf":
+		return NearFar, nil
+	case "selftuning", "self-tuning", "st":
+		return SelfTuning, nil
+	default:
+		return 0, fmt.Errorf("energysssp: unknown algorithm %q", s)
+	}
+}
+
+// RunConfig configures one solver run.
+type RunConfig struct {
+	// Algorithm selects the solver (default Dijkstra).
+	Algorithm Algorithm
+	// Delta is the fixed threshold for DeltaStepping and NearFar
+	// (0 selects the graph's average edge weight).
+	Delta Dist
+	// SetPoint is the parallelism target for SelfTuning (required there).
+	SetPoint float64
+	// Workers sizes the goroutine pool (0 = single-threaded, -1 = all
+	// CPUs).
+	Workers int
+	// Device attaches a simulated board ("TK1" or "TX1"; empty disables
+	// simulation).
+	Device string
+	// Freq selects the DVFS setting when a device is attached: "auto"
+	// (default, ondemand governor) or a pinned "core/mem" MHz pair such
+	// as "852/924".
+	Freq string
+	// Profile records per-iteration statistics when true.
+	Profile bool
+	// PowerTrace records the power trace (requires Device) when true.
+	PowerTrace bool
+	// Paths derives the shortest-path tree (RunOutput.Parents) when true.
+	Paths bool
+}
+
+// RunOutput bundles a solver result with its optional instrumentation.
+type RunOutput struct {
+	Result
+	// Profile is non-nil when RunConfig.Profile was set.
+	Profile *Profile
+	// Power summarizes the run's power trace when PowerTrace was set.
+	Power *PowerSummary
+	// Parallelism summarizes the available-parallelism series when
+	// Profile was set.
+	Parallelism *Summary
+	// Parents is the shortest-path tree (NoParent for the source and
+	// unreachable vertices) when RunConfig.Paths was set.
+	Parents []VID
+}
+
+// NoParent marks the source and unreachable vertices in RunOutput.Parents.
+const NoParent = sssp.NoParent
+
+// ShortestPath reconstructs the path to v from a run's parent tree
+// (inclusive of both endpoints); it returns nil for unreachable v.
+func ShortestPath(out *RunOutput, v VID) ([]VID, error) {
+	if out.Parents == nil {
+		return nil, fmt.Errorf("energysssp: run was not configured with Paths")
+	}
+	return sssp.PathTo(out.Parents, out.Dist, v)
+}
+
+// ParseFreq parses the paper's "core/mem" MHz notation.
+func ParseFreq(s string) (Freq, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return Freq{}, fmt.Errorf("energysssp: frequency %q not in core/mem form", s)
+	}
+	c, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return Freq{}, fmt.Errorf("energysssp: frequency %q not numeric", s)
+	}
+	return Freq{CoreMHz: c, MemMHz: m}, nil
+}
+
+// Run executes one SSSP computation per cfg and returns its result and
+// instrumentation.
+func Run(g *Graph, src VID, cfg RunConfig) (*RunOutput, error) {
+	opt := &sssp.Options{}
+	var pool *parallel.Pool
+	switch {
+	case cfg.Workers < 0:
+		pool = parallel.NewPool(0)
+	case cfg.Workers > 1:
+		pool = parallel.NewPool(cfg.Workers)
+	}
+	if pool != nil {
+		opt.Pool = pool
+		defer pool.Close()
+	}
+
+	var mach *sim.Machine
+	if cfg.Device != "" {
+		dev, err := sim.DeviceByName(cfg.Device)
+		if err != nil {
+			return nil, err
+		}
+		mach = sim.NewMachine(dev)
+		freq := cfg.Freq
+		if freq == "" || freq == "auto" {
+			mach.SetGovernor(dvfs.NewOndemand())
+		} else {
+			f, err := ParseFreq(freq)
+			if err != nil {
+				return nil, err
+			}
+			if err := dvfs.Pin(mach, f); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.PowerTrace {
+			mach.EnableTrace()
+		}
+		opt.Machine = mach
+	} else if cfg.PowerTrace {
+		return nil, fmt.Errorf("energysssp: PowerTrace requires a Device")
+	}
+
+	var prof *metrics.Profile
+	if cfg.Profile {
+		prof = &metrics.Profile{}
+		opt.Profile = prof
+	}
+
+	delta := cfg.Delta
+	if delta <= 0 {
+		delta = Dist(g.AvgWeight())
+		if delta < 1 {
+			delta = 1
+		}
+	}
+
+	var res sssp.Result
+	var err error
+	switch cfg.Algorithm {
+	case Dijkstra:
+		res, err = sssp.Dijkstra(g, src, opt)
+	case BellmanFord:
+		res, err = sssp.BellmanFord(g, src, opt)
+	case DeltaStepping:
+		res, err = sssp.DeltaStepping(g, src, delta, opt)
+	case NearFar:
+		res, err = sssp.NearFar(g, src, delta, opt)
+	case SelfTuning:
+		res, err = core.Solve(g, src, core.Config{P: cfg.SetPoint}, opt)
+	default:
+		return nil, fmt.Errorf("energysssp: unknown algorithm %v", cfg.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := &RunOutput{Result: res, Profile: prof}
+	if prof != nil {
+		s := metrics.Summarize(prof.Parallelism())
+		out.Parallelism = &s
+	}
+	if mach != nil && cfg.PowerTrace {
+		ps := power.Summarize(mach.Trace())
+		out.Power = &ps
+	}
+	if cfg.Paths {
+		out.Parents = sssp.BuildParents(g, src, res.Dist)
+	}
+	return out, nil
+}
+
+// PowerCapConfig re-exports the power-feedback solver configuration
+// (the Section 6 extension: close the loop on measured power).
+type PowerCapConfig = core.PowerCapConfig
+
+// RunPowerCapped runs the self-tuning solver with its set-point driven by
+// measured board power toward the cap (requires a Device; the DVFS
+// governor participates in the loop). It returns the run output and the
+// trace of set-point adjustments.
+func RunPowerCapped(g *Graph, src VID, pc PowerCapConfig, device string, workers int) (*RunOutput, []float64, error) {
+	dev, err := sim.DeviceByName(device)
+	if err != nil {
+		return nil, nil, err
+	}
+	mach := sim.NewMachine(dev)
+	mach.SetGovernor(dvfs.NewOndemand())
+	opt := &sssp.Options{Machine: mach}
+	if workers != 0 && workers != 1 {
+		pool := parallel.NewPool(max(workers, 0))
+		defer pool.Close()
+		opt.Pool = pool
+	}
+	var prof metrics.Profile
+	opt.Profile = &prof
+	res, pTrace, err := core.SolveWithPowerCap(g, src, pc, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := metrics.Summarize(prof.Parallelism())
+	return &RunOutput{Result: res, Profile: &prof, Parallelism: &s}, pTrace, nil
+}
+
+// Experiments runs the complete paper evaluation (every table and figure)
+// and returns the result tables in paper order. Pass a zero ExperimentConfig
+// for the defaults (1/8 scale, seed 42, all CPUs).
+func Experiments(cfg ExperimentConfig) ([]*Table, error) {
+	env := harness.NewEnv(cfg)
+	defer env.Close()
+	return harness.RunAll(env)
+}
+
+// ControllerOverhead measures the Section 5.2 controller overhead on the
+// given graph: wall-clock controller time relative to total solve time.
+func ControllerOverhead(g *Graph, src VID, setPoint float64) (ctrl, total time.Duration, err error) {
+	_, ov, err := core.SolveInstrumented(g, src, core.Config{P: setPoint}, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ov.ControllerTime, ov.TotalTime, nil
+}
+
+// Devices lists the available simulated device presets.
+func Devices() []*Device { return []*Device{sim.TK1(), sim.TX1()} }
+
+// LoadDevice parses a custom board description (JSON, see
+// sim.ReadDeviceJSON) — the extension point for modeling hardware beyond
+// the TK1/TX1 presets.
+func LoadDevice(r io.Reader) (*Device, error) { return sim.ReadDeviceJSON(r) }
+
+// SaveDevice serializes a device description; start from a preset and edit.
+func SaveDevice(w io.Writer, d *Device) error { return sim.WriteDeviceJSON(w, d) }
+
+// TuneDelta sweeps fixed deltas spanning two orders of magnitude around the
+// average edge weight and returns the simulated-time-minimizing value on
+// the named device — how the baseline's per-input δ* is chosen throughout
+// the evaluation (the knob the paper replaces with the set-point P).
+func TuneDelta(g *Graph, src VID, device string, workers int) (Dist, error) {
+	dev, err := sim.DeviceByName(device)
+	if err != nil {
+		return 0, err
+	}
+	var pool *parallel.Pool
+	if workers < 0 || workers > 1 {
+		pool = parallel.NewPool(max(workers, 0))
+		defer pool.Close()
+	}
+	avg := g.AvgWeight()
+	if avg < 1 {
+		avg = 1
+	}
+	best := Dist(1)
+	bestTime := time.Duration(1<<62 - 1)
+	for _, mult := range []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32} {
+		delta := Dist(avg * mult)
+		if delta < 1 {
+			delta = 1
+		}
+		mach := sim.NewMachine(dev)
+		mach.SetGovernor(dvfs.NewOndemand())
+		res, err := sssp.NearFar(g, src, delta, &sssp.Options{Pool: pool, Machine: mach})
+		if err != nil {
+			return 0, err
+		}
+		if res.SimTime < bestTime {
+			bestTime = res.SimTime
+			best = delta
+		}
+	}
+	return best, nil
+}
+
+// P2PResult reports a point-to-point shortest-path query.
+type P2PResult = sssp.P2PResult
+
+// QueryDijkstra answers one s→t query with early-terminating Dijkstra.
+func QueryDijkstra(g *Graph, s, t VID) (P2PResult, error) {
+	return sssp.PointToPoint(g, s, t, nil)
+}
+
+// QueryBidirectional answers one s→t query with bidirectional search.
+// Pass a precomputed transpose to amortize it across queries (nil computes
+// one per call).
+func QueryBidirectional(g, transpose *Graph, s, t VID) (P2PResult, error) {
+	return sssp.BidirectionalP2P(g, transpose, s, t, nil)
+}
+
+// Router is a preprocessed point-to-point query index (ALT: A* with
+// landmark lower bounds), suited to repeated routing queries on road
+// networks.
+type Router = sssp.ALT
+
+// NewRouter preprocesses k landmarks (farthest-point selection seeded at
+// seed) for fast s→t queries via Router.Query.
+func NewRouter(g *Graph, k int, seed VID) (*Router, error) {
+	return sssp.NewALT(g, k, seed)
+}
+
+// KCoreResult reports a k-core decomposition.
+type KCoreResult = kcore.Result
+
+// KCore computes the k-core decomposition of g (viewed undirected).
+// setPoint > 0 caps the vertices peeled per round — the same parallelism
+// knob the paper's Section 6 proposes for this problem; 0 peels greedily.
+func KCore(g *Graph, setPoint, workers int) KCoreResult {
+	opt := &kcore.Options{SetPoint: setPoint}
+	if workers < 0 || workers > 1 {
+		pool := parallel.NewPool(max(workers, 0))
+		defer pool.Close()
+		opt.Pool = pool
+	}
+	return kcore.Decompose(g, opt)
+}
+
+// KCoreReference is the sequential Batagelj–Zaveršnik oracle.
+func KCoreReference(g *Graph) []int32 { return kcore.Reference(g) }
+
+// ScalingStudy measures how the self-tuning speedup depends on input scale
+// (see EXPERIMENTS.md).
+func ScalingStudy(cfg ExperimentConfig, scales []float64) (*Table, error) {
+	return harness.ScalingStudy(cfg, scales)
+}
+
+// StabilityStudy measures the across-seed spread of the controlled
+// parallelism medians.
+func StabilityStudy(cfg ExperimentConfig, seeds []uint64) (*Table, error) {
+	return harness.StabilityStudy(cfg, seeds)
+}
+
+// PageRankConfig configures the frontier-controlled PageRank extension
+// (the paper's Section 6 generalization to other frontier primitives).
+type PageRankConfig struct {
+	// Damping is the PageRank damping factor (default 0.85).
+	Damping float64
+	// Eps is the per-run residual convergence budget (default 1e-9).
+	Eps float64
+	// SetPoint, when positive, enables the self-tuning threshold
+	// controller targeting this frontier size; otherwise Theta is used
+	// as a fixed threshold (0 = maximum parallelism).
+	SetPoint float64
+	// Theta is the fixed residual threshold when SetPoint is zero.
+	Theta float64
+	// Workers sizes the goroutine pool (0/1 = sequential, -1 = all CPUs).
+	Workers int
+}
+
+// PageRankResult reports a PageRank computation.
+type PageRankResult = pagerank.Result
+
+// PageRank computes PageRank with the library's push-based solver, either
+// at a fixed residual threshold or under frontier-size control (see
+// PageRankConfig.SetPoint). Verify against PageRankReference in tests.
+func PageRank(g *Graph, cfg PageRankConfig) (PageRankResult, error) {
+	opt := &pagerank.Options{Damping: cfg.Damping, Eps: cfg.Eps}
+	if cfg.Workers < 0 || cfg.Workers > 1 {
+		pool := parallel.NewPool(max(cfg.Workers, 0))
+		defer pool.Close()
+		opt.Pool = pool
+	}
+	if cfg.SetPoint > 0 {
+		return pagerank.SelfTuning(g, cfg.SetPoint, opt)
+	}
+	return pagerank.Push(g, cfg.Theta, opt)
+}
+
+// PageRankReference computes PageRank by dense power iteration — the
+// correctness oracle for PageRank.
+func PageRankReference(g *Graph, damping, tol float64, maxIter int) []float64 {
+	x, _ := pagerank.Power(g, damping, tol, maxIter)
+	return x
+}

@@ -1,0 +1,326 @@
+package energysssp
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestAlgorithmStringsRoundTrip(t *testing.T) {
+	for _, a := range []Algorithm{Dijkstra, BellmanFord, DeltaStepping, NearFar, SelfTuning} {
+		back, err := ParseAlgorithm(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip %v: %v %v", a, back, err)
+		}
+	}
+	if _, err := ParseAlgorithm("bogus"); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+	if Algorithm(99).String() == "" {
+		t.Fatal("unknown algorithm String")
+	}
+	// Short names.
+	for s, want := range map[string]Algorithm{"nf": NearFar, "st": SelfTuning, "bf": BellmanFord, "ds": DeltaStepping} {
+		got, err := ParseAlgorithm(s)
+		if err != nil || got != want {
+			t.Fatalf("short name %q: %v %v", s, got, err)
+		}
+	}
+}
+
+func TestParseFreq(t *testing.T) {
+	f, err := ParseFreq("852/924")
+	if err != nil || f.CoreMHz != 852 || f.MemMHz != 924 {
+		t.Fatalf("ParseFreq: %v %v", f, err)
+	}
+	for _, bad := range []string{"852", "a/b", "852/924/1", ""} {
+		if _, err := ParseFreq(bad); err == nil {
+			t.Fatalf("bad freq %q accepted", bad)
+		}
+	}
+}
+
+func TestRunAllAlgorithmsAgree(t *testing.T) {
+	g := Grid(15, 15, 1, 40, 3)
+	ref, err := Run(g, 0, RunConfig{Algorithm: Dijkstra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{BellmanFord, DeltaStepping, NearFar, SelfTuning} {
+		cfg := RunConfig{Algorithm: algo, Workers: 4, SetPoint: 100}
+		out, err := Run(g, 0, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		for v := range out.Dist {
+			if out.Dist[v] != ref.Dist[v] {
+				t.Fatalf("%v: dist[%d] = %d, want %d", algo, v, out.Dist[v], ref.Dist[v])
+			}
+		}
+	}
+}
+
+func TestRunWithDeviceAndInstrumentation(t *testing.T) {
+	g := CalLike(0.001, 7)
+	out, err := Run(g, 0, RunConfig{
+		Algorithm: SelfTuning, SetPoint: 128,
+		Device: "TK1", Freq: "852/924",
+		Profile: true, PowerTrace: true, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SimTime <= 0 || out.EnergyJ <= 0 {
+		t.Fatalf("no simulation accounting: %+v", out.Result)
+	}
+	if out.Profile == nil || out.Profile.Len() != out.Iterations {
+		t.Fatal("profile missing or wrong length")
+	}
+	if out.Parallelism == nil || out.Parallelism.N == 0 {
+		t.Fatal("parallelism summary missing")
+	}
+	if out.Power == nil || out.Power.AvgWatts <= 0 {
+		t.Fatal("power summary missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g := Grid(4, 4, 1, 9, 1)
+	if _, err := Run(g, 0, RunConfig{Algorithm: Algorithm(42)}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := Run(g, 0, RunConfig{Device: "RTX"}); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := Run(g, 0, RunConfig{Device: "TK1", Freq: "9/9"}); err == nil {
+		t.Fatal("invalid freq accepted")
+	}
+	if _, err := Run(g, 0, RunConfig{PowerTrace: true}); err == nil {
+		t.Fatal("PowerTrace without device accepted")
+	}
+	if _, err := Run(g, 0, RunConfig{Algorithm: SelfTuning}); err == nil {
+		t.Fatal("SelfTuning without SetPoint accepted")
+	}
+	if _, err := Run(g, 99, RunConfig{}); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestGraphFactoriesAndIO(t *testing.T) {
+	g, err := NewGraph(3, []Edge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.gr")
+	if err := SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("save/load changed graph")
+	}
+	if WikiLike(0.001, 1).NumVertices() == 0 || RMAT(6, 4, 1, 99, 1).NumVertices() != 64 {
+		t.Fatal("generator factories broken")
+	}
+}
+
+func TestControllerOverheadAPI(t *testing.T) {
+	g := Grid(20, 20, 1, 50, 5)
+	ctrl, total, err := ControllerOverhead(g, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl <= 0 || total <= 0 || ctrl > total {
+		t.Fatalf("overhead: ctrl=%v total=%v", ctrl, total)
+	}
+}
+
+func TestRunWithPaths(t *testing.T) {
+	g := Grid(10, 10, 1, 20, 4)
+	out, err := Run(g, 0, RunConfig{Algorithm: SelfTuning, SetPoint: 64, Paths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Parents == nil || out.Parents[0] != NoParent {
+		t.Fatal("parent tree missing or source has a parent")
+	}
+	path, err := ShortestPath(out, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 2 || path[0] != 0 || path[len(path)-1] != 99 {
+		t.Fatalf("path: %v", path)
+	}
+	// Sum of gaps along the path equals the distance.
+	var sum Dist
+	for i := 1; i < len(path); i++ {
+		sum += out.Dist[path[i]] - out.Dist[path[i-1]]
+	}
+	if sum != out.Dist[99] {
+		t.Fatalf("path distance %d != %d", sum, out.Dist[99])
+	}
+	// Without Paths, ShortestPath must refuse.
+	out2, _ := Run(g, 0, RunConfig{})
+	if _, err := ShortestPath(out2, 5); err == nil {
+		t.Fatal("ShortestPath without Paths accepted")
+	}
+}
+
+func TestRunPowerCapped(t *testing.T) {
+	g := CalLike(0.005, 5)
+	out, pTrace, err := RunPowerCapped(g, 0, PowerCapConfig{CapWatts: 3.8}, "TK1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pTrace) == 0 {
+		t.Fatal("no set-point trace")
+	}
+	if out.AvgPowerW <= 0 || out.AvgPowerW > 3.8*1.15 {
+		t.Fatalf("avg power %.2f out of band", out.AvgPowerW)
+	}
+	if _, _, err := RunPowerCapped(g, 0, PowerCapConfig{CapWatts: 4}, "nope", 1); err == nil {
+		t.Fatal("bad device accepted")
+	}
+}
+
+func TestDevicesList(t *testing.T) {
+	devs := Devices()
+	if len(devs) != 2 || devs[0].Name != "TK1" || devs[1].Name != "TX1" {
+		t.Fatalf("devices: %v", devs)
+	}
+}
+
+func TestDeviceJSONAPI(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveDevice(&buf, Devices()[0]); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := LoadDevice(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Name != "TK1" {
+		t.Fatalf("device: %+v", dev)
+	}
+}
+
+func TestTuneDeltaAPI(t *testing.T) {
+	g := CalLike(0.002, 9)
+	delta, err := TuneDelta(g, 0, "TK1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta < 1 {
+		t.Fatalf("delta = %d", delta)
+	}
+	if _, err := TuneDelta(g, 0, "bogus", 1); err == nil {
+		t.Fatal("bad device accepted")
+	}
+}
+
+func TestP2PAPI(t *testing.T) {
+	g := Grid(12, 12, 1, 30, 6)
+	ref, err := Run(g, 0, RunConfig{Algorithm: Dijkstra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []VID{5, 77, 143} {
+		d1, err := QueryDijkstra(g, 0, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := QueryBidirectional(g, nil, 0, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		router, err := NewRouter(g, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d3, err := router.Query(0, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Dist[target]
+		if d1.Dist != want || d2.Dist != want || d3.Dist != want {
+			t.Fatalf("t=%d: %d %d %d want %d", target, d1.Dist, d2.Dist, d3.Dist, want)
+		}
+	}
+}
+
+func TestKCoreAPI(t *testing.T) {
+	g := RMAT(8, 6, 1, 9, 2)
+	want := KCoreReference(g)
+	for _, sp := range []int{0, 32} {
+		res := KCore(g, sp, 2)
+		for v := range want {
+			if res.Coreness[v] != want[v] {
+				t.Fatalf("setpoint %d: core[%d] = %d want %d", sp, v, res.Coreness[v], want[v])
+			}
+		}
+		if res.Degeneracy <= 0 {
+			t.Fatal("degeneracy")
+		}
+	}
+}
+
+func TestStudiesAPI(t *testing.T) {
+	tab, err := ScalingStudy(ExperimentConfig{Seed: 3, Workers: 2}, []float64{0.001})
+	if err != nil || len(tab.Rows) != 1 {
+		t.Fatalf("scaling: %v %v", tab, err)
+	}
+	tab, err = StabilityStudy(ExperimentConfig{Scale: 0.001, Workers: 2}, []uint64{1, 2})
+	if err != nil || len(tab.Rows) != 3 {
+		t.Fatalf("stability: %v %v", tab, err)
+	}
+}
+
+func TestPageRankAPI(t *testing.T) {
+	g := RMAT(8, 6, 1, 99, 3)
+	want := PageRankReference(g, 0.85, 1e-14, 5000)
+
+	fixed, err := PageRank(g, PageRankConfig{Theta: 1e-7, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := PageRank(g, PageRankConfig{SetPoint: 64, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []PageRankResult{fixed, tuned} {
+		var diff float64
+		for i := range want {
+			d := res.Ranks[i] - want[i]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		if diff > 1e-6 {
+			t.Fatalf("L1 diff from power iteration: %g", diff)
+		}
+	}
+	if _, err := PageRank(g, PageRankConfig{SetPoint: 0.5}); err != nil {
+		// SetPoint <= 0 selects fixed theta; 0.5 is positive but < 1 and
+		// must be rejected by the self-tuning path.
+		_ = err
+	} else {
+		t.Fatal("fractional set-point accepted")
+	}
+}
+
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation suite")
+	}
+	tabs, err := Experiments(ExperimentConfig{Scale: 0.002, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) < 13 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+}

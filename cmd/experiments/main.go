@@ -1,0 +1,93 @@
+// Command experiments runs the complete paper evaluation — Table 1, the
+// profile figures (1–3, 5), the power/performance figures (6–8), and the
+// controller-overhead measurement — printing every result table and
+// optionally saving CSVs for replotting. This is the one-command
+// reproduction entry point; EXPERIMENTS.md records the expected shapes.
+//
+// Example:
+//
+//	experiments -scale 0.125 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"energysssp/internal/harness"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 1.0/8, "dataset scale (1.0 = paper size)")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		out     = flag.String("out", "", "directory for CSV output (empty prints only)")
+		md      = flag.String("md", "", "write a consolidated markdown report to this path")
+		sources = flag.Int("sources", 1, "sources to average the power/perf figures over")
+		studies = flag.Bool("studies", false, "also run the scaling and seed-stability studies")
+		quiet   = flag.Bool("quiet", false, "suppress table printing (with -out)")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	e := harness.NewEnv(harness.Config{Scale: *scale, Seed: *seed, Workers: *workers, Sources: *sources})
+	defer e.Close()
+
+	fmt.Printf("running full evaluation at scale %g (seed %d)...\n", *scale, *seed)
+	tables, err := harness.RunAll(e)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *studies {
+		cfg := harness.Config{Scale: *scale, Seed: *seed, Workers: *workers}
+		sc, err := harness.ScalingStudy(cfg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: scaling:", err)
+			os.Exit(1)
+		}
+		st, err := harness.StabilityStudy(cfg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: stability:", err)
+			os.Exit(1)
+		}
+		tables = append(tables, sc, st)
+	}
+	for _, t := range tables {
+		if !*quiet {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+		if *out != "" {
+			path, err := t.SaveCSV(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d rows)\n", path, len(t.Rows))
+		}
+	}
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(f, "# Evaluation report\n\nscale %g, seed %d, %d source(s); see EXPERIMENTS.md for paper-vs-measured analysis.\n\n",
+			*scale, *seed, *sources)
+		for _, t := range tables {
+			if err := t.WriteMarkdown(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *md)
+	}
+	fmt.Printf("completed %d tables in %v\n", len(tables), time.Since(start).Round(time.Millisecond))
+}

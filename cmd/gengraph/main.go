@@ -1,0 +1,78 @@
+// Command gengraph generates one of the library's synthetic graphs and
+// writes it in DIMACS .gr or TSV edge-list format, printing its Table-1
+// style characteristics.
+//
+// Examples:
+//
+//	gengraph -type cal -scale 0.125 -out cal.gr
+//	gengraph -type rmat -n 65536 -edgefactor 12 -out wiki.tsv
+//	gengraph -type grid -rows 512 -cols 512 -out grid.gr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	energysssp "energysssp"
+	"energysssp/internal/gen"
+	"energysssp/internal/graph"
+)
+
+func main() {
+	var (
+		typ        = flag.String("type", "cal", "cal|wiki|grid|road|rmat|er|ba|ws")
+		scale      = flag.Float64("scale", 0.01, "scale for cal/wiki (1.0 = paper size)")
+		n          = flag.Int("n", 1<<14, "vertex count (er/ba/ws; power of two for rmat)")
+		rows       = flag.Int("rows", 128, "rows (grid/road)")
+		cols       = flag.Int("cols", 128, "cols (grid/road)")
+		edgefactor = flag.Int("edgefactor", 12, "edges per vertex (rmat/er)")
+		k          = flag.Int("k", 3, "attachment/neighbor count (ba/ws)")
+		wmin       = flag.Int("wmin", 1, "minimum edge weight")
+		wmax       = flag.Int("wmax", 99, "maximum edge weight")
+		seed       = flag.Uint64("seed", 42, "generator seed")
+		out        = flag.String("out", "", "output path (.gr or .tsv); empty prints stats only")
+	)
+	flag.Parse()
+
+	g, err := generate(*typ, *scale, *n, *rows, *cols, *edgefactor, *k, *wmin, *wmax, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+	fmt.Println(g.ComputeStats())
+	if *out != "" {
+		if err := energysssp.SaveGraph(*out, g); err != nil {
+			fmt.Fprintln(os.Stderr, "gengraph:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("written to %s\n", *out)
+	}
+}
+
+func generate(typ string, scale float64, n, rows, cols, ef, k, wmin, wmax int, seed uint64) (*graph.Graph, error) {
+	switch typ {
+	case "cal":
+		return gen.CalLike(scale, seed), nil
+	case "wiki":
+		return gen.WikiLike(scale, seed), nil
+	case "grid":
+		return gen.Grid(rows, cols, wmin, wmax, seed), nil
+	case "road":
+		return gen.RoadLogWeights(rows, cols, 0.22, wmin, wmax, seed), nil
+	case "rmat":
+		s := 0
+		for 1<<uint(s) < n {
+			s++
+		}
+		return gen.RMAT(s, ef, 0.57, 0.19, 0.19, wmin, wmax, seed), nil
+	case "er":
+		return gen.ErdosRenyi(n, n*ef, wmin, wmax, seed), nil
+	case "ba":
+		return gen.BarabasiAlbert(n, k, wmin, wmax, seed), nil
+	case "ws":
+		return gen.WattsStrogatz(n, k, 0.1, wmin, wmax, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown graph type %q", typ)
+	}
+}

@@ -1,0 +1,119 @@
+// Command powerbench regenerates the paper's power/performance figures:
+// Figure 6 (TK1 speedup versus relative power), Figure 7 (TX1), and
+// Figure 8 (average power versus set-point), plus the Section 5.2
+// controller-overhead table.
+//
+// Example:
+//
+//	powerbench -fig 6 -scale 0.125 -out results/
+//	powerbench -fig all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"energysssp/internal/core"
+	"energysssp/internal/gen"
+	"energysssp/internal/harness"
+	"energysssp/internal/plot"
+	"energysssp/internal/power"
+	"energysssp/internal/sim"
+	"energysssp/internal/sssp"
+	"energysssp/internal/trace"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, overhead, or all")
+		scale   = flag.Float64("scale", 1.0/8, "dataset scale (1.0 = paper size)")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		out     = flag.String("out", "", "directory for CSV output (empty prints to stdout)")
+		asPlot  = flag.Bool("plot", false, "render ASCII charts instead of tables")
+		pmTrace = flag.String("powertrace", "", "also write a PowerMon-style 1 kHz power trace CSV of one tuned Cal run to this path")
+	)
+	flag.Parse()
+
+	e := harness.NewEnv(harness.Config{Scale: *scale, Seed: *seed, Workers: *workers})
+	defer e.Close()
+
+	var tables []*trace.Table
+	run := func(name string, f func() ([]*trace.Table, error)) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		ts, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "powerbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		tables = append(tables, ts...)
+	}
+	run("6", func() ([]*trace.Table, error) { return harness.Figure6(e) })
+	run("7", func() ([]*trace.Table, error) { return harness.Figure7(e) })
+	run("8", func() ([]*trace.Table, error) { t, err := harness.Figure8(e); return wrap(t), err })
+	run("overhead", func() ([]*trace.Table, error) { t, err := harness.Overhead(e); return wrap(t), err })
+
+	if len(tables) == 0 {
+		fmt.Fprintf(os.Stderr, "powerbench: unknown figure %q (want 6, 7, 8, overhead, or all)\n", *fig)
+		os.Exit(1)
+	}
+	if *pmTrace != "" {
+		if err := writePowerTrace(e, *pmTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "powerbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *pmTrace)
+	}
+	for _, t := range tables {
+		if *out == "" {
+			if *asPlot {
+				plot.Table(os.Stdout, t)
+			} else {
+				t.Fprint(os.Stdout)
+			}
+			fmt.Println()
+			continue
+		}
+		path, err := t.SaveCSV(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "powerbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, len(t.Rows))
+	}
+}
+
+func wrap(t *trace.Table) []*trace.Table {
+	if t == nil {
+		return nil
+	}
+	return []*trace.Table{t}
+}
+
+// writePowerTrace runs the self-tuning solver once on the road network at
+// the middle set-point with trace recording on, and writes the resampled
+// 1 kHz PowerMon-style readings.
+func writePowerTrace(e *harness.Env, path string) error {
+	mc := harness.MachineConfig{Device: sim.TK1(), Auto: true}
+	mach := mc.NewMachine()
+	mach.EnableTrace()
+	g := e.Graph(gen.Cal)
+	_, err := core.Solve(g, e.Source(gen.Cal), core.Config{P: e.SetPoints(gen.Cal)[1]},
+		&sssp.Options{Pool: e.Pool, Machine: mach})
+	if err != nil {
+		return err
+	}
+	samples := power.Resample(mach.Trace(), power.DefaultRateHz)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WritePowerCSV(f, samples); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,85 @@
+// Command profile regenerates the paper's parallelism-profile figures:
+// Figure 1 (concurrency profiles + density), Figure 2 (delta versus
+// parallelism), Figure 3 (Cal performance versus delta), and Figure 5
+// (parallelism distributions under control).
+//
+// Example:
+//
+//	profile -fig 1 -scale 0.125 -out results/
+//	profile -fig all -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"energysssp/internal/harness"
+	"energysssp/internal/plot"
+	"energysssp/internal/trace"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 5, or all")
+		scale   = flag.Float64("scale", 1.0/8, "dataset scale (1.0 = paper size)")
+		seed    = flag.Uint64("seed", 42, "generator seed")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		out     = flag.String("out", "", "directory for CSV output (empty prints to stdout)")
+		asPlot  = flag.Bool("plot", false, "render ASCII charts instead of tables")
+	)
+	flag.Parse()
+
+	e := harness.NewEnv(harness.Config{Scale: *scale, Seed: *seed, Workers: *workers})
+	defer e.Close()
+
+	var tables []*trace.Table
+	run := func(name string, f func() ([]*trace.Table, error)) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		ts, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		tables = append(tables, ts...)
+	}
+	run("1", func() ([]*trace.Table, error) { return harness.Figure1(e) })
+	run("2", func() ([]*trace.Table, error) { t, err := harness.Figure2(e); return one(t), err })
+	run("3", func() ([]*trace.Table, error) { return harness.Figure3(e) })
+	run("5", func() ([]*trace.Table, error) { t, err := harness.Figure5(e); return one(t), err })
+
+	if len(tables) == 0 {
+		fmt.Fprintf(os.Stderr, "profile: unknown figure %q (want 1, 2, 3, 5, or all)\n", *fig)
+		os.Exit(1)
+	}
+	emit(tables, *out, *asPlot)
+}
+
+func one(t *trace.Table) []*trace.Table {
+	if t == nil {
+		return nil
+	}
+	return []*trace.Table{t}
+}
+
+func emit(tables []*trace.Table, dir string, asPlot bool) {
+	for _, t := range tables {
+		if dir == "" {
+			if asPlot {
+				plot.Table(os.Stdout, t)
+			} else {
+				t.Fprint(os.Stdout)
+			}
+			fmt.Println()
+			continue
+		}
+		path, err := t.SaveCSV(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, len(t.Rows))
+	}
+}

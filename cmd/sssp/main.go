@@ -1,0 +1,132 @@
+// Command sssp runs one single-source shortest path computation on a
+// generated or loaded graph with any of the library's algorithms,
+// optionally on a simulated TK1/TX1 board, and reports timing, energy, and
+// parallelism statistics.
+//
+// Examples:
+//
+//	sssp -dataset cal -scale 0.01 -algo selftuning -P 1000 -device TK1
+//	sssp -graph road.gr -algo nearfar -delta 2048 -workers 8
+//	sssp -dataset wiki -scale 0.05 -algo nearfar -delta 25 -device TK1 -freq 852/924 -profile out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	energysssp "energysssp"
+	"energysssp/internal/trace"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file (.gr/.mtx/.tsv); overrides -dataset")
+		dataset   = flag.String("dataset", "cal", "generated dataset: cal or wiki")
+		scale     = flag.Float64("scale", 0.01, "dataset scale (1.0 = paper size)")
+		seed      = flag.Uint64("seed", 42, "generator seed")
+		algo      = flag.String("algo", "selftuning", "dijkstra|bellmanford|deltastepping|nearfar|selftuning")
+		delta     = flag.Int64("delta", 0, "fixed delta for deltastepping/nearfar (0 = avg edge weight)")
+		setPoint  = flag.Float64("P", 1000, "parallelism set-point for selftuning")
+		source    = flag.Int("source", 0, "source vertex id")
+		workers   = flag.Int("workers", -1, "worker goroutines (-1 = all CPUs, 0/1 = sequential)")
+		device    = flag.String("device", "", "simulated board: TK1 or TX1 (empty = no simulation)")
+		freq      = flag.String("freq", "auto", "DVFS setting: auto or core/mem MHz (e.g. 852/924)")
+		profile   = flag.String("profile", "", "write the per-iteration profile CSV to this path")
+		check     = flag.Bool("check", false, "verify distances against the Dijkstra oracle")
+		tune      = flag.Bool("tune", false, "sweep fixed deltas and report the time-minimizing one (requires -device)")
+	)
+	flag.Parse()
+
+	g, err := loadOrGenerate(*graphPath, *dataset, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %v\n", g)
+
+	if *tune {
+		dev := *device
+		if dev == "" {
+			dev = "TK1"
+		}
+		best, err := energysssp.TuneDelta(g, energysssp.VID(*source), dev, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("time-minimizing delta on %s: %d\n", dev, best)
+		if *delta == 0 {
+			*delta = int64(best)
+		}
+	}
+
+	a, err := energysssp.ParseAlgorithm(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := energysssp.RunConfig{
+		Algorithm: a,
+		Delta:     energysssp.Dist(*delta),
+		SetPoint:  *setPoint,
+		Workers:   *workers,
+		Device:    *device,
+		Freq:      *freq,
+		Profile:   true,
+	}
+	out, err := energysssp.Run(g, energysssp.VID(*source), cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("result: %v\n", out.Result)
+	if *check {
+		ref, err := energysssp.Run(g, energysssp.VID(*source), energysssp.RunConfig{Algorithm: energysssp.Dijkstra})
+		if err != nil {
+			fatal(err)
+		}
+		for v := range out.Dist {
+			if out.Dist[v] != ref.Dist[v] {
+				fatal(fmt.Errorf("distance mismatch at vertex %d: %d vs oracle %d", v, out.Dist[v], ref.Dist[v]))
+			}
+		}
+		fmt.Println("verified against Dijkstra ✓")
+	}
+	if out.Parallelism != nil {
+		fmt.Printf("parallelism: %v\n", *out.Parallelism)
+	}
+	if *device != "" {
+		fmt.Printf("simulated: time=%v energy=%.3fJ avg-power=%.2fW\n",
+			out.SimTime, out.EnergyJ, out.AvgPowerW)
+	}
+	if *profile != "" && out.Profile != nil {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteProfileCSV(f, out.Profile); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile written to %s (%d iterations)\n", *profile, out.Profile.Len())
+	}
+}
+
+func loadOrGenerate(path, dataset string, scale float64, seed uint64) (*energysssp.Graph, error) {
+	if path != "" {
+		return energysssp.LoadGraph(path)
+	}
+	switch dataset {
+	case "cal":
+		return energysssp.CalLike(scale, seed), nil
+	case "wiki":
+		return energysssp.WikiLike(scale, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want cal or wiki)", dataset)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sssp:", err)
+	os.Exit(1)
+}

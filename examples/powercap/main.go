@@ -1,0 +1,63 @@
+// Powercap: the paper's future-work idea (Section 6) made concrete — close
+// the loop on *measured power* instead of parallelism. The paper could not
+// do this on the Jetson boards because fine-grained power readings weren't
+// available to the controller; with the simulated board's PowerMon the
+// set-point P can be auto-tuned until average board power meets a cap.
+//
+// The search exploits the Figure 8 relationship: average power increases
+// monotonically with P, so a bisection over log P converges in a handful of
+// probe runs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	energysssp "energysssp"
+)
+
+func measure(g *energysssp.Graph, p float64) (*energysssp.RunOutput, error) {
+	return energysssp.Run(g, 0, energysssp.RunConfig{
+		Algorithm: energysssp.SelfTuning,
+		SetPoint:  p,
+		Workers:   -1,
+		Device:    "TK1",
+		Profile:   true,
+	})
+}
+
+func main() {
+	const capWatts = 3.8 // board-level power budget
+	g := energysssp.CalLike(0.02, 42)
+	fmt.Printf("graph: %v\npower cap: %.2f W (TK1 board)\n\n", g, capWatts)
+
+	lo, hi := math.Log(64.0), math.Log(16384.0)
+	var best *energysssp.RunOutput
+	bestP := math.Exp(lo)
+
+	fmt.Printf("%10s %10s %10s\n", "P", "avg-power", "sim-time")
+	for i := 0; i < 8; i++ {
+		p := math.Round(math.Exp((lo + hi) / 2))
+		out, err := measure(g, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10.0f %9.2fW %10v\n", p, out.AvgPowerW, out.SimTime.Round(1e5))
+		if out.AvgPowerW <= capWatts {
+			// Under the cap: remember it and push for more performance.
+			best, bestP = out, p
+			lo = math.Log(p)
+		} else {
+			hi = math.Log(p)
+		}
+	}
+
+	if best == nil {
+		fmt.Println("\nno set-point meets the cap; lowest-P run still exceeds it")
+		return
+	}
+	fmt.Printf("\nselected P=%.0f: avg power %.2f W <= %.2f W cap, sim time %v\n",
+		bestP, best.AvgPowerW, capWatts, best.SimTime.Round(1e5))
+	fmt.Println("(the controller turned a power budget into a parallelism set-point automatically)")
+}

@@ -1,0 +1,47 @@
+// Quickstart: build a small weighted graph, run the self-tuning SSSP solver
+// against the Dijkstra oracle, and print distances plus the parallelism
+// profile summary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	energysssp "energysssp"
+)
+
+func main() {
+	// A 64x64 grid road network with random weights in [1, 99].
+	g := energysssp.Grid(64, 64, 1, 99, 7)
+	fmt.Println("graph:", g)
+
+	// Self-tuning SSSP from vertex 0 with a parallelism set-point of 256.
+	out, err := energysssp.Run(g, 0, energysssp.RunConfig{
+		Algorithm: energysssp.SelfTuning,
+		SetPoint:  256,
+		Workers:   -1, // all CPUs
+		Profile:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("self-tuning:", out.Result)
+	fmt.Println("parallelism:", *out.Parallelism)
+
+	// Verify against the sequential reference.
+	ref, err := energysssp.Run(g, 0, energysssp.RunConfig{Algorithm: energysssp.Dijkstra})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for v := range out.Dist {
+		if out.Dist[v] != ref.Dist[v] {
+			log.Fatalf("distance mismatch at vertex %d", v)
+		}
+	}
+	fmt.Println("distances verified against Dijkstra ✓")
+
+	// A few shortest distances along the grid diagonal.
+	for _, v := range []energysssp.VID{0, 65, 130, 4095} {
+		fmt.Printf("dist[%4d] = %d\n", v, out.Dist[v])
+	}
+}

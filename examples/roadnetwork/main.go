@@ -1,0 +1,63 @@
+// Roadnetwork: the paper's Cal study in miniature. Runs the fixed-delta
+// near-far baseline and the self-tuning solver on a road-network graph on a
+// simulated Jetson TK1, comparing iteration counts, parallelism
+// distributions, simulated runtime, and board power — the Figure 5/6 story.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	energysssp "energysssp"
+)
+
+func main() {
+	const scale = 0.02 // ~38k vertices; raise toward 1.0 for paper size
+	g := energysssp.CalLike(scale, 42)
+	fmt.Println("road network:", g)
+
+	baseline, err := energysssp.Run(g, 0, energysssp.RunConfig{
+		Algorithm:  energysssp.NearFar,
+		Delta:      0, // average edge weight
+		Workers:    -1,
+		Device:     "TK1",
+		Profile:    true,
+		PowerTrace: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-18s %8s %10s %10s %8s %8s\n",
+		"variant", "iters", "sim-time", "avg-power", "median", "cv")
+	print := func(name string, out *energysssp.RunOutput) {
+		fmt.Printf("%-18s %8d %10v %9.2fW %8.0f %8.2f\n",
+			name, out.Iterations, out.SimTime.Round(1e5), out.AvgPowerW,
+			out.Parallelism.Median, out.Parallelism.CoefOfVar)
+	}
+	print("near+far", baseline)
+
+	for _, p := range []float64{200, 400, 800} {
+		tuned, err := energysssp.Run(g, 0, energysssp.RunConfig{
+			Algorithm:  energysssp.SelfTuning,
+			SetPoint:   p,
+			Workers:    -1,
+			Device:     "TK1",
+			Profile:    true,
+			PowerTrace: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		print(fmt.Sprintf("self-tuning P=%g", p), tuned)
+
+		// Sanity: identical distances.
+		for v := range tuned.Dist {
+			if tuned.Dist[v] != baseline.Dist[v] {
+				log.Fatalf("distance mismatch at %d", v)
+			}
+		}
+	}
+	fmt.Println("\nall variants agree on shortest distances ✓")
+	fmt.Println("(the controller holds the median near each set-point with lower variability)")
+}

@@ -1,0 +1,56 @@
+// Scalefree: the paper's Wiki study in miniature. First sweeps the fixed
+// delta of the near-far baseline to show how delta governs available
+// parallelism (Figure 2), then sweeps the self-tuning set-point to show the
+// performance/power trade-off on a simulated TK1 (Figure 6b).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	energysssp "energysssp"
+)
+
+func main() {
+	const scale = 0.01 // ~16k vertices, ~160k arcs
+	g := energysssp.WikiLike(scale, 42)
+	fmt.Println("scale-free network:", g)
+
+	// Pick the hub as source (always inside the giant component).
+	var src energysssp.VID
+	var maxDeg int64 = -1
+	for u := 0; u < g.NumVertices(); u++ {
+		if d := g.OutDegree(energysssp.VID(u)); d > maxDeg {
+			maxDeg, src = d, energysssp.VID(u)
+		}
+	}
+
+	fmt.Println("\ndelta versus parallelism (fixed-delta near-far):")
+	fmt.Printf("%8s %10s %10s %8s\n", "delta", "mean-par", "median", "iters")
+	for _, delta := range []int64{5, 10, 25, 50, 100, 400} {
+		out, err := energysssp.Run(g, src, energysssp.RunConfig{
+			Algorithm: energysssp.NearFar, Delta: energysssp.Dist(delta),
+			Workers: -1, Profile: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %10.0f %10.0f %8d\n",
+			delta, out.Parallelism.Mean, out.Parallelism.Median, out.Iterations)
+	}
+
+	fmt.Println("\nset-point versus performance and power (self-tuning, TK1):")
+	fmt.Printf("%10s %10s %10s %10s\n", "P", "sim-time", "avg-power", "mean-par")
+	for _, p := range []float64{500, 2000, 8000, 32000} {
+		out, err := energysssp.Run(g, src, energysssp.RunConfig{
+			Algorithm: energysssp.SelfTuning, SetPoint: p,
+			Workers: -1, Device: "TK1", Profile: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10.0f %10v %9.2fW %10.0f\n",
+			p, out.SimTime.Round(1e4), out.AvgPowerW, out.Parallelism.Mean)
+	}
+	fmt.Println("\nhigher P buys speed at higher power; lower P trades speed for power savings")
+}

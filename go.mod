@@ -1,0 +1,3 @@
+module energysssp
+
+go 1.22

@@ -1,0 +1,256 @@
+// Package core implements the paper's primary contribution (Section 4): a
+// self-tuning near-far SSSP algorithm whose delta threshold is retuned every
+// iteration by a software controller so that the available parallelism
+// converges to a user-chosen set-point P.
+//
+// The controller (Figure 4) monitors the stage cardinalities X¹, X², X⁴ and
+// maintains two online-learned linear models:
+//
+//   - ADVANCE-MODEL:  X̂² = d·X¹         (Eq. 1–2, trained by Algorithm 1)
+//   - BISECT-MODEL:   X̂¹ₖ₊₁ = X⁴ₖ + α·Δδₖ (Eq. 4–5)
+//
+// combined into the delta update δₖ₊₁ = δₖ + (P/d − X⁴ₖ)/α (Eq. 6). Before
+// the models converge (≈5 iterations), α is bootstrapped from queue
+// densities (Eq. 8). A rebalancer stage replaces bisect-far-queue: it moves
+// vertices between the frontier and a partitioned far queue whose
+// boundaries follow Bᵢ = Bᵢ₋₁ + P/α (Eq. 7).
+package core
+
+import (
+	"math"
+
+	"energysssp/internal/frontier"
+	"energysssp/internal/graph"
+	"energysssp/internal/sgd"
+)
+
+// Controller is the feedback loop of Figure 4. One Controller instance
+// drives one solver run.
+type Controller struct {
+	// P is the parallelism set-point the controller steers X² toward.
+	P float64
+
+	// BootstrapIters is the number of initial iterations that use the
+	// Eq. 8 density estimate for α instead of the BISECT-MODEL (the paper
+	// reports the model converges after about 5 iterations).
+	BootstrapIters int
+
+	advance *sgd.Linear // ADVANCE-MODEL: d
+	bisect  *sgd.Linear // BISECT-MODEL: α
+
+	lastDelta float64 // Δδ applied in the previous iteration
+	lastX4    float64 // X⁴ of the previous iteration
+	havePrev  bool
+	iters     int
+}
+
+// NewController builds a controller for set-point p. initialD seeds the
+// ADVANCE-MODEL with the graph's average degree (a cheap, input-derivable
+// prior); initialAlpha seeds the BISECT-MODEL and is refined by Eq. 8
+// during bootstrap anyway.
+func NewController(p float64, initialD, initialAlpha float64) *Controller {
+	if p < 1 {
+		p = 1
+	}
+	if initialD <= 0 {
+		initialD = 1
+	}
+	if initialAlpha <= 0 {
+		initialAlpha = 1
+	}
+	return &Controller{
+		P:              p,
+		BootstrapIters: 5,
+		advance:        sgd.NewLinear(initialD),
+		bisect:         sgd.NewLinear(initialAlpha),
+	}
+}
+
+// D returns the ADVANCE-MODEL's current estimate of the frontier degree.
+func (c *Controller) D() float64 {
+	d := c.advance.Theta()
+	if d < 0.25 {
+		// A frontier almost never contracts by 4x per advance on
+		// connected inputs; clamping keeps P/d finite and the update
+		// stable while the model recovers from a bad excursion.
+		return 0.25
+	}
+	return d
+}
+
+// Alpha returns the BISECT-MODEL's current estimate (vertices per unit of
+// distance near the threshold), clamped positive.
+func (c *Controller) Alpha() float64 {
+	a := c.bisect.Theta()
+	if a < 1e-3 {
+		return 1e-3
+	}
+	return a
+}
+
+// Iters reports how many observations the controller has consumed.
+func (c *Controller) Iters() int { return c.iters }
+
+// QueueState carries the rebalancer-visible state of the current iteration
+// into the controller's delta decision.
+type QueueState struct {
+	X4 int // frontier size after bisect-frontier (input to the rebalancer)
+	// FarLen is the far queue's total size. A positive Δδ can only admit
+	// vertices that exist in the far queue; with an empty far queue the
+	// controller holds the threshold instead of growing it unboundedly
+	// (the overshoot mode the paper's Section 4.6 bootstrap guards
+	// against).
+	FarLen int
+	// Current far-queue partition (the first non-empty one): its upper
+	// bound and size, feeding the Eq. 8 bootstrap estimate of α.
+	PartBound graph.Dist
+	PartSize  int
+	Delta     float64 // current absolute threshold δₖ
+}
+
+// Observe feeds one completed iteration's cardinalities into the models:
+// the ADVANCE-MODEL learns from (X¹, X²); the BISECT-MODEL learns from the
+// previous iteration's applied Δδ and the resulting frontier change
+// (X¹ₖ₊₁ − X⁴ₖ), per Eq. 5.
+func (c *Controller) Observe(x1, x2 int) {
+	c.advance.Observe(float64(x1), float64(x2))
+	if c.havePrev && c.lastDelta != 0 {
+		c.bisect.Observe(c.lastDelta, float64(x1)-c.lastX4)
+	}
+	c.iters++
+}
+
+// alphaEstimate returns the α used for the current decision: the Eq. 8
+// density bootstrap during the initial iterations (and whenever the learned
+// model is degenerate), the BISECT-MODEL afterwards.
+func (c *Controller) alphaEstimate(q QueueState, targetX1 float64) float64 {
+	useBootstrap := c.iters <= c.BootstrapIters || c.bisect.Steps() < 3
+	if !useBootstrap {
+		return c.Alpha()
+	}
+	// Eq. 8: α = X⁴/δ when the frontier is already at least as large as
+	// the target; otherwise the density of the current far partition.
+	if float64(q.X4) >= targetX1 {
+		if q.Delta > 0 {
+			a := float64(q.X4) / q.Delta
+			if a > 1e-3 {
+				return a
+			}
+		}
+		return 1e-3
+	}
+	span := float64(q.PartBound) - q.Delta
+	if span > 0 && q.PartSize > 0 {
+		a := float64(q.PartSize) / span
+		if a > 1e-3 {
+			return a
+		}
+	}
+	return c.Alpha()
+}
+
+// NextDelta computes δₖ₊₁ per Eq. 6 given the current queue state, records
+// the applied Δδ for the BISECT-MODEL's next observation, and returns the
+// new absolute threshold. The step is clamped to at most a factor-of-two
+// threshold change per iteration, which bounds the overshoot the paper
+// describes during the pre-convergence phase without affecting the fixed
+// point.
+func (c *Controller) NextDelta(q QueueState) float64 {
+	targetX1 := c.P / c.D()
+	alpha := c.alphaEstimate(q, targetX1)
+	dd := (targetX1 - float64(q.X4)) / alpha
+	if dd > 0 && q.FarLen == 0 {
+		// Nothing to admit: raising the threshold cannot increase the
+		// frontier, it only runs away from the wavefront.
+		dd = 0
+	}
+
+	// Clamp: |Δδ| <= δₖ (at most doubling or halving the threshold).
+	limit := q.Delta
+	if limit < 1 {
+		limit = 1
+	}
+	if dd > limit {
+		dd = limit
+	} else if dd < -limit/2 {
+		dd = -limit / 2
+	}
+	next := q.Delta + dd
+	if next < 1 {
+		next = 1
+		dd = next - q.Delta
+	}
+	c.lastDelta = dd
+	c.lastX4 = float64(q.X4)
+	c.havePrev = true
+	return next
+}
+
+// SetApplied overrides the recorded (Δδ, X⁴) pair when the solver changed
+// the threshold beyond the controller's own decision (the empty-frontier
+// phase jump), so the BISECT-MODEL learns from the change that actually
+// took effect.
+func (c *Controller) SetApplied(dd, x4 float64) {
+	c.lastDelta = dd
+	c.lastX4 = x4
+	c.havePrev = true
+}
+
+// BoundaryStep returns the partition-width increment P/α of Eq. 7, used by
+// the rebalancer to (re)draw far-queue partition boundaries.
+func (c *Controller) BoundaryStep() graph.Dist {
+	step := c.P / c.Alpha()
+	if step < 1 {
+		step = 1
+	}
+	if step > 1e15 {
+		step = 1e15
+	}
+	return graph.Dist(math.Round(step))
+}
+
+// maxPartitions bounds far-queue partition growth; beyond this the
+// unbounded tail simply absorbs the deepest vertices.
+const maxPartitions = 64
+
+// runwayPartitions is how many P/α-wide partitions MaintainBoundaries
+// keeps ahead of the threshold. Burst iterations (the scale-free case)
+// push thousands of vertices in one go; pre-built boundaries are what let
+// those pushes spread across partitions instead of piling into the
+// unbounded tail, which is the entire point of Section 4.6.
+const runwayPartitions = 16
+
+// MaintainBoundaries applies Eq. 7 to the partitioned far queue: the
+// unbounded tail partition is repeatedly split at B = B_last + P/α — each a
+// monotone decrease from MAX_INT that appends a fresh unbounded partition
+// (Section 4.6) — until runwayPartitions boundaries lie ahead of the
+// current threshold. Existing boundaries are never raised, so updates only
+// affect subsequent placements.
+func (c *Controller) MaintainBoundaries(q *frontier.Partitioned, delta float64) {
+	step := c.BoundaryStep()
+	horizon := graph.Dist(delta) + graph.Dist(runwayPartitions)*step
+	if horizon < 0 { // overflow of the horizon arithmetic
+		return
+	}
+	for q.NumPartitions() < maxPartitions {
+		last := q.NumPartitions() - 1
+		var lastFinite graph.Dist
+		if last > 0 {
+			lastFinite = q.Bound(last - 1)
+		}
+		if lastFinite >= horizon {
+			return // enough runway ahead of the threshold already
+		}
+		base := lastFinite
+		if d := graph.Dist(delta); d > base {
+			base = d
+		}
+		newBound := base + step
+		if newBound <= lastFinite || newBound >= graph.Inf {
+			return
+		}
+		if q.SetBound(last, newBound) != nil {
+			return
+		}
+	}
+}

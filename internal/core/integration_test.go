@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"energysssp/internal/gen"
+	"energysssp/internal/metrics"
+	"energysssp/internal/parallel"
+	"energysssp/internal/sim"
+	"energysssp/internal/sssp"
+)
+
+// End-to-end integration at the evaluation scale (1/8 of the paper's
+// inputs): the self-tuning solver must produce exact distances on both
+// datasets with the simulated machine attached, and the controlled
+// parallelism must track the scaled paper set-points.
+func TestIntegrationEvaluationScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation-scale integration")
+	}
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+
+	cases := []struct {
+		d gen.Dataset
+		p float64
+	}{
+		{gen.Cal, 2500},
+		{gen.Wiki, 37500},
+	}
+	for _, c := range cases {
+		g := c.d.Generate(0.125, 42)
+		var prof metrics.Profile
+		mach := sim.NewMachine(sim.TK1())
+		res, err := Solve(g, 0, Config{P: c.p}, &sssp.Options{
+			Pool: pool, Machine: mach, Profile: &prof,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.d, err)
+		}
+		want, err := sssp.Dijkstra(g, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range res.Dist {
+			if res.Dist[v] != want.Dist[v] {
+				t.Fatalf("%s: dist[%d] = %d, want %d", c.d, v, res.Dist[v], want.Dist[v])
+			}
+		}
+		s := metrics.Summarize(prof.Parallelism())
+		t.Logf("%s: n=%d iters=%d sim=%v avgW=%.2f median-par=%.0f",
+			c.d, g.NumVertices(), res.Iterations, res.SimTime, res.AvgPowerW, s.Median)
+		if res.AvgPowerW < sim.TK1().IdleWatts || res.AvgPowerW > 12 {
+			t.Fatalf("%s: power %f out of envelope", c.d, res.AvgPowerW)
+		}
+		if c.d == gen.Cal {
+			// Road network: the distribution must track the set-point.
+			if s.Median < c.p/2 || s.Median > c.p*2 {
+				t.Fatalf("Cal median %.0f not near P=%g", s.Median, c.p)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package dvfs implements the dynamic voltage/frequency scaling policies
+// the paper compares against and combines with: pinned operating points
+// (the red/green "c/m" markers in Figures 6–7) and an ondemand-style
+// automatic governor standing in for the Jetson's default system-managed
+// policy (the blue markers).
+package dvfs
+
+import (
+	"time"
+
+	"energysssp/internal/sim"
+)
+
+// Ondemand is a utilization-driven governor in the style of the Linux
+// ondemand/interactive policies that manage the Jetson boards by default:
+// it accumulates a utilization-weighted window and steps the core (and,
+// jointly, memory) frequency up when the window exceeds UpThreshold and
+// down when it falls below DownThreshold.
+type Ondemand struct {
+	// Window is the evaluation period; the stock governors re-evaluate
+	// every few tens of milliseconds.
+	Window time.Duration
+	// UpThreshold and DownThreshold bound the hysteresis band.
+	UpThreshold   float64
+	DownThreshold float64
+
+	acc     float64       // utilization·seconds in the current window
+	elapsed time.Duration // window progress
+	coreIdx int
+	memIdx  int
+	primed  bool
+}
+
+// NewOndemand returns a governor with the stock thresholds (up at 80%
+// utilization, down below 30%, 20 ms window).
+func NewOndemand() *Ondemand {
+	return &Ondemand{Window: 20 * time.Millisecond, UpThreshold: 0.8, DownThreshold: 0.3}
+}
+
+// OnKernel implements sim.Governor.
+func (g *Ondemand) OnKernel(m *sim.Machine, util float64, dur time.Duration) {
+	dev := m.Device()
+	if !g.primed {
+		// Start from the middle of the table, like a booting board.
+		g.coreIdx = len(dev.CoreFreqsMHz) / 2
+		g.memIdx = len(dev.MemFreqsMHz) / 2
+		g.apply(m)
+		g.primed = true
+	}
+	g.acc += util * dur.Seconds()
+	g.elapsed += dur
+	if g.elapsed < g.Window {
+		return
+	}
+	avg := g.acc / g.elapsed.Seconds()
+	g.acc = 0
+	g.elapsed = 0
+	switch {
+	case avg > g.UpThreshold:
+		if g.coreIdx < len(dev.CoreFreqsMHz)-1 {
+			g.coreIdx++
+		}
+		if g.memIdx < len(dev.MemFreqsMHz)-1 {
+			g.memIdx++
+		}
+		g.apply(m)
+	case avg < g.DownThreshold:
+		if g.coreIdx > 0 {
+			g.coreIdx--
+		}
+		if g.memIdx > 0 {
+			g.memIdx--
+		}
+		g.apply(m)
+	}
+}
+
+func (g *Ondemand) apply(m *sim.Machine) {
+	dev := m.Device()
+	_ = m.SetFreq(sim.Freq{
+		CoreMHz: dev.CoreFreqsMHz[g.coreIdx],
+		MemMHz:  dev.MemFreqsMHz[g.memIdx],
+	})
+}
+
+// Pin fixes the machine at the given operating point and removes any
+// governor, reproducing the paper's explicit "c/m" DVFS settings.
+func Pin(m *sim.Machine, f sim.Freq) error {
+	m.SetGovernor(nil)
+	return m.SetFreq(f)
+}
+
+// StudyPoints returns the fixed operating points used for a device in
+// Figures 6–7: a high and a low core/memory combination bracketing the
+// default policy. For the TK1 the high point is the paper's example
+// "852/924".
+func StudyPoints(dev *sim.Device) []sim.Freq {
+	nC, nM := len(dev.CoreFreqsMHz), len(dev.MemFreqsMHz)
+	return []sim.Freq{
+		{CoreMHz: dev.CoreFreqsMHz[nC-1], MemMHz: dev.MemFreqsMHz[nM-1]}, // both high
+		{CoreMHz: dev.CoreFreqsMHz[nC-4], MemMHz: dev.MemFreqsMHz[nM-3]}, // both low
+	}
+}

@@ -1,0 +1,90 @@
+package dvfs
+
+import (
+	"testing"
+	"time"
+
+	"energysssp/internal/sim"
+)
+
+func TestPin(t *testing.T) {
+	m := sim.NewMachine(sim.TK1())
+	if err := Pin(m, sim.Freq{CoreMHz: 396, MemMHz: 600}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Freq().CoreMHz != 396 || m.Freq().MemMHz != 600 {
+		t.Fatalf("pin not applied: %v", m.Freq())
+	}
+	if err := Pin(m, sim.Freq{CoreMHz: 1, MemMHz: 1}); err == nil {
+		t.Fatal("invalid pin accepted")
+	}
+}
+
+func TestOndemandScalesUpUnderLoad(t *testing.T) {
+	m := sim.NewMachine(sim.TK1())
+	g := NewOndemand()
+	m.SetGovernor(g)
+	// Saturating kernels: utilization ~1 for many windows.
+	for i := 0; i < 2000; i++ {
+		m.Kernel(sim.KernelAdvance, 1<<20)
+	}
+	max := sim.TK1().MaxFreq()
+	if m.Freq() != max {
+		t.Fatalf("governor did not reach max freq under load: %v", m.Freq())
+	}
+}
+
+func TestOndemandScalesDownWhenIdle(t *testing.T) {
+	m := sim.NewMachine(sim.TK1())
+	g := NewOndemand()
+	m.SetGovernor(g)
+	for i := 0; i < 20000; i++ {
+		m.Kernel(sim.KernelAdvance, 2) // latency-bound, tiny utilization
+	}
+	min := sim.TK1().MinFreq()
+	if m.Freq() != min {
+		t.Fatalf("governor did not reach min freq when idle: %v", m.Freq())
+	}
+}
+
+func TestOndemandHysteresisBand(t *testing.T) {
+	// Mid utilization (between thresholds) should not thrash frequencies.
+	m := sim.NewMachine(sim.TX1())
+	g := &Ondemand{Window: time.Millisecond, UpThreshold: 0.99, DownThreshold: 0.01}
+	m.SetGovernor(g)
+	before := -1
+	for i := 0; i < 3000; i++ {
+		m.Kernel(sim.KernelAdvance, 3000) // middling utilization
+		if before == -1 && i > 10 {
+			before = m.FreqSwitches()
+		}
+	}
+	// After the initial priming switch, the band should suppress changes.
+	if m.FreqSwitches() > before+1 {
+		t.Fatalf("governor thrashed: %d switches", m.FreqSwitches())
+	}
+}
+
+func TestStudyPoints(t *testing.T) {
+	for _, dev := range []*sim.Device{sim.TK1(), sim.TX1()} {
+		pts := StudyPoints(dev)
+		if len(pts) != 2 {
+			t.Fatalf("%s: %d study points", dev.Name, len(pts))
+		}
+		for _, f := range pts {
+			if !dev.ValidFreq(f) {
+				t.Fatalf("%s: invalid study point %v", dev.Name, f)
+			}
+		}
+		if pts[0] != dev.MaxFreq() {
+			t.Fatalf("%s: first study point should be max freq", dev.Name)
+		}
+		if pts[1].CoreMHz >= pts[0].CoreMHz {
+			t.Fatalf("%s: second point not lower", dev.Name)
+		}
+	}
+	// Paper's example operating point must be present for TK1.
+	if got := StudyPoints(sim.TK1())[0]; got.CoreMHz != 852 || got.MemMHz != 924 {
+		t.Fatalf("TK1 high point %v, want 852/924", got)
+	}
+}

@@ -1,0 +1,257 @@
+// Package frontier provides the work-queue structures of the near-far SSSP
+// family: the flat far queue of the Gunrock baseline and the recursively
+// partitioned far queue of the paper's self-tuning algorithm (Section 4.6),
+// whose partition boundaries shift only monotonically downward.
+//
+// Entries are lazily deleted: each entry records the vertex distance at
+// insertion time, and an entry whose recorded distance no longer matches
+// the vertex's current distance is stale and dropped at pop time. Every
+// successful relaxation re-enqueues its vertex, so dropping stale entries
+// never loses work — this is the invariant that keeps the algorithm correct
+// no matter how the delta threshold moves.
+package frontier
+
+import (
+	"fmt"
+
+	"energysssp/internal/graph"
+)
+
+// Entry is a far-queue element: a vertex and its distance at insertion.
+type Entry struct {
+	V graph.VID
+	D graph.Dist
+}
+
+// Flat is the baseline's unpartitioned far queue. Extraction scans every
+// entry — exactly the cost profile of Gunrock's bisect-far-queue stage.
+type Flat struct {
+	entries []Entry
+}
+
+// Len reports the number of entries (including not-yet-detected stale ones).
+func (q *Flat) Len() int { return len(q.entries) }
+
+// Push appends an entry recorded at distance d.
+func (q *Flat) Push(v graph.VID, d graph.Dist) {
+	q.entries = append(q.entries, Entry{V: v, D: d})
+}
+
+// ExtractBelow scans the whole queue, appends to out every fresh vertex
+// whose current distance is <= thr, retains fresh entries above the
+// threshold, and drops stale entries. It returns the extended out slice and
+// the number of entries scanned (the work charged to the simulated
+// far-queue kernel).
+func (q *Flat) ExtractBelow(thr graph.Dist, dist []graph.Dist, out []graph.VID) ([]graph.VID, int) {
+	scanned := len(q.entries)
+	keep := q.entries[:0]
+	for _, e := range q.entries {
+		cur := dist[e.V]
+		if cur != e.D {
+			continue // stale
+		}
+		if cur <= thr {
+			out = append(out, e.V)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	q.entries = keep
+	return out, scanned
+}
+
+// MinDist returns the smallest current distance among fresh entries, or
+// graph.Inf if the queue holds no fresh entry. Used to re-anchor the
+// threshold when the frontier drains.
+func (q *Flat) MinDist(dist []graph.Dist) graph.Dist {
+	min := graph.Inf
+	for _, e := range q.entries {
+		if dist[e.V] == e.D && e.D < min {
+			min = e.D
+		}
+	}
+	return min
+}
+
+// partition holds entries whose insertion distance fell in
+// (lower, upper], where lower is the previous partition's upper bound.
+type partition struct {
+	upper   graph.Dist
+	entries []Entry
+}
+
+// Partitioned is the paper's recursively partitioned far queue. Partitions
+// are ordered by ascending upper bound; the last bound is always graph.Inf.
+// Boundary updates only ever decrease a bound ("monotonic boundary
+// shifts"), and placement of *new* entries uses the current bounds, while
+// existing entries stay put — both exactly as Section 4.6 specifies.
+type Partitioned struct {
+	parts []partition
+	size  int
+	// scanned accumulates pop-scan work for kernel accounting.
+	scanned int
+}
+
+// NewPartitioned builds the initial two-partition queue: upper bounds
+// firstUpper (the paper initializes this to the average edge weight) and
+// graph.Inf.
+func NewPartitioned(firstUpper graph.Dist) *Partitioned {
+	if firstUpper < 1 {
+		firstUpper = 1
+	}
+	if firstUpper >= graph.Inf {
+		firstUpper = graph.Inf - 1
+	}
+	return &Partitioned{parts: []partition{
+		{upper: firstUpper},
+		{upper: graph.Inf},
+	}}
+}
+
+// Len reports the number of stored entries (stale ones included until
+// detected).
+func (q *Partitioned) Len() int { return q.size }
+
+// NumPartitions reports the current number of partitions.
+func (q *Partitioned) NumPartitions() int { return len(q.parts) }
+
+// Bound returns the upper bound of partition i.
+func (q *Partitioned) Bound(i int) graph.Dist { return q.parts[i].upper }
+
+// PartSize returns the entry count of partition i.
+func (q *Partitioned) PartSize(i int) int { return len(q.parts[i].entries) }
+
+// lower returns the lower bound of partition i (the previous upper, or 0).
+func (q *Partitioned) lower(i int) graph.Dist {
+	if i == 0 {
+		return 0
+	}
+	return q.parts[i-1].upper
+}
+
+// Push places v (at distance d) into the partition i with
+// lower(i) < d <= Bound(i), by binary search over the bounds.
+func (q *Partitioned) Push(v graph.VID, d graph.Dist) {
+	lo, hi := 0, len(q.parts)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d <= q.parts[mid].upper {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	q.parts[lo].entries = append(q.parts[lo].entries, Entry{V: v, D: d})
+	q.size++
+}
+
+// SetBound lowers the upper bound of partition i to b. Monotonicity is
+// enforced: raising a bound or crossing the neighboring bounds is an error.
+// Per the paper, the update affects only future placements; entries already
+// stored are untouched (lazy distance checks at pop keep this correct).
+func (q *Partitioned) SetBound(i int, b graph.Dist) error {
+	if i < 0 || i >= len(q.parts) {
+		return fmt.Errorf("frontier: partition %d out of range", i)
+	}
+	if b >= q.parts[i].upper {
+		return fmt.Errorf("frontier: boundary update must decrease (%d -> %d)", q.parts[i].upper, b)
+	}
+	if b <= q.lower(i) {
+		return fmt.Errorf("frontier: boundary %d would cross lower bound %d", b, q.lower(i))
+	}
+	wasLast := i == len(q.parts)-1
+	q.parts[i].upper = b
+	if wasLast {
+		// The updated bound belonged to the last partition: append a
+		// fresh unbounded partition, as Section 4.6 prescribes.
+		q.parts = append(q.parts, partition{upper: graph.Inf})
+	}
+	return nil
+}
+
+// CompactFront removes empty leading partitions ("if the size of the
+// current partition is zero, the next partition becomes the current
+// partition"), always retaining at least one partition (the unbounded
+// tail).
+func (q *Partitioned) CompactFront() {
+	i := 0
+	for i < len(q.parts)-1 && len(q.parts[i].entries) == 0 {
+		i++
+	}
+	if i > 0 {
+		q.parts = append(q.parts[:0], q.parts[i:]...)
+	}
+}
+
+// PopBelow extracts every fresh vertex with current distance <= thr,
+// appending to out. Only partitions whose lower bound is below thr are
+// scanned — the pay-off of partitioning over the baseline's full scan.
+// Fresh entries above thr are retained in place; stale entries are dropped.
+func (q *Partitioned) PopBelow(thr graph.Dist, dist []graph.Dist, out []graph.VID) []graph.VID {
+	for i := 0; i < len(q.parts); i++ {
+		if q.lower(i) >= thr {
+			break
+		}
+		part := &q.parts[i]
+		q.scanned += len(part.entries)
+		keep := part.entries[:0]
+		for _, e := range part.entries {
+			cur := dist[e.V]
+			if cur != e.D {
+				q.size--
+				continue
+			}
+			if cur <= thr {
+				out = append(out, e.V)
+				q.size--
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		part.entries = keep
+	}
+	q.CompactFront()
+	return out
+}
+
+// MinDist returns the smallest current distance among fresh entries
+// (scanning from the front and stopping at the first partition that yields
+// one, since partitions are distance-ordered for fresh entries), or
+// graph.Inf when no fresh entry exists.
+func (q *Partitioned) MinDist(dist []graph.Dist) graph.Dist {
+	for i := range q.parts {
+		min := graph.Inf
+		for _, e := range q.parts[i].entries {
+			if dist[e.V] == e.D && e.D < min {
+				min = e.D
+			}
+		}
+		if min < graph.Inf {
+			return min
+		}
+	}
+	return graph.Inf
+}
+
+// ScannedAndReset returns the number of entries scanned by PopBelow since
+// the last call and resets the counter; the solver charges this to the
+// simulated far-queue kernel.
+func (q *Partitioned) ScannedAndReset() int {
+	s := q.scanned
+	q.scanned = 0
+	return s
+}
+
+// FreshLen counts entries that are still fresh under dist. O(size); used by
+// tests and termination assertions, not hot paths.
+func (q *Partitioned) FreshLen(dist []graph.Dist) int {
+	n := 0
+	for i := range q.parts {
+		for _, e := range q.parts[i].entries {
+			if dist[e.V] == e.D {
+				n++
+			}
+		}
+	}
+	return n
+}

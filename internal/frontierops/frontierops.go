@@ -1,0 +1,192 @@
+// Package frontierops implements the Gunrock-style frontier-operator model
+// the paper's Section 3 describes as the substrate for all of its graph
+// primitives: computations are expressed as sequences of *advance* (expand
+// frontier edges), *filter* (compact a frontier by predicate), and
+// *compute* (per-vertex map) operators over an explicit frontier
+// work-queue. The SSSP solvers in internal/sssp predate this layer and use
+// their specialized kernels; this package provides the general operators
+// plus reference primitives (BFS, weakly-connected components) that
+// demonstrate the structure the paper's Section 6 proposes generalizing
+// the controller to.
+//
+// All operators execute on the shared worker pool and optionally charge a
+// simulated machine, exactly like the SSSP kernels.
+package frontierops
+
+import (
+	"sync/atomic"
+
+	"energysssp/internal/bitmap"
+	"energysssp/internal/graph"
+	"energysssp/internal/parallel"
+	"energysssp/internal/sim"
+)
+
+func atomicLoadInt32(addr *int32) int32 { return atomic.LoadInt32(addr) }
+
+func atomicCASInt32(addr *int32, old, new int32) bool {
+	return atomic.CompareAndSwapInt32(addr, old, new)
+}
+
+// Engine binds the operators to a graph, a worker pool, and (optionally) a
+// simulated machine.
+type Engine struct {
+	G    *graph.Graph
+	Pool *parallel.Pool
+	Mach *sim.Machine
+
+	seen *bitmap.Bitmap
+	bufs [][]graph.VID
+}
+
+// NewEngine creates an operator engine. pool may be nil (sequential).
+func NewEngine(g *graph.Graph, pool *parallel.Pool, mach *sim.Machine) *Engine {
+	if pool == nil {
+		pool = parallel.NewPool(1)
+	}
+	return &Engine{
+		G:    g,
+		Pool: pool,
+		Mach: mach,
+		seen: bitmap.New(g.NumVertices()),
+		bufs: make([][]graph.VID, pool.Size()),
+	}
+}
+
+// AdvanceFunc inspects one frontier edge (u, v, w) and reports whether v
+// belongs in the output frontier. It runs concurrently and must be safe for
+// that: typically it performs an atomic update on per-vertex state and
+// returns whether the update won.
+type AdvanceFunc func(u, v graph.VID, w graph.Weight) bool
+
+// Advance expands all outgoing edges of the frontier through fn and returns
+// the deduplicated set of vertices for which fn reported true, plus the
+// number of edges visited. The output slice is owned by the caller.
+func (e *Engine) Advance(front []graph.VID, fn AdvanceFunc) ([]graph.VID, int64) {
+	for w := range e.bufs {
+		e.bufs[w] = e.bufs[w][:0]
+	}
+	type counters struct {
+		edges int64
+		_     [7]int64
+	}
+	counts := make([]counters, e.Pool.Size())
+	g := e.G
+	e.Pool.DynamicWorker(len(front), 64, func(w, lo, hi int) {
+		buf := e.bufs[w]
+		var edges int64
+		for i := lo; i < hi; i++ {
+			u := front[i]
+			vs, ws := g.Neighbors(u)
+			edges += int64(len(vs))
+			for j, v := range vs {
+				if fn(u, v, ws[j]) && e.seen.TrySet(int(v)) {
+					buf = append(buf, v)
+				}
+			}
+		}
+		e.bufs[w] = buf
+		counts[w].edges += edges
+	})
+	var out []graph.VID
+	var edges int64
+	for w := range e.bufs {
+		out = append(out, e.bufs[w]...)
+		edges += counts[w].edges
+	}
+	for _, v := range out {
+		e.seen.Clear(int(v))
+	}
+	if e.Mach != nil {
+		e.Mach.Kernel(sim.KernelAdvance, int(edges))
+		e.Mach.Kernel(sim.KernelFilter, len(out))
+	}
+	return out, edges
+}
+
+// Filter compacts the frontier to the vertices satisfying pred, in place.
+func (e *Engine) Filter(front []graph.VID, pred func(v graph.VID) bool) []graph.VID {
+	keep := front[:0]
+	for _, v := range front {
+		if pred(v) {
+			keep = append(keep, v)
+		}
+	}
+	if e.Mach != nil {
+		e.Mach.Kernel(sim.KernelBisect, len(front))
+	}
+	return keep
+}
+
+// Compute applies fn to every vertex id in [0, n) in parallel.
+func (e *Engine) Compute(fn func(v graph.VID)) {
+	n := e.G.NumVertices()
+	e.Pool.Dynamic(n, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			fn(graph.VID(v))
+		}
+	})
+	if e.Mach != nil {
+		e.Mach.Kernel(sim.KernelBisect, n)
+	}
+}
+
+// BFS computes hop distances from src using advance+filter rounds — the
+// simplest Gunrock primitive. Unreached vertices get -1.
+func BFS(g *graph.Graph, src graph.VID, pool *parallel.Pool, mach *sim.Machine) ([]int32, int) {
+	e := NewEngine(g, pool, mach)
+	n := g.NumVertices()
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	if n == 0 || int(src) >= n || src < 0 {
+		return level, 0
+	}
+	level[src] = 0
+	front := []graph.VID{src}
+	depth := int32(0)
+	rounds := 0
+	for len(front) > 0 {
+		depth++
+		rounds++
+		next := depth
+		out, _ := e.Advance(front, func(_, v graph.VID, _ graph.Weight) bool {
+			// Claim v for this level; the bitmap dedup makes the winner
+			// unique, and levels only ever decrease... they are set once
+			// because visited vertices never re-enter the frontier.
+			if atomicLoadInt32(&level[v]) >= 0 {
+				return false
+			}
+			return atomicCASInt32(&level[v], -1, next)
+		})
+		front = out
+	}
+	return level, rounds
+}
+
+// WeakCC computes weakly-connected-component labels by parallel label
+// propagation over the symmetrized adjacency: every vertex starts with its
+// own id and repeatedly adopts the minimum label among its neighbors. The
+// frontier holds vertices whose label changed — the same structure as SSSP
+// with "distance" = component label.
+func WeakCC(g *graph.Graph, pool *parallel.Pool, mach *sim.Machine) ([]int64, int) {
+	und := g.Symmetrize()
+	e := NewEngine(und, pool, mach)
+	n := und.NumVertices()
+	label := make([]int64, n)
+	front := make([]graph.VID, n)
+	for i := range label {
+		label[i] = int64(i)
+		front[i] = graph.VID(i)
+	}
+	rounds := 0
+	for len(front) > 0 {
+		rounds++
+		out, _ := e.Advance(front, func(u, v graph.VID, _ graph.Weight) bool {
+			return parallel.MinInt64(&label[v], parallel.LoadInt64(&label[u]))
+		})
+		front = out
+	}
+	return label, rounds
+}

@@ -1,0 +1,171 @@
+package frontierops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"energysssp/internal/gen"
+	"energysssp/internal/graph"
+	"energysssp/internal/parallel"
+	"energysssp/internal/sim"
+)
+
+func TestBFSMatchesGraphBFS(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	graphs := []*graph.Graph{
+		gen.Grid(10, 12, 1, 9, 1),
+		gen.RMAT(8, 6, 0.57, 0.19, 0.19, 1, 99, 2),
+		gen.Road(12, 12, 0.25, 1, 100, 3),
+	}
+	for _, g := range graphs {
+		level, rounds := BFS(g, 0, pool, nil)
+		maxHops, reach := g.BFSHops(0)
+		gotReach := 0
+		gotMax := int32(0)
+		for _, l := range level {
+			if l >= 0 {
+				gotReach++
+				if l > gotMax {
+					gotMax = l
+				}
+			}
+		}
+		if gotReach != reach {
+			t.Fatalf("%v: reach %d vs %d", g, gotReach, reach)
+		}
+		if int(gotMax) != maxHops {
+			t.Fatalf("%v: max hops %d vs %d", g, gotMax, maxHops)
+		}
+		// The last populated frontier still advances (producing nothing),
+		// so rounds = deepest level + 1.
+		if rounds != maxHops+1 {
+			t.Fatalf("%v: rounds %d vs hops %d", g, rounds, maxHops)
+		}
+	}
+}
+
+func TestBFSLevelsAreShortestHops(t *testing.T) {
+	// Hop levels equal Dijkstra distances on a unit-weight copy.
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	f := func(seed uint64) bool {
+		g := gen.ErdosRenyi(120, 500, 1, 1, seed) // unit weights
+		level, _ := BFS(g, 0, pool, nil)
+		ecc := g.ComputeStats // unused; structural
+		_ = ecc
+		// Reference: sequential BFS via graph.BFSHops semantics per level
+		// check using a simple queue here.
+		ref := make([]int32, g.NumVertices())
+		for i := range ref {
+			ref[i] = -1
+		}
+		ref[0] = 0
+		q := []graph.VID{0}
+		for len(q) > 0 {
+			u := q[0]
+			q = q[1:]
+			vs, _ := g.Neighbors(u)
+			for _, v := range vs {
+				if ref[v] < 0 {
+					ref[v] = ref[u] + 1
+					q = append(q, v)
+				}
+			}
+		}
+		for i := range ref {
+			if ref[i] != level[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSEdgeCases(t *testing.T) {
+	g := graph.MustNew(3, nil)
+	level, rounds := BFS(g, 0, nil, nil)
+	if level[0] != 0 || level[1] != -1 || rounds != 1 {
+		t.Fatalf("isolated: %v rounds=%d", level, rounds)
+	}
+	if l, _ := BFS(g, -1, nil, nil); l[0] != -1 {
+		t.Fatal("invalid source should reach nothing")
+	}
+	empty := graph.MustNew(0, nil)
+	if l, _ := BFS(empty, 0, nil, nil); len(l) != 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestWeakCCMatchesUnionFind(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%60 + 2
+		g := gen.ErdosRenyi(n, n, 1, 9, seed)
+		labels, _ := WeakCC(g, pool, nil)
+		wantCount, wantLargest := g.WeakComponents()
+		comp := map[int64]int{}
+		for _, l := range labels {
+			comp[l]++
+		}
+		largest := 0
+		for _, c := range comp {
+			if c > largest {
+				largest = c
+			}
+		}
+		return len(comp) == wantCount && largest == wantLargest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterAndCompute(t *testing.T) {
+	g := gen.Grid(5, 5, 1, 9, 4)
+	e := NewEngine(g, nil, nil)
+	front := []graph.VID{0, 1, 2, 3, 4}
+	front = e.Filter(front, func(v graph.VID) bool { return v%2 == 0 })
+	if len(front) != 3 || front[0] != 0 || front[2] != 4 {
+		t.Fatalf("filter: %v", front)
+	}
+	sum := make([]int64, g.NumVertices())
+	e.Compute(func(v graph.VID) { sum[v] = int64(v) * 2 })
+	if sum[10] != 20 {
+		t.Fatalf("compute: %d", sum[10])
+	}
+}
+
+func TestEngineChargesMachine(t *testing.T) {
+	g := gen.RMAT(7, 4, 0.57, 0.19, 0.19, 1, 9, 5)
+	mach := sim.NewMachine(sim.TK1())
+	_, rounds := BFS(g, 0, nil, mach)
+	if rounds <= 0 {
+		t.Fatal("no BFS rounds")
+	}
+	if mach.Now() <= 0 || mach.Energy() <= 0 {
+		t.Fatal("machine not charged")
+	}
+	if mach.Stats(sim.KernelAdvance).Launches == 0 {
+		t.Fatal("advance kernels not counted")
+	}
+}
+
+func TestAdvanceDeduplicates(t *testing.T) {
+	// Two vertices pointing at the same target: one output entry.
+	g := graph.MustNew(3, []graph.Edge{{U: 0, V: 2, W: 1}, {U: 1, V: 2, W: 1}})
+	e := NewEngine(g, nil, nil)
+	out, edges := e.Advance([]graph.VID{0, 1}, func(_, _ graph.VID, _ graph.Weight) bool { return true })
+	if edges != 2 || len(out) != 1 || out[0] != 2 {
+		t.Fatalf("advance: out=%v edges=%d", out, edges)
+	}
+	// Bitmap must be clean for the next call.
+	out, _ = e.Advance([]graph.VID{0}, func(_, _ graph.VID, _ graph.Weight) bool { return true })
+	if len(out) != 1 {
+		t.Fatalf("bitmap not reset: %v", out)
+	}
+}

@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"energysssp/internal/graph"
+)
+
+// Paper dataset sizes (Table 1). The presets below target these at
+// scale=1.0 and shrink proportionally for smaller scales.
+const (
+	calNodes  = 1_890_815
+	calEdges  = 4_630_444
+	wikiNodes = 1_634_989
+	wikiEdges = 19_735_890
+)
+
+// CalLike generates a road-network-like substitute for the DIMACS Cal
+// graph: a maze-spanning-tree lattice (Road) with ~1.89M·scale vertices and
+// ~4.63M·scale arcs, guaranteed connected, high diameter, degree ≤ 4.
+// Weights are uniform integers in [1, 4096], mimicking DIMACS travel times.
+// scale must be positive; scale=1.0 matches the paper's input size.
+func CalLike(scale float64, seed uint64) *graph.Graph {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(float64(calNodes) * scale)
+	if n < 64 {
+		n = 64
+	}
+	side := int(math.Sqrt(float64(n)))
+	// Average out-degree target m/n ≈ 2.449 arcs. The spanning tree
+	// contributes 2(n-1)/n ≈ 2 arcs per vertex; each extra undirected
+	// lattice edge contributes 2 more arcs. Non-tree lattice edges number
+	// ≈ 2n − (n−1) ≈ n, so the extra-probability is ≈ (target − 2)/2.
+	targetDeg := float64(calEdges) / float64(calNodes)
+	extra := (targetDeg - 2) / 2
+	// Log-uniform travel times: mostly short city segments with a heavy
+	// tail of long highway segments, like the DIMACS inputs. The weight
+	// spread is what defeats any single fixed delta.
+	g := RoadLogWeights(side, side, extra, 1, 16384, seed)
+	g.SetName(fmt.Sprintf("cal-like-%.3g", scale))
+	return g
+}
+
+// WikiLike generates a scale-free substitute for wikipedia-20051105: an
+// RMAT digraph with ~1.63M·scale vertices and ~19.7M·scale arcs and uniform
+// random integer weights in [1, 99] exactly as the paper assigns to Wiki.
+// scale=1.0 matches the paper's input size.
+func WikiLike(scale float64, seed uint64) *graph.Graph {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := float64(wikiNodes) * scale
+	s := int(math.Round(math.Log2(n)))
+	if s < 6 {
+		s = 6
+	}
+	ef := int(math.Round(float64(wikiEdges) * scale / float64(int64(1)<<uint(s))))
+	if ef < 1 {
+		ef = 1
+	}
+	g := RMAT(s, ef, 0.57, 0.19, 0.19, 1, 99, seed)
+	g.SetName(fmt.Sprintf("wiki-like-%.3g", scale))
+	return g
+}
+
+// Dataset names the two paper inputs for harness parameterization.
+type Dataset int
+
+const (
+	// Cal is the road-network dataset (DIMACS Cal substitute).
+	Cal Dataset = iota
+	// Wiki is the scale-free dataset (wikipedia-20051105 substitute).
+	Wiki
+)
+
+// String implements fmt.Stringer.
+func (d Dataset) String() string {
+	switch d {
+	case Cal:
+		return "Cal"
+	case Wiki:
+		return "Wiki"
+	default:
+		return fmt.Sprintf("Dataset(%d)", int(d))
+	}
+}
+
+// Generate materializes the dataset at the given scale and seed.
+func (d Dataset) Generate(scale float64, seed uint64) *graph.Graph {
+	switch d {
+	case Cal:
+		return CalLike(scale, seed)
+	case Wiki:
+		return WikiLike(scale, seed)
+	default:
+		panic(fmt.Sprintf("gen: unknown dataset %d", int(d)))
+	}
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the three text parsers must never panic and, when they do
+// accept an input, must return a structurally valid graph.
+
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("p sp 3 2\na 1 2 5\na 2 3 7\n")
+	f.Add("c comment\np sp 1 0\n")
+	f.Add("p sp 2 1\na 1 2 2147483647\n")
+	f.Add("a 1 2 3\n")
+	f.Add("p sp -1 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadDIMACS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v (input %q)", err, in)
+		}
+	})
+}
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 0.0001\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v (input %q)", err, in)
+		}
+	})
+}
+
+func FuzzReadTSV(f *testing.F) {
+	f.Add("0\t1\t5\n")
+	f.Add("# comment\n9\t9\t1\n")
+	f.Add("0 1 -5\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadTSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v (input %q)", err, in)
+		}
+	})
+}
+
+// Round-trip under fuzzing: any graph the DIMACS reader accepts must
+// serialize and re-parse to an equal graph.
+func FuzzDIMACSRoundTrip(f *testing.F) {
+	f.Add("p sp 4 3\na 1 2 9\na 2 3 1\na 4 1 3\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadDIMACS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("could not re-parse own output: %v", err)
+		}
+		if !g.Equal(h) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,290 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// This file implements readers and writers for the interchange formats used
+// by the paper's data sources: the DIMACS Shortest Path Challenge ".gr"
+// format (the Cal road network) and Matrix Market coordinate format (the UF
+// sparse matrix collection's wikipedia-20051105), plus a trivial TSV edge
+// list for tooling.
+
+// ReadDIMACS parses a DIMACS shortest-path ".gr" stream:
+//
+//	c comment
+//	p sp <n> <m>
+//	a <u> <v> <w>     (1-based vertex ids)
+//
+// Arcs are directed, exactly as stored in the file.
+func ReadDIMACS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		n     int
+		edges []Edge
+		seenP bool
+		line  int
+	)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		switch text[0] {
+		case 'c':
+			continue
+		case 'p':
+			f := strings.Fields(text)
+			if len(f) != 4 || f[1] != "sp" {
+				return nil, fmt.Errorf("graph: dimacs line %d: bad problem line %q", line, text)
+			}
+			var err error
+			n, err = strconv.Atoi(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: %v", line, err)
+			}
+			m, err := strconv.Atoi(f[3])
+			if err != nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: %v", line, err)
+			}
+			edges = make([]Edge, 0, m)
+			seenP = true
+		case 'a':
+			if !seenP {
+				return nil, fmt.Errorf("graph: dimacs line %d: arc before problem line", line)
+			}
+			f := strings.Fields(text)
+			if len(f) != 4 {
+				return nil, fmt.Errorf("graph: dimacs line %d: bad arc %q", line, text)
+			}
+			u, err1 := strconv.Atoi(f[1])
+			v, err2 := strconv.Atoi(f[2])
+			w, err3 := strconv.Atoi(f[3])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: dimacs line %d: bad arc %q", line, text)
+			}
+			edges = append(edges, Edge{U: VID(u - 1), V: VID(v - 1), W: Weight(w)})
+		default:
+			return nil, fmt.Errorf("graph: dimacs line %d: unknown record %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenP {
+		return nil, fmt.Errorf("graph: dimacs: missing problem line")
+	}
+	return New(n, edges)
+}
+
+// WriteDIMACS writes g in DIMACS ".gr" format (1-based ids).
+func WriteDIMACS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if g.Name() != "" {
+		fmt.Fprintf(bw, "c %s\n", g.Name())
+	}
+	fmt.Fprintf(bw, "p sp %d %d\n", g.NumVertices(), g.NumEdges())
+	for u := 0; u < g.NumVertices(); u++ {
+		vs, ws := g.Neighbors(VID(u))
+		for i, v := range vs {
+			fmt.Fprintf(bw, "a %d %d %d\n", u+1, v+1, ws[i])
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a Matrix Market coordinate stream into a graph.
+// Supported headers: "matrix coordinate (integer|real|pattern)
+// (general|symmetric)". Pattern entries receive weight 1; real weights are
+// rounded to the nearest positive integer (minimum 1); symmetric matrices
+// produce both arcs. Entries on the diagonal become self-loops and are kept.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: mm: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("graph: mm: unsupported header %q", sc.Text())
+	}
+	valType, sym := header[3], header[4]
+	switch valType {
+	case "integer", "real", "pattern":
+	default:
+		return nil, fmt.Errorf("graph: mm: unsupported value type %q", valType)
+	}
+	switch sym {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("graph: mm: unsupported symmetry %q", sym)
+	}
+	// Skip comments, find size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(text, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("graph: mm: bad size line %q: %v", text, err)
+		}
+		break
+	}
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	edges := make([]Edge, 0, nnz)
+	addEntry := func(u, v int, w Weight) {
+		edges = append(edges, Edge{U: VID(u - 1), V: VID(v - 1), W: w})
+		if sym == "symmetric" && u != v {
+			edges = append(edges, Edge{U: VID(v - 1), V: VID(u - 1), W: w})
+		}
+	}
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("graph: mm: bad entry %q", text)
+		}
+		u, err1 := strconv.Atoi(f[0])
+		v, err2 := strconv.Atoi(f[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: mm: bad entry %q", text)
+		}
+		w := Weight(1)
+		if valType != "pattern" {
+			if len(f) < 3 {
+				return nil, fmt.Errorf("graph: mm: missing value in %q", text)
+			}
+			x, err := strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: mm: bad value in %q", text)
+			}
+			if x < 0 {
+				x = -x
+			}
+			w = Weight(x + 0.5)
+			if w < 1 {
+				w = 1
+			}
+		}
+		addEntry(u, v, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(n, edges)
+}
+
+// ReadTSV parses a "u<TAB>v<TAB>w" edge list with 0-based ids; '#' lines are
+// comments. The vertex count is 1 + the maximum id seen.
+func ReadTSV(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("graph: tsv line %d: want 3 fields, got %d", line, len(f))
+		}
+		u, err1 := strconv.Atoi(f[0])
+		v, err2 := strconv.Atoi(f[1])
+		w, err3 := strconv.Atoi(f[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("graph: tsv line %d: bad numbers", line)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, Edge{U: VID(u), V: VID(v), W: Weight(w)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(maxID+1, edges)
+}
+
+// WriteTSV writes g as a 0-based TSV edge list.
+func WriteTSV(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if g.Name() != "" {
+		fmt.Fprintf(bw, "# %s\n", g.Name())
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		vs, ws := g.Neighbors(VID(u))
+		for i, v := range vs {
+			fmt.Fprintf(bw, "%d\t%d\t%d\n", u, v, ws[i])
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a graph from path, selecting the format by extension:
+// ".gr" (DIMACS), ".mtx" (Matrix Market), ".tsv" (edge list).
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var g *Graph
+	switch {
+	case strings.HasSuffix(path, ".gr"):
+		g, err = ReadDIMACS(f)
+	case strings.HasSuffix(path, ".mtx"):
+		g, err = ReadMatrixMarket(f)
+	case strings.HasSuffix(path, ".tsv"):
+		g, err = ReadTSV(f)
+	default:
+		return nil, fmt.Errorf("graph: unknown file extension in %q (want .gr, .mtx, or .tsv)", path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("graph: loading %q: %w", path, err)
+	}
+	g.SetName(path)
+	return g, nil
+}
+
+// SaveFile writes g to path, selecting the format by extension (".gr" or
+// ".tsv").
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(path, ".gr"):
+		err = WriteDIMACS(f, g)
+	case strings.HasSuffix(path, ".tsv"):
+		err = WriteTSV(f, g)
+	default:
+		return fmt.Errorf("graph: unknown file extension in %q (want .gr or .tsv)", path)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,150 @@
+package kcore
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"energysssp/internal/gen"
+	"energysssp/internal/graph"
+	"energysssp/internal/metrics"
+	"energysssp/internal/parallel"
+	"energysssp/internal/sim"
+)
+
+// triangleWithTail: a triangle (coreness 2) with a pendant path
+// (coreness 1).
+func triangleWithTail() *graph.Graph {
+	return graph.MustNew(5, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 0, W: 1},
+		{U: 2, V: 3, W: 1}, {U: 3, V: 4, W: 1},
+	})
+}
+
+func TestReferenceKnownValues(t *testing.T) {
+	core := Reference(triangleWithTail())
+	want := []int32{2, 2, 2, 1, 1}
+	for v, c := range core {
+		if c != want[v] {
+			t.Fatalf("core[%d] = %d, want %d (all: %v)", v, c, want[v], core)
+		}
+	}
+}
+
+func TestReferenceClique(t *testing.T) {
+	// K5: everyone has coreness 4.
+	var edges []graph.Edge
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, graph.Edge{U: graph.VID(i), V: graph.VID(j), W: 1})
+		}
+	}
+	core := Reference(graph.MustNew(5, edges))
+	for v, c := range core {
+		if c != 4 {
+			t.Fatalf("K5 core[%d] = %d", v, c)
+		}
+	}
+}
+
+func TestDecomposeMatchesReference(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	graphs := []*graph.Graph{
+		triangleWithTail(),
+		gen.Grid(8, 9, 1, 5, 1),
+		gen.RMAT(8, 6, 0.57, 0.19, 0.19, 1, 9, 2),
+		gen.BarabasiAlbert(300, 3, 1, 9, 3),
+		graph.MustNew(3, nil), // all isolated
+	}
+	for _, g := range graphs {
+		want := Reference(g)
+		for _, setPoint := range []int{0, 1, 7, 1000} {
+			res := Decompose(g, &Options{Pool: pool, SetPoint: setPoint})
+			for v := range want {
+				if res.Coreness[v] != want[v] {
+					t.Fatalf("%v P=%d: core[%d] = %d, want %d", g, setPoint, v, res.Coreness[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeMatchesReferenceProperty(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	f := func(seed uint64, setRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		n := rng.IntN(80) + 1
+		m := rng.IntN(400)
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{
+				U: graph.VID(rng.IntN(n)), V: graph.VID(rng.IntN(n)),
+				W: graph.Weight(1 + rng.IntN(9)),
+			}
+		}
+		g := graph.MustNew(n, edges)
+		want := Reference(g)
+		res := Decompose(g, &Options{Pool: pool, SetPoint: int(setRaw)%16 + 1})
+		for v := range want {
+			if res.Coreness[v] != want[v] {
+				return false
+			}
+		}
+		return res.Degeneracy >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetPointCapsBatches(t *testing.T) {
+	g := gen.RMAT(9, 8, 0.57, 0.19, 0.19, 1, 9, 4)
+	const P = 64
+	var prof metrics.Profile
+	res := Decompose(g, &Options{SetPoint: P, Profile: &prof})
+	if prof.Len() != res.Rounds {
+		t.Fatalf("profile %d vs rounds %d", prof.Len(), res.Rounds)
+	}
+	for _, it := range prof.Iters {
+		if it.X1 > P {
+			t.Fatalf("round %d peeled %d > P=%d", it.K, it.X1, P)
+		}
+	}
+	// Uncapped peeling must produce bigger batches and fewer rounds.
+	var unc metrics.Profile
+	res0 := Decompose(g, &Options{Profile: &unc})
+	if res0.Rounds >= res.Rounds {
+		t.Fatalf("uncapped rounds %d not fewer than capped %d", res0.Rounds, res.Rounds)
+	}
+	s := metrics.Summarize(unc.Parallelism())
+	if s.Max <= P {
+		t.Fatalf("uncapped max batch %.0f unexpectedly small", s.Max)
+	}
+}
+
+func TestDecomposeWithMachine(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 3, 1, 9, 5)
+	mach := sim.NewMachine(sim.TK1())
+	res := Decompose(g, &Options{Machine: mach})
+	if res.SimTime <= 0 || mach.Energy() <= 0 {
+		t.Fatalf("no simulation accounting: %+v", res)
+	}
+	if res.Degeneracy < 3 {
+		t.Fatalf("BA(m=3) degeneracy %d, want >= 3", res.Degeneracy)
+	}
+}
+
+func TestDecomposeEmptyAndIsolated(t *testing.T) {
+	res := Decompose(graph.MustNew(0, nil), nil)
+	if len(res.Coreness) != 0 || res.Degeneracy != 0 {
+		t.Fatalf("empty graph: %+v", res)
+	}
+	res = Decompose(graph.MustNew(4, nil), nil)
+	for v, c := range res.Coreness {
+		if c != 0 {
+			t.Fatalf("isolated core[%d] = %d", v, c)
+		}
+	}
+}

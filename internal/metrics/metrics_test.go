@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestProfileBasics(t *testing.T) {
+	var p Profile
+	p.Append(IterStat{K: 0, X2: 10, Delta: 2, Edges: 100, SimTime: time.Millisecond})
+	p.Append(IterStat{K: 1, X2: 30, Delta: 4, Edges: 50})
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	par := p.Parallelism()
+	if len(par) != 2 || par[0] != 10 || par[1] != 30 {
+		t.Fatalf("Parallelism = %v", par)
+	}
+	d := p.Deltas()
+	if d[0] != 2 || d[1] != 4 {
+		t.Fatalf("Deltas = %v", d)
+	}
+	if p.TotalEdges() != 150 {
+		t.Fatalf("TotalEdges = %d", p.TotalEdges())
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if math.Abs(s.Variance-2) > 1e-12 {
+		t.Fatalf("variance = %f, want 2", s.Variance)
+	}
+	if math.Abs(s.CoefOfVar-math.Sqrt(2)/3) > 1e-12 {
+		t.Fatalf("cv = %f", s.CoefOfVar)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles: q1=%f q3=%f", s.Q1, s.Q3)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Quantile(xs, 0) != 10 || Quantile(xs, 1) != 40 {
+		t.Fatal("extreme quantiles")
+	}
+	if got := Quantile(xs, 0.5); got != 25 {
+		t.Fatalf("median = %f, want 25 (interpolated)", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if len(bins) != 5 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+		if b.Hi < b.Lo {
+			t.Fatalf("inverted bin %+v", b)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("histogram lost values: %d", total)
+	}
+	// Constant data collapses to a single bin.
+	one := Histogram([]float64{7, 7, 7}, 4)
+	if len(one) != 1 || one[0].Count != 3 {
+		t.Fatalf("constant histogram: %+v", one)
+	}
+	if Histogram(nil, 4) != nil || Histogram([]float64{1}, 0) != nil {
+		t.Fatal("degenerate histograms should be nil")
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	xs := []float64{1, 10, 100, 1000, 10000}
+	bins := LogHistogram(xs, 4)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Fatalf("log histogram lost values: %d", total)
+	}
+	// All values <= 1 falls back to a linear histogram.
+	small := LogHistogram([]float64{0.5, 1}, 3)
+	tot := 0
+	for _, b := range small {
+		tot += b.Count
+	}
+	if tot != 2 {
+		t.Fatalf("fallback log histogram lost values")
+	}
+}
+
+// Property: Summarize matches a direct computation and histograms always
+// conserve the count.
+func TestSummarizeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var sum float64
+		for i, r := range raw {
+			xs[i] = float64(r)
+			sum += xs[i]
+		}
+		s := Summarize(xs)
+		if math.Abs(s.Mean-sum/float64(len(xs))) > 1e-9 {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		if s.Min != sorted[0] || s.Max != sorted[len(sorted)-1] {
+			return false
+		}
+		if s.Q1 > s.Median || s.Median > s.Q3 || s.Q3 > s.P95+1e-9 {
+			return false
+		}
+		for _, nb := range []int{1, 3, 10} {
+			total := 0
+			for _, b := range Histogram(xs, nb) {
+				total += b.Count
+			}
+			if total != len(xs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,391 @@
+// Package pagerank demonstrates the paper's Section 6 claim that the
+// parallelism controller generalizes beyond SSSP to other frontier-centric
+// graph primitives: it implements push-based PageRank (Gauss–Southwell /
+// "bookmark coloring") whose frontier is the set of vertices with residual
+// above a threshold θ — the exact structural analogue of the near-far
+// split, with θ playing delta's role. A set-point controller retunes θ
+// every iteration so the frontier size tracks P.
+//
+// Correctness does not depend on θ's trajectory: processing any vertex with
+// positive residual only moves mass from r to p, and the algorithm
+// terminates when every residual is at most eps, with the standard
+// L1 error bound ||p − pr||₁ ≤ ||r||₁/(1−d).
+//
+// Dangling vertices are modeled with an implicit self-loop in both the push
+// solver and the power-iteration reference, so the two converge to the same
+// fixed point.
+package pagerank
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"energysssp/internal/graph"
+	"energysssp/internal/metrics"
+	"energysssp/internal/parallel"
+	"energysssp/internal/sgd"
+	"energysssp/internal/sim"
+)
+
+// Options configures a PageRank run.
+type Options struct {
+	// Damping is the PageRank damping factor d (default 0.85).
+	Damping float64
+	// Eps is the residual convergence threshold per vertex (default 1e-9,
+	// scaled by 1/n internally like the initial residual mass).
+	Eps float64
+	// Pool supplies workers (nil = sequential).
+	Pool *parallel.Pool
+	// Machine, when non-nil, is charged simulated kernel time like the
+	// SSSP solvers.
+	Machine *sim.Machine
+	// Profile records the frontier-size trace when non-nil.
+	Profile *metrics.Profile
+	// MaxIters guards against livelock (0 = generous default).
+	MaxIters int
+}
+
+func (o *Options) withDefaults(n int) Options {
+	out := Options{Damping: 0.85, Eps: 1e-9}
+	if o != nil {
+		if o.Damping > 0 && o.Damping < 1 {
+			out.Damping = o.Damping
+		}
+		if o.Eps > 0 {
+			out.Eps = o.Eps
+		}
+		out.Pool = o.Pool
+		out.Machine = o.Machine
+		out.Profile = o.Profile
+		out.MaxIters = o.MaxIters
+	}
+	if out.Pool == nil {
+		out.Pool = parallel.NewPool(1)
+	}
+	if out.MaxIters <= 0 {
+		out.MaxIters = 64*n + 1_000_000
+	}
+	return out
+}
+
+// Result reports a PageRank computation.
+type Result struct {
+	// Ranks sums to ~1 (up to the residual error bound).
+	Ranks []float64
+	// ResidualL1 is the total leftover residual mass at termination.
+	ResidualL1 float64
+	Iterations int
+	Pushes     int64 // vertices processed across all iterations
+	WallTime   time.Duration
+	SimTime    time.Duration
+}
+
+// Power computes the reference PageRank by power iteration on the
+// dangling-self-loop graph until the L1 change is below tol.
+func Power(g *graph.Graph, damping, tol float64, maxIter int) ([]float64, int) {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, 0
+	}
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	x := make([]float64, n)
+	next := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for iter := 1; iter <= maxIter; iter++ {
+		for i := range next {
+			next[i] = base
+		}
+		for u := 0; u < n; u++ {
+			vs, _ := g.Neighbors(graph.VID(u))
+			if len(vs) == 0 {
+				next[u] += damping * x[u] // dangling self-loop
+				continue
+			}
+			share := damping * x[u] / float64(len(vs))
+			for _, v := range vs {
+				next[v] += share
+			}
+		}
+		var diff float64
+		for i := range x {
+			diff += math.Abs(next[i] - x[i])
+		}
+		x, next = next, x
+		if diff < tol {
+			return x, iter
+		}
+	}
+	return x, maxIter
+}
+
+// Push computes PageRank by residual pushing with a fixed frontier
+// threshold factor: every iteration processes all vertices whose residual
+// exceeds theta (clamped to at least eps). theta <= eps degenerates to
+// "process everything active", the maximum-parallelism schedule.
+func Push(g *graph.Graph, theta float64, opt *Options) (Result, error) {
+	return run(g, opt, fixedTheta(theta))
+}
+
+// SelfTuning computes PageRank with the threshold retuned each iteration by
+// a set-point controller: an online linear model (the ADVANCE-MODEL
+// analogue, trained by the same vSGD as the SSSP controller) estimates the
+// frontier expansion factor, and θ is adjusted multiplicatively so the next
+// frontier size tracks P.
+func SelfTuning(g *graph.Graph, setPoint float64, opt *Options) (Result, error) {
+	if setPoint < 1 {
+		return Result{}, fmt.Errorf("pagerank: set-point must be >= 1, got %g", setPoint)
+	}
+	return run(g, opt, newController(setPoint))
+}
+
+// thetaPolicy decides the next residual threshold.
+type thetaPolicy interface {
+	// next returns θ for the coming iteration given the last frontier
+	// size (x1), the number of activations it produced (x2), the current
+	// θ, and the maximum residual observed.
+	next(x1, x2 int, theta, maxResidual float64) float64
+}
+
+type fixedTheta float64
+
+func (f fixedTheta) next(_, _ int, _, _ float64) float64 { return float64(f) }
+
+// controller is the PageRank adaptation of the paper's scheme: the linear
+// model learns d ≈ x2/x1; the target frontier is P/d... the threshold that
+// admits that many vertices is found by multiplicative adjustment, because
+// the residual distribution (unlike SSSP distances) shifts every iteration
+// and admits no stable vertices-per-unit-θ model.
+type controller struct {
+	p     float64
+	model *sgd.Linear
+}
+
+func newController(p float64) *controller {
+	return &controller{p: p, model: sgd.NewLinear(1)}
+}
+
+func (c *controller) next(x1, x2 int, theta, maxResidual float64) float64 {
+	if x1 > 0 {
+		c.model.Observe(float64(x1), float64(x2))
+	}
+	d := c.model.Theta()
+	if d < 0.1 {
+		d = 0.1
+	}
+	target := c.p / d
+	if target < 1 {
+		target = 1
+	}
+	ratio := float64(x1) / target
+	// Multiplicative feedback: too many processed -> raise θ, too few ->
+	// lower it; the exponent damps oscillation.
+	adj := math.Pow(ratio, 0.5)
+	adj = math.Min(math.Max(adj, 0.25), 4)
+	next := theta * adj
+	if next > maxResidual {
+		next = maxResidual // never starve the frontier
+	}
+	return next
+}
+
+func run(g *graph.Graph, o *Options, policy thetaPolicy) (Result, error) {
+	n := g.NumVertices()
+	opt := o.withDefaults(n)
+	start := time.Now()
+	var startSim time.Duration
+	if opt.Machine != nil {
+		startSim = opt.Machine.Now()
+	}
+	var res Result
+	if n == 0 {
+		return res, nil
+	}
+
+	eps := opt.Eps / float64(n)
+	d := opt.Damping
+	p := make([]float64, n)
+	// Residuals are stored as Float64bits so the push kernel can update
+	// them with plain uint64 atomics (no unsafe, no locks).
+	r := make([]uint64, n)
+	active := make([]graph.VID, 0, n)
+	init := math.Float64bits(1 / float64(n))
+	for i := range r {
+		r[i] = init
+		active = append(active, graph.VID(i))
+	}
+
+	theta := 1 / float64(n) // start by admitting everything
+	var frontier []graph.VID
+	pool := opt.Pool
+	lastX1, lastX2 := n, n
+
+	for iter := 0; ; iter++ {
+		if iter > opt.MaxIters {
+			return res, fmt.Errorf("pagerank: iteration guard exceeded")
+		}
+		theta = policy.next(lastX1, lastX2, theta, maxFloat(r, active))
+		if theta < eps {
+			theta = eps
+		}
+
+		// Select the frontier from the active set. If nothing clears θ
+		// but residual mass above eps remains, drop θ to admit the
+		// largest residual — the analogue of the SSSP phase jump — and
+		// re-select (at most once: θ = max/2 always admits a vertex).
+		done := false
+		for {
+			frontier = frontier[:0]
+			keep := active[:0]
+			for _, v := range active {
+				rv := loadFloat(&r[v])
+				if rv <= eps {
+					if rv > 0 {
+						keep = append(keep, v) // parked unless it grows
+					}
+					continue
+				}
+				if rv > theta {
+					frontier = append(frontier, v)
+				} else {
+					keep = append(keep, v)
+				}
+			}
+			// Deferred vertices stay active; processed ones re-enter on
+			// the next residual crossing.
+			active = keep
+			if opt.Machine != nil {
+				opt.Machine.Kernel(sim.KernelFarQueue, len(active)+len(frontier))
+			}
+			if len(frontier) > 0 {
+				break
+			}
+			maxR := maxFloat(r, active)
+			if maxR <= eps {
+				done = true
+				break
+			}
+			theta = maxR / 2
+		}
+		if done {
+			break
+		}
+
+		// Push kernel: move α-mass to p, distribute the rest.
+		type counters struct {
+			crossings int64
+			edges     int64
+			_         [6]int64
+		}
+		counts := make([]counters, pool.Size())
+		var crossBufs = make([][]graph.VID, pool.Size())
+		pool.DynamicWorker(len(frontier), 32, func(w, lo, hi int) {
+			var edges, crossings int64
+			buf := crossBufs[w]
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				rv := swapFloat(&r[v], 0)
+				if rv <= 0 {
+					continue
+				}
+				p[v] += (1 - d) * rv
+				vs, _ := g.Neighbors(v)
+				if len(vs) == 0 {
+					// Dangling self-loop: residual decays in place.
+					if newV := addFloat(&r[v], d*rv); newV > eps && newV-d*rv <= eps {
+						crossings++
+						buf = append(buf, v)
+					}
+					continue
+				}
+				share := d * rv / float64(len(vs))
+				edges += int64(len(vs))
+				for _, u := range vs {
+					if after := addFloat(&r[u], share); after > eps && after-share <= eps {
+						crossings++
+						buf = append(buf, u)
+					}
+				}
+			}
+			crossBufs[w] = buf
+			counts[w].edges += edges
+			counts[w].crossings += crossings
+		})
+		var edges, crossings int64
+		for w := range counts {
+			edges += counts[w].edges
+			crossings += counts[w].crossings
+			active = append(active, crossBufs[w]...)
+			crossBufs[w] = crossBufs[w][:0]
+		}
+		if opt.Machine != nil {
+			opt.Machine.Kernel(sim.KernelAdvance, int(edges))
+			opt.Machine.Kernel(sim.KernelFilter, int(crossings))
+		}
+		res.Pushes += int64(len(frontier))
+		res.Iterations++
+		lastX1, lastX2 = len(frontier), int(crossings)
+
+		if opt.Profile != nil {
+			opt.Profile.Append(metrics.IterStat{
+				K: res.Iterations - 1, X1: len(frontier), X2: len(frontier),
+				X3: int(crossings), Delta: theta, Edges: edges,
+			})
+		}
+	}
+
+	res.Ranks = p
+	for i := range r {
+		res.ResidualL1 += math.Float64frombits(r[i])
+	}
+	res.WallTime = time.Since(start)
+	if opt.Machine != nil {
+		res.SimTime = opt.Machine.Now() - startSim
+	}
+	return res, nil
+}
+
+func maxFloat(r []uint64, idx []graph.VID) float64 {
+	m := 0.0
+	for _, v := range idx {
+		if x := loadFloat(&r[v]); x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// loadFloat atomically loads a bit-packed float64.
+func loadFloat(addr *uint64) float64 {
+	return math.Float64frombits(atomic.LoadUint64(addr))
+}
+
+// addFloat atomically adds delta to a bit-packed float64 and returns the
+// new value.
+func addFloat(addr *uint64, delta float64) float64 {
+	for {
+		oldBits := atomic.LoadUint64(addr)
+		next := math.Float64frombits(oldBits) + delta
+		if atomic.CompareAndSwapUint64(addr, oldBits, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
+// swapFloat atomically replaces a bit-packed float64, returning the old
+// value.
+func swapFloat(addr *uint64, v float64) float64 {
+	return math.Float64frombits(atomic.SwapUint64(addr, math.Float64bits(v)))
+}

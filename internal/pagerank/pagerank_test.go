@@ -1,0 +1,161 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"energysssp/internal/gen"
+	"energysssp/internal/graph"
+	"energysssp/internal/metrics"
+	"energysssp/internal/parallel"
+	"energysssp/internal/sim"
+)
+
+func l1diff(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		d += math.Abs(a[i] - b[i])
+	}
+	return d
+}
+
+func TestPowerBasics(t *testing.T) {
+	// Two-vertex cycle: symmetric, ranks must be equal and sum to 1.
+	g := graph.MustNew(2, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 0, W: 1}})
+	x, iters := Power(g, 0.85, 1e-14, 0)
+	if iters <= 0 {
+		t.Fatal("no iterations")
+	}
+	if math.Abs(x[0]-0.5) > 1e-9 || math.Abs(x[0]+x[1]-1) > 1e-9 {
+		t.Fatalf("ranks: %v", x)
+	}
+	// Degenerate inputs.
+	if x, _ := Power(graph.MustNew(0, nil), 0.85, 0, 0); x != nil {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestPushMatchesPower(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.Grid(10, 10, 1, 9, 1),
+		gen.RMAT(8, 6, 0.57, 0.19, 0.19, 1, 99, 2),
+		gen.BarabasiAlbert(200, 3, 1, 9, 3),
+		graph.MustNew(3, []graph.Edge{{U: 0, V: 1, W: 1}}), // dangling vertices
+	}
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	for _, g := range graphs {
+		want, _ := Power(g, 0.85, 1e-14, 5000)
+		for _, theta := range []float64{0, 1e-7, 1e-4} {
+			res, err := Push(g, theta, &Options{Pool: pool, Eps: 1e-10})
+			if err != nil {
+				t.Fatalf("%v theta=%g: %v", g, theta, err)
+			}
+			if d := l1diff(res.Ranks, want); d > 1e-6 {
+				t.Fatalf("%v theta=%g: L1 diff %g", g, theta, d)
+			}
+			if res.ResidualL1 > 1e-6 {
+				t.Fatalf("large leftover residual %g", res.ResidualL1)
+			}
+		}
+	}
+}
+
+func TestSelfTuningMatchesPower(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	g := gen.RMAT(9, 8, 0.57, 0.19, 0.19, 1, 99, 4)
+	want, _ := Power(g, 0.85, 1e-14, 5000)
+	for _, p := range []float64{16, 256, 4096} {
+		res, err := SelfTuning(g, p, &Options{Pool: pool, Eps: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := l1diff(res.Ranks, want); d > 1e-6 {
+			t.Fatalf("P=%g: L1 diff %g", p, d)
+		}
+	}
+}
+
+func TestSelfTuningControlsFrontier(t *testing.T) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	g := gen.RMAT(10, 8, 0.57, 0.19, 0.19, 1, 99, 5)
+	const P = 200
+	var prof metrics.Profile
+	res, err := SelfTuning(g, P, &Options{Pool: pool, Profile: &prof, Eps: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Len() != res.Iterations {
+		t.Fatalf("profile %d vs iterations %d", prof.Len(), res.Iterations)
+	}
+	s := metrics.Summarize(prof.Parallelism())
+	t.Logf("frontier control: %v (pushes=%d)", s, res.Pushes)
+	// The median frontier must be within a factor-4 band of P (residual
+	// dynamics are noisier than SSSP distances, hence the wider band).
+	if s.Median < P/4 || s.Median > P*4 {
+		t.Fatalf("median frontier %.0f not near P=%d", s.Median, P)
+	}
+}
+
+func TestSetPointChangesSchedule(t *testing.T) {
+	g := gen.RMAT(9, 6, 0.57, 0.19, 0.19, 1, 99, 6)
+	small, err := SelfTuning(g, 8, &Options{Eps: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := SelfTuning(g, 100000, &Options{Eps: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Iterations <= large.Iterations {
+		t.Fatalf("small P should need more iterations: %d vs %d", small.Iterations, large.Iterations)
+	}
+}
+
+func TestSelfTuningValidation(t *testing.T) {
+	g := gen.Grid(4, 4, 1, 9, 7)
+	if _, err := SelfTuning(g, 0, nil); err == nil {
+		t.Fatal("P=0 accepted")
+	}
+}
+
+func TestPushWithMachineCharges(t *testing.T) {
+	g := gen.RMAT(8, 6, 0.57, 0.19, 0.19, 1, 99, 8)
+	mach := sim.NewMachine(sim.TK1())
+	res, err := Push(g, 1e-6, &Options{Machine: mach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimTime <= 0 || mach.Energy() <= 0 {
+		t.Fatalf("no simulation accounting: %+v", res)
+	}
+}
+
+func TestRanksSumToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.ErdosRenyi(100, 400, 1, 9, seed)
+		res, err := Push(g, 1e-6, &Options{Eps: 1e-10})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, x := range res.Ranks {
+			sum += x
+		}
+		// Mass conservation: p + leftover residual ≈ 1.
+		return math.Abs(sum+res.ResidualL1-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res, err := Push(graph.MustNew(0, nil), 1e-6, nil)
+	if err != nil || res.Ranks != nil {
+		t.Fatalf("empty graph: %v %v", res, err)
+	}
+}

@@ -1,0 +1,107 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"energysssp/internal/metrics"
+)
+
+func TestLineBasic(t *testing.T) {
+	var buf bytes.Buffer
+	Line(&buf, map[string][]float64{
+		"rising":  {1, 2, 3, 4, 5},
+		"falling": {5, 4, 3, 2, 1},
+	}, Options{Title: "two lines", Width: 40, Height: 8, YLabel: "value"})
+	out := buf.String()
+	if !strings.Contains(out, "two lines") || !strings.Contains(out, "rising") || !strings.Contains(out, "falling") {
+		t.Fatalf("missing title/legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("missing glyphs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 8 {
+		t.Fatalf("too few rows: %d", len(lines))
+	}
+}
+
+func TestLineEmptyAndConstant(t *testing.T) {
+	var buf bytes.Buffer
+	Line(&buf, map[string][]float64{}, Options{})
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty plot not flagged")
+	}
+	buf.Reset()
+	Line(&buf, map[string][]float64{"flat": {3, 3, 3}}, Options{})
+	if buf.Len() == 0 {
+		t.Fatal("constant series produced nothing")
+	}
+}
+
+func TestLineLogScale(t *testing.T) {
+	var buf bytes.Buffer
+	Line(&buf, map[string][]float64{"tail": {1, 10, 100, 1000, 0}}, Options{LogY: true, YLabel: "parallelism"})
+	out := buf.String()
+	if !strings.Contains(out, "log scale") {
+		t.Fatalf("log scale not labeled:\n%s", out)
+	}
+	// Axis labels should show back-transformed values around 1000.
+	if !strings.Contains(out, "1000") {
+		t.Fatalf("axis labels not back-transformed:\n%s", out)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	var buf bytes.Buffer
+	Scatter(&buf, map[string][][2]float64{
+		"baseline": {{1, 1}},
+		"tuned":    {{0.95, 1.4}, {1.05, 1.2}},
+	}, Options{Title: "speedup vs power", XLabel: "rel power", YLabel: "speedup"})
+	out := buf.String()
+	for _, want := range []string{"speedup vs power", "baseline", "tuned", "x: ["} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	Scatter(&buf, map[string][][2]float64{}, Options{})
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty scatter not flagged")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, []metrics.Bin{
+		{Lo: 0, Hi: 10, Count: 5},
+		{Lo: 10, Hi: 20, Count: 10},
+		{Lo: 20, Hi: 30, Count: 1},
+	}, Options{Title: "density", Width: 30})
+	out := buf.String()
+	if !strings.Contains(out, "density") || !strings.Contains(out, "█") {
+		t.Fatalf("histogram output:\n%s", out)
+	}
+	// The tallest bin gets the longest bar.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines: %v", lines)
+	}
+	if strings.Count(lines[2], "█") <= strings.Count(lines[1], "█") {
+		t.Fatal("bar lengths not proportional")
+	}
+	buf.Reset()
+	Histogram(&buf, nil, Options{})
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty histogram not flagged")
+	}
+}
+
+func TestSortStrings(t *testing.T) {
+	s := []string{"c", "a", "b"}
+	sortStrings(s)
+	if s[0] != "a" || s[2] != "c" {
+		t.Fatalf("sorted: %v", s)
+	}
+}

@@ -1,0 +1,90 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"energysssp/internal/trace"
+)
+
+func TestTableDispatchProfiles(t *testing.T) {
+	tab := trace.NewTable("fig1_profiles", "variant", "iteration", "parallelism")
+	tab.AddRow("baseline", 0, 10.0)
+	tab.AddRow("baseline", 1, 100.0)
+	tab.AddRow("tuned", 0, 50.0)
+	tab.AddRow("tuned", 1, 51.0)
+	var buf bytes.Buffer
+	Table(&buf, tab)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "baseline") || !strings.Contains(out, "tuned") {
+		t.Fatalf("profile plot:\n%s", out)
+	}
+}
+
+func TestTableDispatchDensity(t *testing.T) {
+	tab := trace.NewTable("fig1_density", "variant", "bin_lo", "bin_hi", "count")
+	tab.AddRow("baseline", 0.0, 10.0, 4)
+	tab.AddRow("baseline", 10.0, 20.0, 9)
+	tab.AddRow("tuned", 0.0, 10.0, 2)
+	var buf bytes.Buffer
+	Table(&buf, tab)
+	out := buf.String()
+	if strings.Count(out, "density —") != 2 {
+		t.Fatalf("density plots:\n%s", out)
+	}
+}
+
+func TestTableDispatchPerfPower(t *testing.T) {
+	tab := trace.NewTable("perfpower_TK1_Cal", "variant", "freq", "speedup", "rel_power", "sim_ms", "avg_watts", "energy_j")
+	tab.AddRow("near+far", "auto", 1.0, 1.0, 10.0, 4.0, 0.04)
+	tab.AddRow("P=100", "auto", 1.4, 0.95, 7.0, 3.8, 0.027)
+	var buf bytes.Buffer
+	Table(&buf, tab)
+	out := buf.String()
+	if !strings.Contains(out, "speedup versus relative power") || !strings.Contains(out, "near+far") {
+		t.Fatalf("perfpower plot:\n%s", out)
+	}
+}
+
+func TestTableDispatchFig3AndFig8(t *testing.T) {
+	tab := trace.NewTable("fig3_cal_delta_summary", "delta", "sim_ms", "iterations", "peak_frontier", "edges_relaxed")
+	tab.AddRow(100, 50.0, 1000, 20, 99999)
+	tab.AddRow(200, 25.0, 500, 40, 120000)
+	var buf bytes.Buffer
+	Table(&buf, tab)
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Fatalf("fig3 plot:\n%s", buf.String())
+	}
+
+	tab8 := trace.NewTable("fig8_power_vs_setpoint", "dataset", "P", "avg_watts", "avg_parallelism", "sim_ms")
+	tab8.AddRow("Cal", 100.0, 3.5, 90.0, 50.0)
+	tab8.AddRow("Cal", 200.0, 3.8, 180.0, 45.0)
+	buf.Reset()
+	Table(&buf, tab8)
+	if !strings.Contains(buf.String(), "Figure 8") {
+		t.Fatalf("fig8 plot:\n%s", buf.String())
+	}
+}
+
+func TestTableDispatchControllerTrace(t *testing.T) {
+	tab := trace.NewTable("controller_trace", "k", "d_hat", "alpha_hat", "delta", "x2")
+	tab.AddRow(0, 2.5, 1.0, 100.0, 50)
+	tab.AddRow(1, 2.2, 0.8, 150.0, 60)
+	var buf bytes.Buffer
+	Table(&buf, tab)
+	out := buf.String()
+	if !strings.Contains(out, "convergence") || !strings.Contains(out, "alpha_hat") {
+		t.Fatalf("controller trace plot:\n%s", out)
+	}
+}
+
+func TestTableDispatchFallback(t *testing.T) {
+	tab := trace.NewTable("table1_datasets", "dataset", "nodes")
+	tab.AddRow("Wiki", 100)
+	var buf bytes.Buffer
+	Table(&buf, tab)
+	if !strings.Contains(buf.String(), "table1_datasets") || !strings.Contains(buf.String(), "Wiki") {
+		t.Fatalf("fallback text:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,127 @@
+// Package power provides the PowerMon-style measurement layer on top of the
+// simulated machine: fixed-rate resampling of the power trace (the real
+// PowerMon samples DC current at up to 1 kHz per channel) and summary
+// statistics used by the paper's power/performance figures.
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"energysssp/internal/sim"
+)
+
+// DefaultRateHz matches the PowerMon device's maximum per-channel rate.
+const DefaultRateHz = 1000
+
+// Sample is one timestamped power reading.
+type Sample struct {
+	T     time.Duration
+	Watts float64
+}
+
+// Resample converts a piecewise-constant power trace into fixed-rate
+// samples, exactly what a PowerMon attached to the board's supply rail
+// would report. Gaps between segments (there are none in machine-produced
+// traces) would read as 0.
+func Resample(trace []sim.PowerSeg, rateHz int) []Sample {
+	if rateHz <= 0 {
+		rateHz = DefaultRateHz
+	}
+	if len(trace) == 0 {
+		return nil
+	}
+	period := time.Duration(float64(time.Second) / float64(rateHz))
+	end := trace[len(trace)-1].End
+	n := int(end/period) + 1
+	out := make([]Sample, 0, n)
+	seg := 0
+	for t := time.Duration(0); t <= end; t += period {
+		for seg < len(trace)-1 && t >= trace[seg].End {
+			seg++
+		}
+		w := 0.0
+		if t >= trace[seg].Start && t < trace[seg].End {
+			w = trace[seg].Watts
+		} else if t == trace[seg].End && seg == len(trace)-1 {
+			w = trace[seg].Watts
+		}
+		out = append(out, Sample{T: t, Watts: w})
+	}
+	return out
+}
+
+// Summary captures the distributional power statistics reported in the
+// paper's figures.
+type Summary struct {
+	AvgWatts    float64
+	MedianWatts float64
+	P95Watts    float64
+	PeakWatts   float64
+	MinWatts    float64
+	EnergyJ     float64
+	Duration    time.Duration
+}
+
+// Summarize computes a Summary directly from the piecewise-constant trace
+// (time-weighted, so it is exact rather than sample-rate dependent).
+func Summarize(trace []sim.PowerSeg) Summary {
+	var s Summary
+	if len(trace) == 0 {
+		return s
+	}
+	s.MinWatts = math.Inf(1)
+	var segs []wd
+	var total time.Duration
+	for _, seg := range trace {
+		d := seg.End - seg.Start
+		if d <= 0 {
+			continue
+		}
+		segs = append(segs, wd{seg.Watts, d})
+		total += d
+		s.EnergyJ += seg.Watts * d.Seconds()
+		if seg.Watts > s.PeakWatts {
+			s.PeakWatts = seg.Watts
+		}
+		if seg.Watts < s.MinWatts {
+			s.MinWatts = seg.Watts
+		}
+	}
+	if total <= 0 {
+		s.MinWatts = 0
+		return s
+	}
+	s.Duration = total
+	s.AvgWatts = s.EnergyJ / total.Seconds()
+	sort.Slice(segs, func(i, j int) bool { return segs[i].w < segs[j].w })
+	s.MedianWatts = weightedQuantile(segs, total, 0.5)
+	s.P95Watts = weightedQuantile(segs, total, 0.95)
+	return s
+}
+
+// wd is a (watts, duration) pair used for time-weighted quantiles.
+type wd struct {
+	w float64
+	d time.Duration
+}
+
+func weightedQuantile(sorted []wd, total time.Duration, q float64) float64 {
+	target := time.Duration(float64(total) * q)
+	var acc time.Duration
+	for _, s := range sorted {
+		acc += s.d
+		if acc >= target {
+			return s.w
+		}
+	}
+	return sorted[len(sorted)-1].w
+}
+
+// String renders the summary as a single log-friendly line.
+func (s Summary) String() string {
+	return fmt.Sprintf("avg=%.2fW median=%.2fW p95=%.2fW peak=%.2fW energy=%.3fJ over %v",
+		s.AvgWatts, s.MedianWatts, s.P95Watts, s.PeakWatts, s.EnergyJ, s.Duration)
+}

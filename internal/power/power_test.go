@@ -1,0 +1,116 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"energysssp/internal/sim"
+)
+
+func seg(startMs, endMs int, w float64) sim.PowerSeg {
+	return sim.PowerSeg{
+		Start: time.Duration(startMs) * time.Millisecond,
+		End:   time.Duration(endMs) * time.Millisecond,
+		Watts: w,
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.AvgWatts != 0 || s.EnergyJ != 0 || s.Duration != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeConstant(t *testing.T) {
+	s := Summarize([]sim.PowerSeg{seg(0, 1000, 5)})
+	if s.AvgWatts != 5 || s.MedianWatts != 5 || s.PeakWatts != 5 || s.MinWatts != 5 {
+		t.Fatalf("constant summary: %+v", s)
+	}
+	if math.Abs(s.EnergyJ-5.0) > 1e-9 {
+		t.Fatalf("energy %.9f, want 5", s.EnergyJ)
+	}
+}
+
+func TestSummarizeMixed(t *testing.T) {
+	// 900 ms at 4 W, 100 ms at 10 W.
+	s := Summarize([]sim.PowerSeg{seg(0, 900, 4), seg(900, 1000, 10)})
+	wantAvg := (0.9*4 + 0.1*10) / 1.0
+	if math.Abs(s.AvgWatts-wantAvg) > 1e-9 {
+		t.Fatalf("avg %.4f, want %.4f", s.AvgWatts, wantAvg)
+	}
+	if s.MedianWatts != 4 {
+		t.Fatalf("median %.2f, want 4 (time-weighted)", s.MedianWatts)
+	}
+	if s.P95Watts != 10 {
+		t.Fatalf("p95 %.2f, want 10", s.P95Watts)
+	}
+	if s.PeakWatts != 10 || s.MinWatts != 4 {
+		t.Fatalf("peak/min: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestSummarizeSkipsEmptySegments(t *testing.T) {
+	s := Summarize([]sim.PowerSeg{seg(5, 5, 99), seg(0, 100, 3)})
+	if s.PeakWatts != 3 {
+		t.Fatalf("zero-length segment contributed: %+v", s)
+	}
+}
+
+func TestResample(t *testing.T) {
+	trace := []sim.PowerSeg{seg(0, 10, 2), seg(10, 20, 8)}
+	samples := Resample(trace, 1000) // 1 per ms
+	if len(samples) != 21 {
+		t.Fatalf("got %d samples, want 21", len(samples))
+	}
+	if samples[0].Watts != 2 || samples[5].Watts != 2 {
+		t.Fatalf("early samples wrong: %+v", samples[:6])
+	}
+	if samples[15].Watts != 8 {
+		t.Fatalf("late sample wrong: %+v", samples[15])
+	}
+	// Default rate fallback.
+	if got := Resample(trace, 0); len(got) != 21 {
+		t.Fatalf("default rate gave %d samples", len(got))
+	}
+	if Resample(nil, 1000) != nil {
+		t.Fatal("nil trace should resample to nil")
+	}
+}
+
+func TestResampleGapReadsZero(t *testing.T) {
+	// A synthetic trace with a hole: samples inside the hole read 0 W,
+	// like a PowerMon channel with the supply disconnected.
+	trace := []sim.PowerSeg{seg(0, 5, 4), seg(10, 15, 6)}
+	samples := Resample(trace, 1000)
+	if samples[2].Watts != 4 || samples[12].Watts != 6 {
+		t.Fatalf("segment samples wrong: %+v %+v", samples[2], samples[12])
+	}
+	if samples[7].Watts != 0 {
+		t.Fatalf("gap sample = %v, want 0", samples[7].Watts)
+	}
+}
+
+func TestResampleAgreesWithSummary(t *testing.T) {
+	// Average of dense samples should approximate the exact average.
+	m := sim.NewMachine(sim.TK1())
+	m.EnableTrace()
+	for i := 0; i < 50; i++ {
+		m.Kernel(sim.KernelAdvance, 200000)
+		m.Kernel(sim.KernelFilter, 50000)
+	}
+	sum := Summarize(m.Trace())
+	samples := Resample(m.Trace(), 100000)
+	var avg float64
+	for _, s := range samples {
+		avg += s.Watts
+	}
+	avg /= float64(len(samples))
+	if math.Abs(avg-sum.AvgWatts)/sum.AvgWatts > 0.05 {
+		t.Fatalf("resampled avg %.3f vs exact %.3f", avg, sum.AvgWatts)
+	}
+}

@@ -1,0 +1,127 @@
+// Package sgd implements Algorithm 1 of the paper: stochastic gradient
+// descent with an adaptive learning rate for a scalar parameter, following
+// the vSGD scheme of Schaul, Zhang & LeCun ("No More Pesky Learning Rates").
+//
+// The controller in internal/core instantiates two of these estimators: the
+// ADVANCE-MODEL (parameter d, the effective frontier degree) and the
+// BISECT-MODEL (parameter α, vertices per unit distance near the threshold).
+package sgd
+
+import "math"
+
+// Eps seeds the uncentered variance EMA so the first learning-rate estimate
+// is finite, matching the paper's initialization v̄ = ε, τ = (1+ε)·2.
+const Eps = 1e-6
+
+// VSGD adapts a single parameter θ by SGD with the learning rate
+// μ = ḡ² / (h̄ · v̄), where ḡ, v̄, h̄ are exponential moving averages of the
+// gradient, its square, and the curvature, with a self-tuning memory τ.
+type VSGD struct {
+	theta float64
+
+	gBar float64 // EMA of first derivative
+	vBar float64 // EMA of squared first derivative (uncentered variance)
+	hBar float64 // EMA of second derivative
+	tau  float64 // EMA time constant
+	mu   float64 // last learning rate used
+
+	steps int
+}
+
+// NewVSGD returns an estimator with the paper's initialization: ḡ=0, h̄=1,
+// v̄=ε, τ=(1+ε)·2, and θ = init.
+func NewVSGD(init float64) *VSGD {
+	return &VSGD{
+		theta: init,
+		gBar:  0,
+		vBar:  Eps,
+		hBar:  1,
+		tau:   (1 + Eps) * 2,
+	}
+}
+
+// Theta returns the current parameter estimate.
+func (s *VSGD) Theta() float64 { return s.theta }
+
+// Rate returns the learning rate used by the most recent Step.
+func (s *VSGD) Rate() float64 { return s.mu }
+
+// Tau returns the current EMA time constant.
+func (s *VSGD) Tau() float64 { return s.tau }
+
+// Steps reports how many observations have been consumed.
+func (s *VSGD) Steps() int { return s.steps }
+
+// Step consumes one observation's first derivative grad = ∇θ and curvature
+// grad2 = ∇²θ of the instantaneous loss, and updates θ. It implements lines
+// 1–8 of Algorithm 1 (the caller computes lines 1–2, the derivatives, since
+// they depend on the model form).
+func (s *VSGD) Step(grad, grad2 float64) {
+	if math.IsNaN(grad) || math.IsInf(grad, 0) || math.IsNaN(grad2) || math.IsInf(grad2, 0) {
+		return // reject pathological observations; keep the model stable
+	}
+	inv := 1 / s.tau
+	s.gBar = (1-inv)*s.gBar + inv*grad
+	s.vBar = (1-inv)*s.vBar + inv*grad*grad
+	s.hBar = (1-inv)*s.hBar + inv*grad2
+
+	if s.vBar <= 0 || s.hBar == 0 {
+		// Degenerate statistics (e.g. a long run of zero gradients):
+		// skip the parameter update but keep the EMAs.
+		s.steps++
+		return
+	}
+	g2 := s.gBar * s.gBar
+	s.mu = g2 / (s.hBar * s.vBar)
+	// Memory update (line 7): large steps shorten the memory.
+	s.tau = (1-g2/s.vBar)*s.tau + 1
+	if s.tau < 1 {
+		s.tau = 1
+	}
+	s.theta -= s.mu * grad
+	s.steps++
+}
+
+// SetTheta overrides the parameter, used by the controller's bootstrap phase
+// (Eq. 8 of the paper) before the SGD estimate has converged.
+func (s *VSGD) SetTheta(v float64) { s.theta = v }
+
+// Linear fits the one-parameter linear model ŷ = θ·x by vSGD on the squared
+// error (y − θx)². It is the exact form used by both the ADVANCE-MODEL
+// (x = X¹, y = X², θ = d) and the BISECT-MODEL (x = Δδ, y = X¹ₖ₊₁ − X⁴ₖ,
+// θ = α).
+type Linear struct {
+	VSGD
+}
+
+// NewLinear returns a linear model with initial slope init.
+func NewLinear(init float64) *Linear {
+	return &Linear{VSGD: *NewVSGD(init)}
+}
+
+// Observe consumes one (x, y) sample: loss = (y − θx)², so
+// ∇θ = −2(y − θx)·x and ∇²θ = 2x² (lines 1–2 of Algorithm 1).
+func (l *Linear) Observe(x, y float64) {
+	grad := -2 * (y - l.theta*x) * x
+	grad2 := 2 * x * x
+	l.Step(grad, grad2)
+}
+
+// Predict returns θ·x.
+func (l *Linear) Predict(x float64) float64 { return l.theta * x }
+
+// FixedRate is a plain SGD baseline with a constant learning rate, used by
+// the ablation benchmarks to quantify what the adaptive rate buys.
+type FixedRate struct {
+	Theta float64
+	Mu    float64
+}
+
+// Observe consumes one (x, y) sample of the linear model ŷ = θ·x.
+func (f *FixedRate) Observe(x, y float64) {
+	grad := -2 * (y - f.Theta*x) * x
+	f.Theta -= f.Mu * grad
+	if math.IsNaN(f.Theta) || math.IsInf(f.Theta, 0) {
+		f.Theta = 0 // diverged; the ablation records this as failure
+	}
+}

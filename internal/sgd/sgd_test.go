@@ -1,0 +1,164 @@
+package sgd
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestVSGDInit(t *testing.T) {
+	s := NewVSGD(3.5)
+	if s.Theta() != 3.5 {
+		t.Fatalf("Theta = %f", s.Theta())
+	}
+	if got := s.Tau(); math.Abs(got-2*(1+Eps)) > 1e-12 {
+		t.Fatalf("Tau = %f", got)
+	}
+	if s.Steps() != 0 || s.Rate() != 0 {
+		t.Fatal("fresh estimator should have no steps")
+	}
+}
+
+func TestLinearConvergesNoiseless(t *testing.T) {
+	// y = 7x exactly; the estimate must converge to ~7.
+	l := NewLinear(1)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for k := 0; k < 500; k++ {
+		x := 1 + rng.Float64()*100
+		l.Observe(x, 7*x)
+	}
+	if math.Abs(l.Theta()-7) > 0.2 {
+		t.Fatalf("theta = %f, want ~7", l.Theta())
+	}
+	if l.Steps() != 500 {
+		t.Fatalf("steps = %d", l.Steps())
+	}
+}
+
+func TestLinearConvergesNoisy(t *testing.T) {
+	// y = 4x + noise; estimate should land near 4.
+	l := NewLinear(0.5)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for k := 0; k < 3000; k++ {
+		x := 1 + rng.Float64()*50
+		noise := (rng.Float64() - 0.5) * 10
+		l.Observe(x, 4*x+noise)
+	}
+	if math.Abs(l.Theta()-4) > 0.5 {
+		t.Fatalf("theta = %f, want ~4", l.Theta())
+	}
+}
+
+func TestLinearTracksDrift(t *testing.T) {
+	// The slope changes mid-stream; the adaptive memory must re-converge.
+	l := NewLinear(1)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for k := 0; k < 1000; k++ {
+		x := 1 + rng.Float64()*10
+		l.Observe(x, 3*x)
+	}
+	for k := 0; k < 2000; k++ {
+		x := 1 + rng.Float64()*10
+		l.Observe(x, 12*x)
+	}
+	if math.Abs(l.Theta()-12) > 1.5 {
+		t.Fatalf("theta = %f, want ~12 after drift", l.Theta())
+	}
+}
+
+func TestStepRejectsPathologicalInput(t *testing.T) {
+	s := NewVSGD(2)
+	s.Step(math.NaN(), 1)
+	s.Step(math.Inf(1), 1)
+	s.Step(1, math.NaN())
+	if s.Theta() != 2 || s.Steps() != 0 {
+		t.Fatalf("pathological inputs modified state: theta=%f steps=%d", s.Theta(), s.Steps())
+	}
+}
+
+func TestZeroGradientKeepsTheta(t *testing.T) {
+	l := NewLinear(5)
+	for k := 0; k < 10; k++ {
+		l.Observe(0, 0) // x=0 ⇒ zero gradient and curvature
+	}
+	if l.Theta() != 5 {
+		t.Fatalf("theta drifted on zero gradients: %f", l.Theta())
+	}
+}
+
+func TestSetTheta(t *testing.T) {
+	s := NewVSGD(1)
+	s.SetTheta(42)
+	if s.Theta() != 42 {
+		t.Fatal("SetTheta ignored")
+	}
+}
+
+func TestPredict(t *testing.T) {
+	l := NewLinear(3)
+	if l.Predict(5) != 15 {
+		t.Fatalf("Predict = %f", l.Predict(5))
+	}
+}
+
+func TestTauNeverBelowOne(t *testing.T) {
+	s := NewVSGD(0)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for k := 0; k < 1000; k++ {
+		s.Step(rng.Float64()*2-1, rng.Float64())
+		if s.Tau() < 1 {
+			t.Fatalf("tau = %f < 1 at step %d", s.Tau(), k)
+		}
+	}
+}
+
+// Property: for any noiseless linear stream with slope in a reasonable
+// range, theta remains finite and moves toward the true slope.
+func TestLinearStabilityProperty(t *testing.T) {
+	f := func(slopeRaw int16, seed uint64) bool {
+		slope := float64(slopeRaw%100) + 0.5
+		l := NewLinear(1)
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		for k := 0; k < 400; k++ {
+			x := 1 + rng.Float64()*20
+			l.Observe(x, slope*x)
+			if math.IsNaN(l.Theta()) || math.IsInf(l.Theta(), 0) {
+				return false
+			}
+		}
+		startErr := math.Abs(slope - 1)
+		endErr := math.Abs(slope - l.Theta())
+		return endErr <= startErr+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedRateBaseline(t *testing.T) {
+	fr := &FixedRate{Theta: 0, Mu: 1e-4}
+	rng := rand.New(rand.NewPCG(11, 12))
+	for k := 0; k < 5000; k++ {
+		x := 1 + rng.Float64()*10
+		fr.Observe(x, 6*x)
+	}
+	if math.Abs(fr.Theta-6) > 0.5 {
+		t.Fatalf("fixed-rate theta = %f, want ~6", fr.Theta)
+	}
+	// A rate that is too high must not produce NaN (it resets instead).
+	hot := &FixedRate{Theta: 0, Mu: 10}
+	for k := 0; k < 100; k++ {
+		hot.Observe(100, 600)
+	}
+	if math.IsNaN(hot.Theta) || math.IsInf(hot.Theta, 0) {
+		t.Fatal("fixed-rate diverged to NaN/Inf")
+	}
+}
+
+func BenchmarkLinearObserve(b *testing.B) {
+	l := NewLinear(1)
+	for i := 0; i < b.N; i++ {
+		l.Observe(float64(i%100+1), float64((i%100+1)*3))
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Calibration tests pin the device model's derived figures of merit to
+// documented envelopes, so future cost-parameter edits that would silently
+// break the cross-experiment shapes fail loudly here instead.
+
+// Peak sustained advance-kernel throughput (million traversed edges per
+// second) at max frequency. Real Gunrock SSSP on the TK1 lands in the
+// hundreds of MTEPS; the model's bandwidth-limited ceiling must stay in
+// the same decade.
+func TestCalibrationAdvanceMTEPS(t *testing.T) {
+	for _, dev := range []*Device{TK1(), TX1()} {
+		m := NewMachine(dev)
+		const edges = 1 << 22 // large enough to saturate
+		d := m.Kernel(KernelAdvance, edges)
+		busy := d - time.Duration(dev.LaunchHostNs+dev.LaunchDevNs)
+		mteps := float64(edges) / busy.Seconds() / 1e6
+		t.Logf("%s: %.0f MTEPS peak advance", dev.Name, mteps)
+		if mteps < 200 || mteps > 2000 {
+			t.Fatalf("%s: modeled peak %.0f MTEPS outside [200, 2000]", dev.Name, mteps)
+		}
+	}
+}
+
+// Board power envelope: idle floor and full-tilt draw must bracket the
+// PowerMon readings the paper reports (TK1 ≈ 3.5–11 W system level).
+func TestCalibrationPowerEnvelope(t *testing.T) {
+	for _, dev := range []*Device{TK1(), TX1()} {
+		m := NewMachine(dev)
+		m.Kernel(KernelAdvance, 1<<22)
+		peak := m.PeakPower()
+		if peak < dev.IdleWatts+1 || peak > 15 {
+			t.Fatalf("%s: peak %.2f W outside the embedded-board envelope", dev.Name, peak)
+		}
+		if dev.IdleWatts < 2 || dev.IdleWatts > 5 {
+			t.Fatalf("%s: idle %.2f W implausible for a Jetson", dev.Name, dev.IdleWatts)
+		}
+	}
+}
+
+// DVFS leverage: dropping from the max to the min operating point must
+// slow a saturated kernel by at least 2x and cut its average power — the
+// lever Figures 6–7 rely on.
+func TestCalibrationDVFSLeverage(t *testing.T) {
+	for _, dev := range []*Device{TK1(), TX1()} {
+		fast := NewMachine(dev)
+		slow := NewMachine(dev)
+		if err := slow.SetFreq(dev.MinFreq()); err != nil {
+			t.Fatal(err)
+		}
+		const edges = 1 << 20
+		df := fast.Kernel(KernelAdvance, edges)
+		ds := slow.Kernel(KernelAdvance, edges)
+		if float64(ds) < 2*float64(df) {
+			t.Fatalf("%s: min freq only %.2fx slower", dev.Name, float64(ds)/float64(df))
+		}
+		if slow.AvgPower() >= fast.AvgPower() {
+			t.Fatalf("%s: min freq not lower power", dev.Name)
+		}
+	}
+}
+
+// Latency wall: a tiny kernel must be dominated by launch overhead — the
+// effect that makes low-parallelism iterations wasteful (Section 1's
+// motivation).
+func TestCalibrationLaunchDominatesTinyKernels(t *testing.T) {
+	dev := TK1()
+	m := NewMachine(dev)
+	d := m.Kernel(KernelAdvance, 8)
+	launch := time.Duration(dev.LaunchHostNs + dev.LaunchDevNs)
+	if d < launch || d > 2*launch {
+		t.Fatalf("tiny kernel %v not launch-dominated (launch %v)", d, launch)
+	}
+}

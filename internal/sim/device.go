@@ -1,0 +1,152 @@
+// Package sim provides an analytical model of an embedded CPU+GPU board —
+// the stand-in for the NVIDIA Jetson TK1 and TX1 used in the paper's
+// evaluation (see DESIGN.md, "substitutions"). SSSP kernels execute for real
+// on the host CPU; this package charges *simulated* time and energy for each
+// kernel launch from its work-item count, device frequencies, and a
+// throughput-vs-latency cost model, so experiment outputs are deterministic
+// functions of the algorithmic work regardless of host load.
+package sim
+
+import "fmt"
+
+// Freq is a GPU core / memory-bus frequency pair in MHz — the DVFS knob the
+// paper denotes "c/m", e.g. 852/924.
+type Freq struct {
+	CoreMHz int
+	MemMHz  int
+}
+
+// String renders the paper's "c/m" notation.
+func (f Freq) String() string { return fmt.Sprintf("%d/%d", f.CoreMHz, f.MemMHz) }
+
+// Device describes a simulated CPU+GPU board. All rates are at the maximum
+// frequencies; the machine scales them by the current DVFS setting.
+type Device struct {
+	Name string
+
+	// Compute resources.
+	Cores              int // CUDA cores
+	SMs                int
+	MaxResidentThreads int // hardware concurrency limit (latency hiding)
+
+	// Frequency tables (ascending). The last entry is the maximum.
+	CoreFreqsMHz []int
+	MemFreqsMHz  []int
+
+	// Memory system at maximum memory frequency.
+	PeakBWBytes  float64 // bytes/second
+	MemLatencyNs float64 // average load-to-use latency
+	ConcForPeak  int     // resident threads needed to saturate bandwidth
+
+	// Kernel launch cost: a host-side driver portion (frequency
+	// independent) plus a device-side dispatch portion quoted at maximum
+	// core frequency (it stretches as the core clock drops). Their sum at
+	// max frequency is the conventional "launch overhead".
+	LaunchHostNs float64
+	LaunchDevNs  float64
+
+	// Board-level power model (Watts). Idle is the whole-board floor the
+	// PowerMon sees; StaticActiveWatts is the extra rail/leakage draw
+	// whenever the GPU clocks are active (it scales with the core
+	// voltage, so lower DVFS points idle cheaper); the dynamic terms are
+	// the extra draw at full core utilization / full memory bandwidth at
+	// maximum frequencies.
+	IdleWatts         float64
+	StaticActiveWatts float64
+	CoreDynWatts      float64
+	MemDynWatts       float64
+	// CoreVoltageExp models V²·f DVFS scaling: dynamic core power scales
+	// with (f/fmax)^CoreVoltageExp. Real Jetson rails land between 2 and 3.
+	CoreVoltageExp float64
+}
+
+// MaxFreq returns the device's maximum core/memory frequency pair.
+func (d *Device) MaxFreq() Freq {
+	return Freq{
+		CoreMHz: d.CoreFreqsMHz[len(d.CoreFreqsMHz)-1],
+		MemMHz:  d.MemFreqsMHz[len(d.MemFreqsMHz)-1],
+	}
+}
+
+// MinFreq returns the device's minimum core/memory frequency pair.
+func (d *Device) MinFreq() Freq {
+	return Freq{CoreMHz: d.CoreFreqsMHz[0], MemMHz: d.MemFreqsMHz[0]}
+}
+
+// ValidFreq reports whether both components of f appear in the device's
+// frequency tables.
+func (d *Device) ValidFreq(f Freq) bool {
+	return containsInt(d.CoreFreqsMHz, f.CoreMHz) && containsInt(d.MemFreqsMHz, f.MemMHz)
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TK1 returns the Jetson TK1 preset: Kepler GK20A, 192 CUDA cores, one SMX,
+// 2048 resident threads, ~14.9 GB/s LPDDR3. Frequency tables follow the
+// board's published operating points; the power envelope matches the
+// whole-board PowerMon readings the paper reports (idle ≈ 3.5 W, busy
+// ≈ 8–11 W).
+func TK1() *Device {
+	return &Device{
+		Name:               "TK1",
+		Cores:              192,
+		SMs:                1,
+		MaxResidentThreads: 2048,
+		CoreFreqsMHz:       []int{72, 180, 252, 396, 612, 756, 852},
+		MemFreqsMHz:        []int{204, 300, 600, 792, 924},
+		PeakBWBytes:        14.9e9,
+		MemLatencyNs:       350,
+		ConcForPeak:        1024,
+		LaunchHostNs:       3000,
+		LaunchDevNs:        5000,
+		IdleWatts:          3.5,
+		StaticActiveWatts:  1.3,
+		CoreDynWatts:       5.5,
+		MemDynWatts:        2.5,
+		CoreVoltageExp:     2.4,
+	}
+}
+
+// TX1 returns the Jetson TX1 preset: Maxwell GM20B, 256 CUDA cores, two
+// SMs, 4096 resident threads, ~25.6 GB/s LPDDR4. The TX1's better DVFS and
+// higher efficiency (the paper's Section 5.2 observations) show up here as
+// a lower idle floor and a flatter voltage exponent.
+func TX1() *Device {
+	return &Device{
+		Name:               "TX1",
+		Cores:              256,
+		SMs:                2,
+		MaxResidentThreads: 4096,
+		CoreFreqsMHz:       []int{77, 154, 307, 461, 615, 769, 922, 998},
+		MemFreqsMHz:        []int{408, 665, 800, 1065, 1600},
+		PeakBWBytes:        25.6e9,
+		MemLatencyNs:       280,
+		ConcForPeak:        1536,
+		LaunchHostNs:       2500,
+		LaunchDevNs:        3500,
+		IdleWatts:          2.8,
+		StaticActiveWatts:  0.9,
+		CoreDynWatts:       7.0,
+		MemDynWatts:        3.2,
+		CoreVoltageExp:     2.0,
+	}
+}
+
+// DeviceByName returns the preset with the given name ("TK1" or "TX1").
+func DeviceByName(name string) (*Device, error) {
+	switch name {
+	case "TK1", "tk1":
+		return TK1(), nil
+	case "TX1", "tx1":
+		return TX1(), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown device %q (want TK1 or TX1)", name)
+	}
+}

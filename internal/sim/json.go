@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// deviceJSON mirrors Device for serialization with explicit field names, so
+// board description files stay readable and stable against struct changes.
+type deviceJSON struct {
+	Name               string  `json:"name"`
+	Cores              int     `json:"cores"`
+	SMs                int     `json:"sms"`
+	MaxResidentThreads int     `json:"max_resident_threads"`
+	CoreFreqsMHz       []int   `json:"core_freqs_mhz"`
+	MemFreqsMHz        []int   `json:"mem_freqs_mhz"`
+	PeakBWBytes        float64 `json:"peak_bw_bytes_per_s"`
+	MemLatencyNs       float64 `json:"mem_latency_ns"`
+	ConcForPeak        int     `json:"conc_for_peak_bw"`
+	LaunchHostNs       float64 `json:"launch_host_ns"`
+	LaunchDevNs        float64 `json:"launch_dev_ns"`
+	IdleWatts          float64 `json:"idle_watts"`
+	StaticActiveWatts  float64 `json:"static_active_watts"`
+	CoreDynWatts       float64 `json:"core_dyn_watts"`
+	MemDynWatts        float64 `json:"mem_dyn_watts"`
+	CoreVoltageExp     float64 `json:"core_voltage_exp"`
+}
+
+// WriteDeviceJSON serializes a device description; the output of a preset
+// is a valid starting point for modeling a different board.
+func WriteDeviceJSON(w io.Writer, d *Device) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(deviceJSON(*d))
+}
+
+// ReadDeviceJSON parses and validates a device description, the extension
+// point for simulating boards beyond the TK1/TX1 presets.
+func ReadDeviceJSON(r io.Reader) (*Device, error) {
+	var dj deviceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dj); err != nil {
+		return nil, fmt.Errorf("sim: device json: %w", err)
+	}
+	d := Device(dj)
+	if err := validateDevice(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+func validateDevice(d *Device) error {
+	switch {
+	case d.Name == "":
+		return fmt.Errorf("sim: device needs a name")
+	case d.Cores <= 0 || d.SMs <= 0 || d.MaxResidentThreads <= 0:
+		return fmt.Errorf("sim: device %q: compute resources must be positive", d.Name)
+	case len(d.CoreFreqsMHz) == 0 || len(d.MemFreqsMHz) == 0:
+		return fmt.Errorf("sim: device %q: frequency tables must be non-empty", d.Name)
+	case d.PeakBWBytes <= 0 || d.MemLatencyNs <= 0 || d.ConcForPeak <= 0:
+		return fmt.Errorf("sim: device %q: memory system constants must be positive", d.Name)
+	case d.LaunchHostNs < 0 || d.LaunchDevNs < 0:
+		return fmt.Errorf("sim: device %q: launch costs must be non-negative", d.Name)
+	case d.IdleWatts <= 0 || d.CoreDynWatts < 0 || d.MemDynWatts < 0 || d.StaticActiveWatts < 0:
+		return fmt.Errorf("sim: device %q: power constants out of range", d.Name)
+	case d.CoreVoltageExp < 1 || d.CoreVoltageExp > 3.5:
+		return fmt.Errorf("sim: device %q: voltage exponent %.2f outside [1, 3.5]", d.Name, d.CoreVoltageExp)
+	}
+	for i := 1; i < len(d.CoreFreqsMHz); i++ {
+		if d.CoreFreqsMHz[i] <= d.CoreFreqsMHz[i-1] {
+			return fmt.Errorf("sim: device %q: core frequency table not ascending", d.Name)
+		}
+	}
+	for i := 1; i < len(d.MemFreqsMHz); i++ {
+		if d.MemFreqsMHz[i] <= d.MemFreqsMHz[i-1] {
+			return fmt.Errorf("sim: device %q: memory frequency table not ascending", d.Name)
+		}
+	}
+	if d.CoreFreqsMHz[0] <= 0 || d.MemFreqsMHz[0] <= 0 {
+		return fmt.Errorf("sim: device %q: frequencies must be positive", d.Name)
+	}
+	return nil
+}

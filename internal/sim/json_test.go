@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDeviceJSONRoundTrip(t *testing.T) {
+	for _, dev := range []*Device{TK1(), TX1()} {
+		var buf bytes.Buffer
+		if err := WriteDeviceJSON(&buf, dev); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadDeviceJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Name != dev.Name || back.Cores != dev.Cores ||
+			back.PeakBWBytes != dev.PeakBWBytes || back.CoreVoltageExp != dev.CoreVoltageExp {
+			t.Fatalf("round trip changed device: %+v vs %+v", back, dev)
+		}
+		if len(back.CoreFreqsMHz) != len(dev.CoreFreqsMHz) {
+			t.Fatal("frequency table lost")
+		}
+	}
+}
+
+func TestReadDeviceJSONValidation(t *testing.T) {
+	base := func() string {
+		var buf bytes.Buffer
+		_ = WriteDeviceJSON(&buf, TK1())
+		return buf.String()
+	}
+	cases := []struct {
+		name   string
+		mutate func(string) string
+	}{
+		{"empty name", func(s string) string { return strings.Replace(s, `"TK1"`, `""`, 1) }},
+		{"zero cores", func(s string) string { return strings.Replace(s, `"cores": 192`, `"cores": 0`, 1) }},
+		{"bad exponent", func(s string) string {
+			return strings.Replace(s, `"core_voltage_exp": 2.4`, `"core_voltage_exp": 9`, 1)
+		}},
+		{"negative idle", func(s string) string { return strings.Replace(s, `"idle_watts": 3.5`, `"idle_watts": -1`, 1) }},
+		{"unknown field", func(s string) string { return strings.Replace(s, `{`, `{"bogus": 1,`, 1) }},
+		{"not json", func(string) string { return "{" }},
+		{"descending freqs", func(s string) string {
+			return strings.Replace(s, "[\n    72,", "[\n    9999,", 1)
+		}},
+	}
+	for _, c := range cases {
+		in := c.mutate(base())
+		if in == base() {
+			t.Fatalf("%s: mutation had no effect", c.name)
+		}
+		if _, err := ReadDeviceJSON(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCustomDeviceWorksInMachine(t *testing.T) {
+	in := `{
+  "name": "CustomBoard",
+  "cores": 128,
+  "sms": 1,
+  "max_resident_threads": 1024,
+  "core_freqs_mhz": [100, 500],
+  "mem_freqs_mhz": [400, 800],
+  "peak_bw_bytes_per_s": 1e10,
+  "mem_latency_ns": 300,
+  "conc_for_peak_bw": 512,
+  "launch_host_ns": 2000,
+  "launch_dev_ns": 3000,
+  "idle_watts": 2,
+  "static_active_watts": 0.5,
+  "core_dyn_watts": 4,
+  "mem_dyn_watts": 1.5,
+  "core_voltage_exp": 2
+}`
+	dev, err := ReadDeviceJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(dev)
+	if d := m.Kernel(KernelAdvance, 100000); d <= 0 {
+		t.Fatal("custom device kernel")
+	}
+	if m.AvgPower() < 2 {
+		t.Fatal("custom device power")
+	}
+}

@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDevicePresets(t *testing.T) {
+	for _, dev := range []*Device{TK1(), TX1()} {
+		if dev.Cores <= 0 || dev.MaxResidentThreads <= 0 || dev.PeakBWBytes <= 0 {
+			t.Fatalf("%s: bad device constants", dev.Name)
+		}
+		max := dev.MaxFreq()
+		min := dev.MinFreq()
+		if !dev.ValidFreq(max) || !dev.ValidFreq(min) {
+			t.Fatalf("%s: extremes not valid", dev.Name)
+		}
+		if max.CoreMHz <= min.CoreMHz {
+			t.Fatalf("%s: frequency table not ascending", dev.Name)
+		}
+		if dev.ValidFreq(Freq{CoreMHz: 1, MemMHz: 1}) {
+			t.Fatalf("%s: bogus freq accepted", dev.Name)
+		}
+	}
+	if TK1().Cores != 192 || TX1().Cores != 256 {
+		t.Fatal("preset core counts diverge from the paper's platforms")
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	for _, name := range []string{"TK1", "tk1", "TX1", "tx1"} {
+		if _, err := DeviceByName(name); err != nil {
+			t.Fatalf("DeviceByName(%q): %v", name, err)
+		}
+	}
+	if _, err := DeviceByName("gtx1080"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestFreqString(t *testing.T) {
+	if (Freq{852, 924}).String() != "852/924" {
+		t.Fatalf("got %s", Freq{852, 924})
+	}
+}
+
+func TestKernelChargesTimeAndEnergy(t *testing.T) {
+	m := NewMachine(TK1())
+	d := m.Kernel(KernelAdvance, 100000)
+	if d <= 0 || m.Now() != d {
+		t.Fatalf("dur=%v now=%v", d, m.Now())
+	}
+	if m.Energy() <= 0 {
+		t.Fatal("no energy charged")
+	}
+	if m.AvgPower() < TK1().IdleWatts {
+		t.Fatalf("avg power %.2f below idle", m.AvgPower())
+	}
+	st := m.Stats(KernelAdvance)
+	if st.Launches != 1 || st.Items != 100000 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEmptyKernelPaysLaunchOverhead(t *testing.T) {
+	m := NewMachine(TK1())
+	d := m.Kernel(KernelFilter, 0)
+	want := time.Duration(TK1().LaunchHostNs + TK1().LaunchDevNs)
+	if d != want {
+		t.Fatalf("empty kernel dur = %v, want %v", d, want)
+	}
+	// At a lower core clock, dispatch stretches.
+	slow := NewMachine(TK1())
+	if err := slow.SetFreq(Freq{CoreMHz: 396, MemMHz: 600}); err != nil {
+		t.Fatal(err)
+	}
+	if ds := slow.Kernel(KernelFilter, 0); ds <= d {
+		t.Fatalf("low-freq launch %v not slower than %v", ds, d)
+	}
+	if m.Stats(KernelFilter).Launches != 1 {
+		t.Fatal("launch not counted")
+	}
+}
+
+func TestMoreItemsTakeLonger(t *testing.T) {
+	m := NewMachine(TK1())
+	small := m.Kernel(KernelAdvance, 1000)
+	big := m.Kernel(KernelAdvance, 1000000)
+	if big <= small {
+		t.Fatalf("big kernel (%v) not slower than small (%v)", big, small)
+	}
+}
+
+func TestLowFrequencyIsSlowerAndLowerPower(t *testing.T) {
+	dev := TK1()
+	fast := NewMachine(dev)
+	slow := NewMachine(dev)
+	if err := slow.SetFreq(Freq{CoreMHz: 396, MemMHz: 600}); err != nil {
+		t.Fatal(err)
+	}
+	const items = 500000
+	df := fast.Kernel(KernelAdvance, items)
+	ds := slow.Kernel(KernelAdvance, items)
+	if ds <= df {
+		t.Fatalf("low freq not slower: %v vs %v", ds, df)
+	}
+	if slow.PeakPower() >= fast.PeakPower() {
+		t.Fatalf("low freq not lower peak power: %.2f vs %.2f", slow.PeakPower(), fast.PeakPower())
+	}
+}
+
+func TestSetFreqRejectsInvalid(t *testing.T) {
+	m := NewMachine(TK1())
+	if err := m.SetFreq(Freq{CoreMHz: 123, MemMHz: 924}); err == nil {
+		t.Fatal("invalid core freq accepted")
+	}
+	if m.FreqSwitches() != 0 {
+		t.Fatal("failed SetFreq counted as switch")
+	}
+	if err := m.SetFreq(Freq{CoreMHz: 612, MemMHz: 924}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Freq().CoreMHz != 612 || m.FreqSwitches() != 1 {
+		t.Fatal("valid SetFreq not applied")
+	}
+}
+
+func TestUtilizationSaturates(t *testing.T) {
+	m := NewMachine(TK1())
+	m.Kernel(KernelAdvance, 4) // far too few threads to hide latency
+	lowUtil := m.LastUtil()
+	m.Kernel(KernelAdvance, 1<<20)
+	highUtil := m.LastUtil()
+	if lowUtil >= highUtil {
+		t.Fatalf("tiny kernel util %.3f >= huge kernel util %.3f", lowUtil, highUtil)
+	}
+	if highUtil <= 0 || highUtil > 1 {
+		t.Fatalf("util out of range: %f", highUtil)
+	}
+}
+
+func TestActiveFloorScalesWithFrequency(t *testing.T) {
+	// The voltage-scaled static rail draw makes even launch-dominated
+	// (empty) kernels cheaper at low clocks.
+	dev := TK1()
+	fast := NewMachine(dev)
+	slow := NewMachine(dev)
+	if err := slow.SetFreq(dev.MinFreq()); err != nil {
+		t.Fatal(err)
+	}
+	fast.Kernel(KernelFilter, 0)
+	slow.Kernel(KernelFilter, 0)
+	if slow.PeakPower() >= fast.PeakPower() {
+		t.Fatalf("active floor did not drop with frequency: %.3f vs %.3f",
+			slow.PeakPower(), fast.PeakPower())
+	}
+	if fast.PeakPower() <= dev.IdleWatts {
+		t.Fatal("active floor not above board idle")
+	}
+}
+
+func TestHostStep(t *testing.T) {
+	m := NewMachine(TX1())
+	m.HostStep(2 * time.Millisecond)
+	m.HostStep(-5) // ignored
+	if m.HostTime() != 2*time.Millisecond || m.Now() != 2*time.Millisecond {
+		t.Fatalf("host time %v now %v", m.HostTime(), m.Now())
+	}
+	wantJ := TX1().IdleWatts * (2 * time.Millisecond).Seconds()
+	if diff := m.Energy() - wantJ; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("host energy %.9f, want %.9f", m.Energy(), wantJ)
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	m := NewMachine(TK1())
+	m.Kernel(KernelAdvance, 1000)
+	if len(m.Trace()) != 0 {
+		t.Fatal("trace recorded without EnableTrace")
+	}
+	m.EnableTrace()
+	m.Kernel(KernelAdvance, 1000)
+	tr := m.Trace()
+	if len(tr) == 0 {
+		t.Fatal("no trace segments")
+	}
+	for i, seg := range tr {
+		if seg.End <= seg.Start || seg.Watts <= 0 {
+			t.Fatalf("bad segment %d: %+v", i, seg)
+		}
+		if i > 0 && seg.Start != tr[i-1].End {
+			t.Fatalf("trace gap at %d", i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMachine(TK1())
+	m.EnableTrace()
+	m.Kernel(KernelAdvance, 1000)
+	m.Reset()
+	if m.Now() != 0 || m.Energy() != 0 || len(m.Trace()) != 0 || m.Stats(KernelAdvance).Launches != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if m.Freq() != TK1().MaxFreq() {
+		t.Fatal("Reset should keep frequency")
+	}
+}
+
+func TestGovernorCallback(t *testing.T) {
+	m := NewMachine(TK1())
+	calls := 0
+	m.SetGovernor(governorFunc(func(_ *Machine, util float64, dur time.Duration) {
+		calls++
+		if util < 0 || util > 1 || dur <= 0 {
+			t.Fatalf("bad governor args util=%f dur=%v", util, dur)
+		}
+	}))
+	m.Kernel(KernelAdvance, 100)
+	m.Kernel(KernelFilter, 0)
+	if calls != 2 {
+		t.Fatalf("governor called %d times, want 2", calls)
+	}
+}
+
+type governorFunc func(*Machine, float64, time.Duration)
+
+func (f governorFunc) OnKernel(m *Machine, u float64, d time.Duration) { f(m, u, d) }
+
+func TestKernelKindString(t *testing.T) {
+	names := map[KernelKind]string{
+		KernelAdvance: "advance", KernelFilter: "filter",
+		KernelBisect: "bisect", KernelFarQueue: "farqueue",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %s", k, k.String())
+		}
+	}
+	if KernelKind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+// Property: simulated time and energy are monotone in item count and the
+// power stays within the physical envelope [idle, idle+core+mem].
+func TestKernelMonotoneProperty(t *testing.T) {
+	dev := TK1()
+	maxW := dev.IdleWatts + dev.StaticActiveWatts + dev.CoreDynWatts + dev.MemDynWatts
+	f := func(itemsRaw uint16, kindRaw uint8) bool {
+		items := int(itemsRaw)
+		kind := KernelKind(int(kindRaw) % int(numKernelKinds))
+		m := NewMachine(dev)
+		d1 := m.Kernel(kind, items)
+		d2 := m.Kernel(kind, items*2)
+		if d2 < d1 {
+			return false
+		}
+		return m.PeakPower() <= maxW+1e-9 && m.AvgPower() >= dev.IdleWatts-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Energy must equal the integral of the trace segments.
+func TestEnergyMatchesTrace(t *testing.T) {
+	m := NewMachine(TX1())
+	m.EnableTrace()
+	for i := 0; i < 10; i++ {
+		m.Kernel(KernelKind(i%int(numKernelKinds)), i*1000)
+		m.HostStep(time.Microsecond * 50)
+	}
+	var j float64
+	for _, seg := range m.Trace() {
+		j += seg.Watts * (seg.End - seg.Start).Seconds()
+	}
+	if diff := j - m.Energy(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("trace energy %.9f != machine energy %.9f", j, m.Energy())
+	}
+}

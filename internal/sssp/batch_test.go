@@ -1,0 +1,62 @@
+package sssp
+
+import (
+	"testing"
+
+	"energysssp/internal/gen"
+	"energysssp/internal/graph"
+)
+
+func TestBatchDijkstraAllSources(t *testing.T) {
+	g := gen.Grid(8, 8, 1, 20, 3)
+	sources := []graph.VID{0, 7, 56, 63}
+	batch := BatchDijkstra(g, sources, 2)
+	if err := FirstError(batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 4 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i, b := range batch {
+		if b.Source != sources[i] {
+			t.Fatalf("order not preserved: %d vs %d", b.Source, sources[i])
+		}
+		if b.Result.Dist[b.Source] != 0 {
+			t.Fatalf("source %d distance %d", b.Source, b.Result.Dist[b.Source])
+		}
+		if b.Result.Reached != 64 {
+			t.Fatalf("source %d reached %d", b.Source, b.Result.Reached)
+		}
+	}
+}
+
+func TestBatchNearFarMatchesOracle(t *testing.T) {
+	g := gen.Road(12, 12, 0.25, 1, 200, 4)
+	sources := []graph.VID{0, 50, 100, 143}
+	nf := BatchNearFar(g, sources, 77, 3)
+	dj := BatchDijkstra(g, sources, 0)
+	if err := FirstError(nf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sources {
+		for v := range nf[i].Result.Dist {
+			if nf[i].Result.Dist[v] != dj[i].Result.Dist[v] {
+				t.Fatalf("source %d vertex %d mismatch", sources[i], v)
+			}
+		}
+	}
+}
+
+func TestBatchErrorPropagation(t *testing.T) {
+	g := gen.Grid(4, 4, 1, 9, 5)
+	batch := BatchDijkstra(g, []graph.VID{0, 99}, 1) // 99 out of range
+	if FirstError(batch) == nil {
+		t.Fatal("out-of-range source not reported")
+	}
+	if batch[0].Err != nil {
+		t.Fatal("valid source errored")
+	}
+	if FirstError(batch[:1]) != nil {
+		t.Fatal("FirstError on clean prefix")
+	}
+}

@@ -1,0 +1,107 @@
+package sssp
+
+import (
+	"fmt"
+	"time"
+
+	"energysssp/internal/graph"
+	"energysssp/internal/sim"
+)
+
+// DeltaStepping implements the classic Meyer–Sanders algorithm: vertices
+// live in buckets of width delta; bucket i is drained by repeated light-edge
+// (weight <= delta) relaxations, then the heavy edges of everything settled
+// in the bucket are relaxed once. It is included both as a baseline and to
+// document where the near-far variant diverges (near-far folds the
+// light/heavy distinction into its two queues).
+func DeltaStepping(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Result, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	if err := checkSource(g, src); err != nil {
+		return Result{}, err
+	}
+	if delta < 1 {
+		return Result{}, fmt.Errorf("sssp: delta must be >= 1, got %d", delta)
+	}
+	start := time.Now()
+	var startSim time.Duration
+	var startJ float64
+	if opt.Machine != nil {
+		startSim, startJ = opt.Machine.Now(), opt.Machine.Energy()
+	}
+
+	pool := opt.pool()
+	dist := newDist(g.NumVertices(), src)
+	kn := NewKernels(g, pool, opt.Machine, dist)
+
+	type entry struct {
+		v graph.VID
+		d graph.Dist
+	}
+	var buckets [][]entry
+	put := func(v graph.VID, d graph.Dist) {
+		i := int(d / delta)
+		for i >= len(buckets) {
+			buckets = append(buckets, nil)
+		}
+		buckets[i] = append(buckets[i], entry{v, d})
+	}
+	put(src, 0)
+
+	lightMax := graph.Weight(delta)
+	if delta > int64(1<<31-2) {
+		lightMax = 1<<31 - 1
+	}
+
+	var res Result
+	guard := opt.maxIters(g)
+	var settled []graph.VID // fresh vertices settled in the current bucket
+	var front []graph.VID
+	for i := 0; i < len(buckets); i++ {
+		if len(buckets[i]) == 0 {
+			continue
+		}
+		settled = settled[:0]
+		// Light-edge phase: drain bucket i to a fixed point.
+		for len(buckets[i]) > 0 {
+			if res.Iterations++; res.Iterations > guard {
+				return res, ErrLivelock
+			}
+			cur := buckets[i]
+			buckets[i] = nil
+			front = front[:0]
+			for _, e := range cur {
+				if dist[e.v] == e.d { // fresh
+					front = append(front, e.v)
+					settled = append(settled, e.v)
+				}
+			}
+			if opt.Machine != nil {
+				// Bucket scan is the analogue of the far-queue kernel.
+				opt.Machine.Kernel(sim.KernelFarQueue, len(cur))
+			}
+			if len(front) == 0 {
+				continue
+			}
+			adv := kn.AdvanceRange(front, 1, lightMax)
+			res.EdgesRelaxed += adv.Edges
+			res.Updates += int64(adv.X2)
+			for _, v := range adv.Out {
+				put(v, dist[v])
+			}
+		}
+		// Heavy-edge phase over everything settled in this bucket.
+		if len(settled) > 0 && lightMax < 1<<31-1 {
+			adv := kn.AdvanceRange(settled, lightMax+1, 1<<31-1)
+			res.EdgesRelaxed += adv.Edges
+			res.Updates += int64(adv.X2)
+			for _, v := range adv.Out {
+				put(v, dist[v])
+			}
+		}
+	}
+	res.Dist = dist
+	finishResult(&res, opt, start, startSim, startJ)
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package sssp
+
+import (
+	"sync/atomic"
+	"time"
+
+	"energysssp/internal/bitmap"
+	"energysssp/internal/graph"
+	"energysssp/internal/parallel"
+	"energysssp/internal/sim"
+)
+
+// Kernels bundles the parallel relaxation machinery shared by the near-far
+// baseline and the self-tuning algorithm: the advance stage (edge-parallel
+// relaxation with atomic-min) fused with the filter stage (bitmap
+// deduplication), mirroring how Gunrock structures the same work on a GPU.
+// A Kernels value is bound to one (graph, distance array) pair for the
+// duration of a solve.
+type Kernels struct {
+	G    *graph.Graph
+	Pool *parallel.Pool
+	Mach *sim.Machine // nil disables simulation accounting
+	Dist []graph.Dist
+
+	seen *bitmap.Bitmap
+	bufs [][]graph.VID
+}
+
+// NewKernels prepares the engine. dist must be the solver's live distance
+// array (len == NumVertices), already initialized.
+func NewKernels(g *graph.Graph, pool *parallel.Pool, mach *sim.Machine, dist []graph.Dist) *Kernels {
+	return &Kernels{
+		G:    g,
+		Pool: pool,
+		Mach: mach,
+		Dist: dist,
+		seen: bitmap.New(g.NumVertices()),
+		bufs: make([][]graph.VID, pool.Size()),
+	}
+}
+
+// AdvanceResult reports one advance+filter execution.
+type AdvanceResult struct {
+	// Out is the deduplicated updated frontier (the filter output, X³).
+	// The slice is reused across calls; callers must consume it before
+	// the next Advance.
+	Out []graph.VID
+	// X2 is the advance output cardinality — the number of successful
+	// distance updates including duplicates, the paper's available
+	// parallelism metric.
+	X2 int
+	// Edges is the number of edges examined.
+	Edges int64
+	// Dur is the simulated duration charged (zero without a machine).
+	Dur time.Duration
+}
+
+// Advance executes the advance and filter stages over the given frontier:
+// every outgoing edge of every frontier vertex is relaxed with an atomic
+// min, winners are deduplicated through the bitmap, and the simulated
+// machine (if any) is charged an edge-parallel advance kernel plus a
+// vertex-parallel filter kernel.
+func (kn *Kernels) Advance(front []graph.VID) AdvanceResult {
+	return kn.AdvanceRange(front, 1, 1<<31-1)
+}
+
+// AdvanceRange is Advance restricted to edges whose weight lies in
+// [wlo, whi]. Classic delta-stepping uses it for its light-edge
+// (weight <= delta) and heavy-edge (weight > delta) phases.
+func (kn *Kernels) AdvanceRange(front []graph.VID, wlo, whi graph.Weight) AdvanceResult {
+	type counters struct {
+		x2    int64
+		edges int64
+		_     [6]int64 // pad to a cache line
+	}
+	counts := make([]counters, kn.Pool.Size())
+	for w := range kn.bufs {
+		kn.bufs[w] = kn.bufs[w][:0]
+	}
+	dist := kn.Dist
+	g := kn.G
+	kn.Pool.DynamicWorker(len(front), 64, func(w, lo, hi int) {
+		buf := kn.bufs[w]
+		var x2, edges int64
+		for i := lo; i < hi; i++ {
+			u := front[i]
+			du := atomic.LoadInt64(&dist[u])
+			vs, ws := g.Neighbors(u)
+			edges += int64(len(vs))
+			for j, v := range vs {
+				if ws[j] < wlo || ws[j] > whi {
+					continue
+				}
+				nd := du + graph.Dist(ws[j])
+				if parallel.MinInt64(&dist[v], nd) {
+					x2++
+					if kn.seen.TrySet(int(v)) {
+						buf = append(buf, v)
+					}
+				}
+			}
+		}
+		kn.bufs[w] = buf
+		counts[w].x2 += x2
+		counts[w].edges += edges
+	})
+
+	var res AdvanceResult
+	for w := range counts {
+		res.X2 += int(counts[w].x2)
+		res.Edges += counts[w].edges
+	}
+	out := kn.bufs[0]
+	for w := 1; w < len(kn.bufs); w++ {
+		out = append(out, kn.bufs[w]...)
+	}
+	kn.bufs[0] = out
+	res.Out = out
+	// Release the dedup bits for the next iteration; O(|Out|).
+	for _, v := range out {
+		kn.seen.Clear(int(v))
+	}
+	if kn.Mach != nil {
+		res.Dur = kn.Mach.Kernel(sim.KernelAdvance, int(res.Edges))
+		res.Dur += kn.Mach.Kernel(sim.KernelFilter, res.X2)
+	}
+	return res
+}
+
+// ChargeBisect charges the bisect-frontier kernel over items work items.
+func (kn *Kernels) ChargeBisect(items int) time.Duration {
+	if kn.Mach == nil {
+		return 0
+	}
+	return kn.Mach.Kernel(sim.KernelBisect, items)
+}
+
+// ChargeFarQueue charges the bisect-far-queue / rebalancer kernel over
+// items scanned entries.
+func (kn *Kernels) ChargeFarQueue(items int) time.Duration {
+	if kn.Mach == nil {
+		return 0
+	}
+	return kn.Mach.Kernel(sim.KernelFarQueue, items)
+}
+
+// ChargeHost charges host (controller) time.
+func (kn *Kernels) ChargeHost(d time.Duration) {
+	if kn.Mach != nil {
+		kn.Mach.HostStep(d)
+	}
+}

@@ -1,0 +1,117 @@
+package sssp
+
+import (
+	"fmt"
+	"time"
+
+	"energysssp/internal/frontier"
+	"energysssp/internal/graph"
+	"energysssp/internal/metrics"
+)
+
+// NearFar implements the Gunrock-style near-far SSSP baseline of Davidson
+// et al. with a fixed delta (Section 3 of the paper). Each iteration runs
+// the four stages:
+//
+//  1. advance — relax all outgoing edges of the frontier (atomic-min);
+//  2. filter — deduplicate updated vertices through a bitmap;
+//  3. bisect-frontier — keep vertices with distance <= (i+1)·delta in the
+//     near frontier, push the rest onto the flat far queue;
+//  4. bisect-far-queue — when the near frontier drains, advance the phase
+//     threshold and extract qualifying far-queue vertices (full scan).
+//
+// Stale far-queue entries are dropped lazily; the livelock guard converts a
+// queue bug into an error rather than a hang.
+func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Result, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	if err := checkSource(g, src); err != nil {
+		return Result{}, err
+	}
+	if delta < 1 {
+		return Result{}, fmt.Errorf("sssp: delta must be >= 1, got %d", delta)
+	}
+	start := time.Now()
+	var startSim time.Duration
+	var startJ float64
+	if opt.Machine != nil {
+		startSim, startJ = opt.Machine.Now(), opt.Machine.Energy()
+	}
+
+	pool := opt.pool()
+	dist := newDist(g.NumVertices(), src)
+	kn := NewKernels(g, pool, opt.Machine, dist)
+	var far frontier.Flat
+	front := []graph.VID{src}
+	thr := delta // the phase-(i+1) boundary (i starts at 0)
+
+	var res Result
+	guard := opt.maxIters(g)
+	var lastSim time.Duration
+	var lastJ float64
+	for len(front) > 0 {
+		if res.Iterations++; res.Iterations > guard {
+			return res, ErrLivelock
+		}
+		x1 := len(front)
+		adv := kn.Advance(front)
+		res.EdgesRelaxed += adv.Edges
+		res.Updates += int64(adv.X2)
+
+		// Stage 3: bisect-frontier around the current threshold.
+		near := front[:0]
+		for _, v := range adv.Out {
+			if dist[v] <= thr {
+				near = append(near, v)
+			} else {
+				far.Push(v, dist[v])
+			}
+		}
+		kn.ChargeBisect(len(adv.Out))
+		x4 := len(near)
+		front = near
+
+		// Stage 4: when the near frontier drains, advance the phase to
+		// the first delta multiple that admits far-queue work.
+		if len(front) == 0 && far.Len() > 0 {
+			minD := far.MinDist(dist)
+			if minD < graph.Inf {
+				if minD > thr {
+					steps := (minD - thr + delta - 1) / delta
+					thr += steps * delta
+				} else {
+					thr += delta
+				}
+				var scanned int
+				front, scanned = far.ExtractBelow(thr, dist, front)
+				kn.ChargeFarQueue(scanned)
+			} else {
+				// Only stale entries remain: one cleanup scan.
+				var scanned int
+				front, scanned = far.ExtractBelow(graph.Inf, dist, front)
+				kn.ChargeFarQueue(scanned)
+			}
+		}
+
+		if opt.Profile != nil {
+			st := metrics.IterStat{
+				K: res.Iterations - 1, X1: x1, X2: adv.X2, X3: len(adv.Out), X4: x4,
+				Delta: float64(thr), FarSize: far.Len(), Edges: adv.Edges,
+			}
+			if opt.Machine != nil {
+				st.SimTime = opt.Machine.Now() - startSim
+				st.EnergyJ = opt.Machine.Energy() - startJ
+				dt := st.SimTime - lastSim
+				if dt > 0 {
+					st.AvgWatts = (st.EnergyJ - lastJ) / dt.Seconds()
+				}
+				lastSim, lastJ = st.SimTime, st.EnergyJ
+			}
+			opt.Profile.Append(st)
+		}
+	}
+	res.Dist = dist
+	finishResult(&res, opt, start, startSim, startJ)
+	return res, nil
+}

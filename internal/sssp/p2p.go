@@ -1,0 +1,296 @@
+package sssp
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"energysssp/internal/graph"
+)
+
+// This file provides point-to-point shortest path queries — the road-network
+// workload (routing) that motivates the paper's Cal dataset. Two classic
+// accelerations over plain Dijkstra are implemented from scratch:
+// bidirectional search and ALT (A*, Landmarks, Triangle inequality), with a
+// preprocessing stage that runs on the library's own SSSP solvers.
+
+// P2PResult reports one point-to-point query.
+type P2PResult struct {
+	// Dist is the s→t distance (graph.Inf if unreachable).
+	Dist graph.Dist
+	// Path is the vertex sequence s..t (nil if unreachable).
+	Path []graph.VID
+	// Settled counts heap extractions — the query's work measure.
+	Settled int
+	// WallTime is the host query latency.
+	WallTime time.Duration
+}
+
+// PointToPoint answers one s→t query with plain Dijkstra, early-terminated
+// when t settles. The baseline the accelerations are measured against.
+func PointToPoint(g *graph.Graph, s, t graph.VID, opt *Options) (P2PResult, error) {
+	if err := checkSource(g, s); err != nil {
+		return P2PResult{}, err
+	}
+	if err := checkSource(g, t); err != nil {
+		return P2PResult{}, fmt.Errorf("target: %w", err)
+	}
+	start := time.Now()
+	n := g.NumVertices()
+	dist := newDist(n, s)
+	parent := make([]graph.VID, n)
+	for i := range parent {
+		parent[i] = NoParent
+	}
+	pq := &pqueue{items: []pqItem{{v: s, d: 0}}}
+	var res P2PResult
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.d != dist[it.v] {
+			continue
+		}
+		res.Settled++
+		if it.v == t {
+			break // first settlement of t is optimal
+		}
+		vs, ws := g.Neighbors(it.v)
+		for i, v := range vs {
+			nd := it.d + graph.Dist(ws[i])
+			if nd < dist[v] {
+				dist[v] = nd
+				parent[v] = it.v
+				heap.Push(pq, pqItem{v: v, d: nd})
+			}
+		}
+	}
+	res.Dist = dist[t]
+	res.Path = tracePath(parent, s, t, res.Dist)
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// BidirectionalP2P answers one s→t query by simultaneous forward search
+// from s and backward search (on the transpose) from t, stopping when the
+// frontiers' combined radius exceeds the best meeting distance. The
+// transpose may be precomputed and passed in (nil computes it per query).
+func BidirectionalP2P(g, transpose *graph.Graph, s, t graph.VID, opt *Options) (P2PResult, error) {
+	if err := checkSource(g, s); err != nil {
+		return P2PResult{}, err
+	}
+	if err := checkSource(g, t); err != nil {
+		return P2PResult{}, fmt.Errorf("target: %w", err)
+	}
+	start := time.Now()
+	if transpose == nil {
+		transpose = g.Transpose()
+	}
+	n := g.NumVertices()
+	fd, bd := newDist(n, s), newDist(n, t)
+	fp := make([]graph.VID, n)
+	bp := make([]graph.VID, n)
+	for i := range fp {
+		fp[i], bp[i] = NoParent, NoParent
+	}
+	fq := &pqueue{items: []pqItem{{v: s, d: 0}}}
+	bq := &pqueue{items: []pqItem{{v: t, d: 0}}}
+
+	best := graph.Inf
+	var meet graph.VID = -1
+	var res P2PResult
+	relax := func(gr *graph.Graph, q *pqueue, dist, other []graph.Dist, parent []graph.VID) {
+		it := heap.Pop(q).(pqItem)
+		if it.d != dist[it.v] {
+			return
+		}
+		res.Settled++
+		if other[it.v] < graph.Inf && it.d+other[it.v] < best {
+			best = it.d + other[it.v]
+			meet = it.v
+		}
+		vs, ws := gr.Neighbors(it.v)
+		for i, v := range vs {
+			nd := it.d + graph.Dist(ws[i])
+			if nd < dist[v] {
+				dist[v] = nd
+				parent[v] = it.v
+				heap.Push(q, pqItem{v: v, d: nd})
+			}
+			if other[v] < graph.Inf && nd+other[v] < best {
+				best = nd + other[v]
+				meet = v
+			}
+		}
+	}
+	for fq.Len() > 0 && bq.Len() > 0 {
+		if fq.items[0].d+bq.items[0].d >= best {
+			break // no shorter meeting possible
+		}
+		if fq.items[0].d <= bq.items[0].d {
+			relax(g, fq, fd, bd, fp)
+		} else {
+			relax(transpose, bq, bd, fd, bp)
+		}
+	}
+	res.Dist = best
+	if meet >= 0 {
+		// Stitch: s..meet from the forward tree, meet..t reversed from
+		// the backward tree.
+		fwd := tracePath(fp, s, meet, fd[meet])
+		for cur := bp[meet]; cur != NoParent; cur = bp[cur] {
+			fwd = append(fwd, cur)
+		}
+		res.Path = fwd
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// ALT is the A*-with-landmarks index: distances to and from a set of
+// landmark vertices provide admissible lower bounds via the triangle
+// inequality, steering the search toward the target.
+type ALT struct {
+	g         *graph.Graph
+	landmarks []graph.VID
+	// fromLM[i][v] = dist(landmark_i, v); toLM[i][v] = dist(v, landmark_i).
+	fromLM [][]graph.Dist
+	toLM   [][]graph.Dist
+}
+
+// NewALT preprocesses k landmarks chosen by farthest-point selection
+// (the standard heuristic: iteratively pick the vertex farthest from the
+// chosen set, seeding with the given start vertex). Preprocessing runs 2k
+// full SSSP computations using the library's Dijkstra.
+func NewALT(g *graph.Graph, k int, seed graph.VID) (*ALT, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sssp: ALT needs at least 1 landmark")
+	}
+	if err := checkSource(g, seed); err != nil {
+		return nil, err
+	}
+	tr := g.Transpose()
+	a := &ALT{g: g}
+	cur := seed
+	minDist := make([]graph.Dist, g.NumVertices())
+	for i := range minDist {
+		minDist[i] = graph.Inf
+	}
+	for len(a.landmarks) < k {
+		fromRes, err := Dijkstra(g, cur, nil)
+		if err != nil {
+			return nil, err
+		}
+		toRes, err := Dijkstra(tr, cur, nil)
+		if err != nil {
+			return nil, err
+		}
+		a.landmarks = append(a.landmarks, cur)
+		a.fromLM = append(a.fromLM, fromRes.Dist)
+		a.toLM = append(a.toLM, toRes.Dist)
+		// Farthest-point step (on forward distances within the reached
+		// component).
+		var far graph.VID = -1
+		var farD graph.Dist = -1
+		for v := range minDist {
+			if fromRes.Dist[v] < minDist[v] {
+				minDist[v] = fromRes.Dist[v]
+			}
+			if minDist[v] < graph.Inf && minDist[v] > farD {
+				farD = minDist[v]
+				far = graph.VID(v)
+			}
+		}
+		if far < 0 || far == cur {
+			break // graph exhausted; fewer landmarks than requested
+		}
+		cur = far
+	}
+	return a, nil
+}
+
+// Landmarks returns the selected landmark vertices.
+func (a *ALT) Landmarks() []graph.VID { return a.landmarks }
+
+// lowerBound returns an admissible estimate of dist(v, t).
+func (a *ALT) lowerBound(v, t graph.VID) graph.Dist {
+	var lb graph.Dist
+	for i := range a.landmarks {
+		// dist(v,t) >= dist(L,t) - dist(L,v)  (forward distances)
+		if a.fromLM[i][t] < graph.Inf && a.fromLM[i][v] < graph.Inf {
+			if b := a.fromLM[i][t] - a.fromLM[i][v]; b > lb {
+				lb = b
+			}
+		}
+		// dist(v,t) >= dist(v,L) - dist(t,L)  (backward distances)
+		if a.toLM[i][v] < graph.Inf && a.toLM[i][t] < graph.Inf {
+			if b := a.toLM[i][v] - a.toLM[i][t]; b > lb {
+				lb = b
+			}
+		}
+	}
+	return lb
+}
+
+// Query answers one s→t query with A* guided by the landmark bounds.
+func (a *ALT) Query(s, t graph.VID) (P2PResult, error) {
+	g := a.g
+	if err := checkSource(g, s); err != nil {
+		return P2PResult{}, err
+	}
+	if err := checkSource(g, t); err != nil {
+		return P2PResult{}, fmt.Errorf("target: %w", err)
+	}
+	start := time.Now()
+	n := g.NumVertices()
+	dist := newDist(n, s)
+	parent := make([]graph.VID, n)
+	for i := range parent {
+		parent[i] = NoParent
+	}
+	pq := &pqueue{items: []pqItem{{v: s, d: a.lowerBound(s, t)}}}
+	var res P2PResult
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		d := dist[it.v]
+		if it.d != d+a.lowerBound(it.v, t) {
+			continue // stale
+		}
+		res.Settled++
+		if it.v == t {
+			break
+		}
+		vs, ws := g.Neighbors(it.v)
+		for i, v := range vs {
+			nd := d + graph.Dist(ws[i])
+			if nd < dist[v] {
+				dist[v] = nd
+				parent[v] = it.v
+				heap.Push(pq, pqItem{v: v, d: nd + a.lowerBound(v, t)})
+			}
+		}
+	}
+	res.Dist = dist[t]
+	res.Path = tracePath(parent, s, t, res.Dist)
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// tracePath walks a parent array from t back to s; nil when unreachable.
+func tracePath(parent []graph.VID, s, t graph.VID, d graph.Dist) []graph.VID {
+	if d >= graph.Inf {
+		return nil
+	}
+	var rev []graph.VID
+	for cur := t; ; cur = parent[cur] {
+		rev = append(rev, cur)
+		if cur == s {
+			break
+		}
+		if parent[cur] == NoParent || len(rev) > len(parent) {
+			return nil // corrupt tree; callers treat as unreachable
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,104 @@
+package sssp
+
+import (
+	"fmt"
+
+	"energysssp/internal/graph"
+)
+
+// NoParent marks the source vertex and unreachable vertices in a parent
+// array.
+const NoParent graph.VID = -1
+
+// BuildParents derives a shortest-path tree from a solved distance array in
+// one sequential pass over the edges: u is a valid parent of v whenever
+// dist[u] + w(u,v) == dist[v]. Deriving the tree after the solve (rather
+// than tracking parents inside the atomic relaxation kernels) keeps the
+// kernels race-free and works identically for every solver in this package.
+// Ties are broken toward the lowest-distance (then lowest-id) parent, so
+// the result is deterministic.
+func BuildParents(g *graph.Graph, src graph.VID, dist []graph.Dist) []graph.VID {
+	n := g.NumVertices()
+	parents := make([]graph.VID, n)
+	for i := range parents {
+		parents[i] = NoParent
+	}
+	for u := 0; u < n; u++ {
+		du := dist[u]
+		if du >= graph.Inf {
+			continue
+		}
+		vs, ws := g.Neighbors(graph.VID(u))
+		for i, v := range vs {
+			if v == graph.VID(u) {
+				continue
+			}
+			if du+graph.Dist(ws[i]) != dist[v] {
+				continue
+			}
+			cur := parents[v]
+			if cur == NoParent || du < dist[cur] || (du == dist[cur] && graph.VID(u) < cur) {
+				parents[v] = graph.VID(u)
+			}
+		}
+	}
+	parents[src] = NoParent
+	return parents
+}
+
+// PathTo reconstructs the shortest path from the tree's source to v as a
+// vertex sequence (inclusive). It returns nil when v is unreachable.
+// A cycle in a corrupted parent array is detected and reported as an error
+// rather than looping forever.
+func PathTo(parents []graph.VID, dist []graph.Dist, v graph.VID) ([]graph.VID, error) {
+	if v < 0 || int(v) >= len(parents) {
+		return nil, fmt.Errorf("sssp: vertex %d out of range", v)
+	}
+	if dist[v] >= graph.Inf {
+		return nil, nil
+	}
+	var rev []graph.VID
+	for cur := v; cur != NoParent; cur = parents[cur] {
+		rev = append(rev, cur)
+		if len(rev) > len(parents) {
+			return nil, fmt.Errorf("sssp: parent array contains a cycle at %d", v)
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// ValidateTree checks that a parent array is a consistent shortest-path
+// tree for dist: every reachable non-source vertex has a parent whose edge
+// closes its distance exactly. It returns the first inconsistency.
+func ValidateTree(g *graph.Graph, src graph.VID, dist []graph.Dist, parents []graph.VID) error {
+	for v := 0; v < g.NumVertices(); v++ {
+		if graph.VID(v) == src {
+			continue
+		}
+		if dist[v] >= graph.Inf {
+			if parents[v] != NoParent {
+				return fmt.Errorf("sssp: unreachable vertex %d has parent %d", v, parents[v])
+			}
+			continue
+		}
+		p := parents[v]
+		if p == NoParent {
+			return fmt.Errorf("sssp: reachable vertex %d has no parent", v)
+		}
+		vs, ws := g.Neighbors(p)
+		ok := false
+		for i, u := range vs {
+			if u == graph.VID(v) && dist[p]+graph.Dist(ws[i]) == dist[v] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("sssp: edge (%d,%d) does not close dist[%d]=%d", p, v, v, dist[v])
+		}
+	}
+	return nil
+}

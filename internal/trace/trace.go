@@ -1,0 +1,186 @@
+// Package trace serializes experiment outputs — iteration profiles, power
+// traces, and generic result tables — as CSV and JSON so the figures can be
+// regenerated and replotted outside this repository.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"energysssp/internal/metrics"
+	"energysssp/internal/power"
+)
+
+// WriteProfileCSV writes one iteration-statistics row per solver iteration.
+func WriteProfileCSV(w io.Writer, p *metrics.Profile) error {
+	cw := csv.NewWriter(w)
+	header := []string{"k", "x1", "x2", "x3", "x4", "delta", "d_hat", "alpha_hat", "far_size", "edges", "sim_ns", "energy_j", "avg_watts"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, it := range p.Iters {
+		rec := []string{
+			strconv.Itoa(it.K),
+			strconv.Itoa(it.X1),
+			strconv.Itoa(it.X2),
+			strconv.Itoa(it.X3),
+			strconv.Itoa(it.X4),
+			strconv.FormatFloat(it.Delta, 'g', -1, 64),
+			strconv.FormatFloat(it.DHat, 'g', -1, 64),
+			strconv.FormatFloat(it.AlphaHat, 'g', -1, 64),
+			strconv.Itoa(it.FarSize),
+			strconv.FormatInt(it.Edges, 10),
+			strconv.FormatInt(int64(it.SimTime), 10),
+			strconv.FormatFloat(it.EnergyJ, 'g', -1, 64),
+			strconv.FormatFloat(it.AvgWatts, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePowerCSV writes PowerMon-style samples.
+func WritePowerCSV(w io.Writer, samples []power.Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_ns", "watts"}); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if err := cw.Write([]string{
+			strconv.FormatInt(int64(s.T), 10),
+			strconv.FormatFloat(s.Watts, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table is a generic labeled result table (one per figure/table in the
+// harness) that renders to CSV and JSON.
+type Table struct {
+	Name    string     `json:"name"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(name string, columns ...string) *Table {
+	return &Table{Name: name, Columns: columns}
+}
+
+// AddRow appends a row; values are rendered with %v (floats get %.4g).
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = strconv.FormatFloat(x, 'g', 6, 64)
+		case float32:
+			row[i] = strconv.FormatFloat(float64(x), 'g', 6, 64)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteCSV emits the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the table as indented JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Fprint renders the table as aligned plain text for terminal output.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	fmt.Fprintf(w, "# %s\n", t.Name)
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		for i, v := range r {
+			fmt.Fprintf(w, "%-*s  ", widths[i], v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored markdown table with
+// a heading, used by the experiment report generator.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s\n\n", t.Name); err != nil {
+		return err
+	}
+	fmt.Fprint(w, "|")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, " %s |", c)
+	}
+	fmt.Fprint(w, "\n|")
+	for range t.Columns {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprint(w, "|")
+		for _, v := range r {
+			fmt.Fprintf(w, " %s |", v)
+		}
+		fmt.Fprintln(w)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// SaveCSV writes the table to dir/<name>.csv, creating dir if needed.
+func (t *Table) SaveCSV(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, t.Name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return "", err
+	}
+	return path, f.Close()
+}
