@@ -57,7 +57,10 @@ func main() {
 	}
 	for _, t := range tables {
 		if !*quiet {
-			t.Fprint(os.Stdout)
+			if err := t.Fprint(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
 			fmt.Println()
 		}
 		if *out != "" {
@@ -75,8 +78,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(f, "# Evaluation report\n\nscale %g, seed %d, %d source(s); see EXPERIMENTS.md for paper-vs-measured analysis.\n\n",
-			*scale, *seed, *sources)
+		if _, err := fmt.Fprintf(f, "# Evaluation report\n\nscale %g, seed %d, %d source(s); see EXPERIMENTS.md for paper-vs-measured analysis.\n\n",
+			*scale, *seed, *sources); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 		for _, t := range tables {
 			if err := t.WriteMarkdown(f); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)

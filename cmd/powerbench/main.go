@@ -69,10 +69,15 @@ func main() {
 	}
 	for _, t := range tables {
 		if *out == "" {
+			var err error
 			if *asPlot {
-				plot.Table(os.Stdout, t)
+				err = plot.Table(os.Stdout, t)
 			} else {
-				t.Fprint(os.Stdout)
+				err = t.Fprint(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "powerbench:", err)
+				os.Exit(1)
 			}
 			fmt.Println()
 			continue

@@ -67,10 +67,15 @@ func one(t *trace.Table) []*trace.Table {
 func emit(tables []*trace.Table, dir string, asPlot bool) {
 	for _, t := range tables {
 		if dir == "" {
+			var err error
 			if asPlot {
-				plot.Table(os.Stdout, t)
+				err = plot.Table(os.Stdout, t)
 			} else {
-				t.Fprint(os.Stdout)
+				err = t.Fprint(os.Stdout)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profile:", err)
+				os.Exit(1)
 			}
 			fmt.Println()
 			continue

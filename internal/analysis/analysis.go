@@ -1,0 +1,127 @@
+// Package analysis is a stdlib-only static-analysis framework (built on
+// go/ast, go/parser, go/token, go/types) that encodes this repository's
+// correctness invariants as machine-checked lint rules:
+//
+//   - floatcmp:    no ==/!= on floating-point values (δ thresholds, model
+//     parameters) outside the approved epsilon helpers in internal/fp
+//   - walltime:    no wall-clock calls (time.Now etc.) inside kernel
+//     callbacks whose cost is charged to the simulated machine
+//   - layering:    algorithm packages must not import presentation or
+//     harness layers, and base layers must not import upward
+//   - poolcapture: no unguarded writes to captured shared variables inside
+//     parallel.Pool kernel callbacks
+//   - errcheck:    no discarded error returns in non-test code
+//
+// The framework deliberately avoids golang.org/x/tools: packages are loaded
+// and type-checked with a small module-aware loader (see loader.go), and
+// each rule is a Checker run over a type-checked Pass. cmd/lint is the CLI
+// front end; scripts/check.sh wires it into the tier-2 verification gate.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Severity classifies a finding. Both severities fail the lint gate; the
+// distinction exists so reports read correctly and future rules can demote
+// heuristic checks without changing the findings model.
+type Severity int
+
+const (
+	// Warning marks heuristic findings that may need a lint:ignore with a
+	// stated reason rather than a code change.
+	Warning Severity = iota
+	// Error marks violations of hard invariants.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos      token.Position
+	Rule     string
+	Severity Severity
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s] %s",
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Severity, f.Rule, f.Message)
+}
+
+// Checker is one lint rule. Checkers are stateless: Check may be called for
+// many packages and must derive everything from the Pass.
+type Checker interface {
+	// ID is the short rule identifier used in reports and lint:ignore
+	// directives.
+	ID() string
+	// Doc is a one-line description of the invariant the rule protects.
+	Doc() string
+	// Check inspects one type-checked package and returns its findings.
+	Check(p *Pass) []Finding
+}
+
+// DefaultCheckers returns the full rule set in report order.
+func DefaultCheckers() []Checker {
+	return []Checker{
+		&FloatCmp{},
+		&WallTime{},
+		&Layering{},
+		&PoolCapture{},
+		&ErrCheck{},
+	}
+}
+
+// CheckerByID returns the named checker from DefaultCheckers, or nil.
+func CheckerByID(id string) Checker {
+	for _, c := range DefaultCheckers() {
+		if c.ID() == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// Run loads the module containing dir, applies the checkers to every
+// non-test package, and returns all findings sorted by position. Findings
+// suppressed by a "//lint:ignore <rule> <reason>" comment on the same or
+// preceding line are dropped.
+func Run(dir string, checkers []Checker) ([]Finding, error) {
+	mod, err := Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, p := range mod.Pkgs {
+		for _, c := range checkers {
+			for _, f := range c.Check(p) {
+				if p.ignored(f.Pos, c.ID()) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck flags discarded error returns in non-test code: bare expression
+// statements whose call returns an error, and explicit discards through the
+// blank identifier (`_ = f()`). Errors in this repo carry real signal — a
+// livelock guard tripping, an out-of-range source, a malformed graph file —
+// and every silent discard found in the wild so far masked a decision that
+// belonged to the caller.
+//
+// A small allowlist covers calls whose error is unreachable or definitional
+// noise: fmt printing to stdout/stderr, and writes into in-memory sinks
+// (strings.Builder, bytes.Buffer) that are documented never to fail.
+// Deferred calls (`defer f.Close()`) are outside this rule's scope.
+type ErrCheck struct{}
+
+func (*ErrCheck) ID() string { return "errcheck" }
+
+func (*ErrCheck) Doc() string {
+	return "no discarded error returns (`_ = f()` or bare calls) in non-test code"
+}
+
+func (r *ErrCheck) Check(p *Pass) []Finding {
+	var out []Finding
+	flag := func(call *ast.CallExpr, how string) {
+		out = append(out, Finding{
+			Pos:      p.Position(call.Pos()),
+			Rule:     r.ID(),
+			Severity: Error,
+			Message:  fmt.Sprintf("%s discards an error returned by %s; handle it or lint:ignore with a reason", how, callName(p, call)),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if ok && returnsError(p, call) && !allowedDiscard(p, call) {
+					flag(call, "bare call")
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name != "_" {
+						continue
+					}
+					call, t := blankRHS(p, st, i)
+					if call != nil && isErrorType(t) && !allowedDiscard(p, call) {
+						flag(call, "`_ =` assignment")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// blankRHS resolves the call expression and static type feeding the i-th
+// left-hand side of an assignment, handling both the one-call-many-results
+// form and element-wise assignment. Non-call right-hand sides return nil:
+// discarding an existing variable is an explicit, visible choice.
+func blankRHS(p *Pass, st *ast.AssignStmt, i int) (*ast.CallExpr, types.Type) {
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil, nil
+		}
+		tuple, ok := p.Info.Types[call].Type.(*types.Tuple)
+		if !ok || i >= tuple.Len() {
+			return nil, nil
+		}
+		return call, tuple.At(i).Type()
+	}
+	if i < len(st.Rhs) {
+		call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			return nil, nil
+		}
+		return call, p.Info.Types[call].Type
+	}
+	return nil, nil
+}
+
+// returnsError reports whether any result of the call is of type error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.Info.Types[call].Type
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// allowedDiscard reports whether the call's error is conventionally
+// discardable: fmt printing to stdout or to an in-memory sink, or a method
+// on strings.Builder / bytes.Buffer (documented to never return an error).
+func allowedDiscard(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && inMemoryOrStdSink(p, call.Args[0])
+		}
+	case "strings", "bytes":
+		// Methods on strings.Builder and bytes.Buffer never return a
+		// non-nil error (per their documentation).
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			return isSinkType(recv.Type())
+		}
+	}
+	return false
+}
+
+// inMemoryOrStdSink reports whether the writer expression is os.Stdout,
+// os.Stderr, or an in-memory sink type.
+func inMemoryOrStdSink(p *Pass, w ast.Expr) bool {
+	if sel, ok := ast.Unparen(w).(*ast.SelectorExpr); ok {
+		if obj, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Pkg().Path() == "os" {
+			if obj.Name() == "Stdout" || obj.Name() == "Stderr" {
+				return true
+			}
+		}
+	}
+	return isSinkType(p.Info.Types[w].Type)
+}
+
+// isSinkType reports whether t is a (pointer to a) writer type for which
+// discarding per-write errors is sound: in-memory builders/buffers that
+// cannot fail, and sticky-error writers (bufio.Writer, tabwriter.Writer)
+// where the first failure latches and is reported by Flush — which this rule
+// still requires callers to check, since a bare Flush() is itself flagged.
+func isSinkType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer", "bufio.Writer", "text/tabwriter.Writer":
+		return true
+	}
+	return false
+}
+
+// typeName returns the bare name of a (possibly pointer-to) named type.
+func typeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// callName renders a readable name for the called function.
+func callName(p *Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				return fmt.Sprintf("(%s).%s", typeName(recv.Type()), fn.Name())
+			}
+			if fn.Pkg() != nil {
+				return fn.Pkg().Name() + "." + fn.Name()
+			}
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import "testing"
+
+func TestErrCheck(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []int
+	}{
+		{
+			name: "flags bare call discarding an error",
+			src: `package a
+import "os"
+func f() {
+	os.Remove("x")
+}
+`,
+			want: []int{4},
+		},
+		{
+			name: "flags blank assignment of an error result",
+			src: `package a
+import "os"
+func f() {
+	_ = os.Remove("x")
+}
+`,
+			want: []int{4},
+		},
+		{
+			name: "flags blank error position in a multi-result call",
+			src: `package a
+import "os"
+func f() *os.File {
+	g, _ := os.Create("x")
+	return g
+}
+`,
+			want: []int{4},
+		},
+		{
+			name: "flags bare method call returning an error",
+			src: `package a
+import "os"
+func f(g *os.File) {
+	g.Close()
+}
+`,
+			want: []int{4},
+		},
+		{
+			name: "allows checked errors and error-free calls",
+			src: `package a
+import "os"
+func f() error {
+	if err := os.Remove("x"); err != nil {
+		return err
+	}
+	return nil
+}
+`,
+		},
+		{
+			name: "allows fmt printing to stdout and stderr",
+			src: `package a
+import (
+	"fmt"
+	"os"
+)
+func f() {
+	fmt.Println("hi")
+	fmt.Fprintf(os.Stderr, "warn\n")
+}
+`,
+		},
+		{
+			name: "allows in-memory sinks and sticky buffered writers",
+			src: `package a
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+func f(w io.Writer) error {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "x")
+	b.WriteString("y")
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, b.String())
+	return bw.Flush()
+}
+`,
+		},
+		{
+			name: "deferred calls are out of scope",
+			src: `package a
+import "os"
+func f() {
+	g, err := os.Open("x")
+	if err != nil {
+		return
+	}
+	defer g.Close()
+}
+`,
+		},
+		{
+			name: "discarding an error variable is not flagged",
+			src: `package a
+import "errors"
+func f() {
+	err := errors.New("x")
+	_ = err
+}
+`,
+		},
+		{
+			name: "suppressed by lint:ignore with reason",
+			src: `package a
+import "os"
+func f() {
+	//lint:ignore errcheck best-effort cleanup
+	os.Remove("x")
+}
+`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := singleFixture(t, c.src)
+			expectLines(t, runRule(t, &ErrCheck{}, p), c.want...)
+		})
+	}
+}

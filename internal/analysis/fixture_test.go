@@ -1,0 +1,156 @@
+package analysis
+
+// In-memory fixture harness for the rule tests: fixture packages are plain
+// source strings, parsed with go/parser and type-checked through the same
+// checkFiles path the module loader uses. Fixture packages may import each
+// other (e.g. a stub "parallel" package providing Pool) and the standard
+// library; stdlib imports resolve through one shared source-mode importer so
+// its type-checking cost is paid once per test binary.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"testing"
+)
+
+var (
+	testFset = token.NewFileSet()
+	stdImp   = importer.ForCompiler(testFset, "source", nil)
+)
+
+// fixtureMod is the module path used by all in-memory fixtures.
+const fixtureMod = "example.com/fix"
+
+// checkFixture type-checks the fixture packages (import path -> filename ->
+// source) and returns a Pass for the target import path.
+func checkFixture(t *testing.T, pkgs map[string]map[string]string, target string) *Pass {
+	t.Helper()
+	parsed := make(map[string][]*ast.File)
+	for path, files := range pkgs {
+		names := make([]string, 0, len(files))
+		for name := range files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(testFset, path+"/"+name, files[name],
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parse %s/%s: %v", path, name, err)
+			}
+			parsed[path] = append(parsed[path], f)
+		}
+	}
+
+	checked := make(map[string]*types.Package)
+	infos := make(map[string]*types.Info)
+	var load func(path string) (*types.Package, error)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if _, ok := parsed[path]; ok {
+			return load(path)
+		}
+		return stdImp.Import(path)
+	})
+	load = func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		pkg, info, err := checkFiles(testFset, path, parsed[path], imp)
+		if err != nil {
+			return nil, err
+		}
+		checked[path] = pkg
+		infos[path] = info
+		return pkg, nil
+	}
+	if _, err := load(target); err != nil {
+		t.Fatalf("type-check %s: %v", target, err)
+	}
+	return &Pass{
+		Fset:    testFset,
+		ModPath: fixtureMod,
+		Path:    target,
+		Files:   parsed[target],
+		Pkg:     checked[target],
+		Info:    infos[target],
+		ignores: collectIgnores(testFset, parsed[target]),
+	}
+}
+
+// singleFixture wraps checkFixture for the common one-package case.
+func singleFixture(t *testing.T, src string) *Pass {
+	t.Helper()
+	path := fixtureMod + "/a"
+	return checkFixture(t, map[string]map[string]string{path: {"a.go": src}}, path)
+}
+
+// runRule applies the checker and drops findings suppressed by lint:ignore,
+// mirroring Run's filtering.
+func runRule(t *testing.T, c Checker, p *Pass) []Finding {
+	t.Helper()
+	var out []Finding
+	for _, f := range c.Check(p) {
+		if p.ignored(f.Pos, c.ID()) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// findingLines extracts the sorted line numbers of the findings.
+func findingLines(fs []Finding) []int {
+	lines := make([]int, len(fs))
+	for i, f := range fs {
+		lines[i] = f.Pos.Line
+	}
+	sort.Ints(lines)
+	return lines
+}
+
+func expectLines(t *testing.T, fs []Finding, want ...int) {
+	t.Helper()
+	got := findingLines(fs)
+	if len(got) != len(want) {
+		t.Fatalf("got %d finding(s) on lines %v, want lines %v\nfindings: %v", len(got), got, want, fs)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("finding lines %v, want %v\nfindings: %v", got, want, fs)
+		}
+	}
+}
+
+// poolStub is a minimal stand-in for internal/parallel: the rules recognize
+// kernel launches by (package name "parallel", type name "Pool"), so the
+// stub triggers them without depending on the real package.
+var poolStub = map[string]string{"pool.go": `package parallel
+
+type Pool struct{ size int }
+
+func NewPool(n int) *Pool                                  { return &Pool{size: n} }
+func (p *Pool) Run(f func(worker int))                     { f(0) }
+func (p *Pool) For(n int, body func(lo, hi int))           { body(0, n) }
+func (p *Pool) Dynamic(n, g int, body func(lo, hi int))    { body(0, n) }
+func (p *Pool) DynamicWorker(n, g int, b func(w, l, h int)) { b(0, 0, n) }
+func (p *Pool) SumInt64(n int, f func(i int) int64) int64  { return 0 }
+func (p *Pool) Close()                                     {}
+`}
+
+// poolFixture type-checks src (which may import the parallel stub) and
+// returns the Pass for it.
+func poolFixture(t *testing.T, src string) *Pass {
+	t.Helper()
+	path := fixtureMod + "/a"
+	return checkFixture(t, map[string]map[string]string{
+		fixtureMod + "/internal/parallel": poolStub,
+		path:                              {"a.go": src},
+	}, path)
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands. Distances, δ
+// thresholds, and model parameters accumulate rounding error, so exact
+// equality silently stops holding; the approved epsilon helpers live in
+// internal/fp (whose own implementation is exempt). Comparisons where both
+// operands are compile-time constants are exact and allowed, as are
+// comparisons against math.Inf(..), which is a precise sentinel.
+type FloatCmp struct{}
+
+// ApprovedPkg is the package name whose files may compare floats exactly.
+const approvedFloatPkg = "fp"
+
+func (*FloatCmp) ID() string { return "floatcmp" }
+
+func (*FloatCmp) Doc() string {
+	return "no ==/!= on float values outside the internal/fp epsilon helpers"
+}
+
+func (r *FloatCmp) Check(p *Pass) []Finding {
+	if p.Pkg.Name() == approvedFloatPkg {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := p.Info.Types[be.X], p.Info.Types[be.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant fold: exact by definition
+			}
+			if isMathInfCall(p, be.X) || isMathInfCall(p, be.Y) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:      p.Position(be.OpPos),
+				Rule:     r.ID(),
+				Severity: Error,
+				Message: fmt.Sprintf("exact %s on floating-point values; use internal/fp (fp.Eq/fp.Zero) or restructure the comparison",
+					be.Op),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isMathInfCall reports whether e is a call to math.Inf.
+func isMathInfCall(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	return ok && obj.Name() == "Inf" && obj.Pkg() != nil && obj.Pkg().Path() == "math"
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import "testing"
+
+func TestFloatCmp(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []int // finding lines
+	}{
+		{
+			name: "flags equality on float64 vars",
+			src: `package a
+func f(x, y float64) bool { return x == y }
+`,
+			want: []int{2},
+		},
+		{
+			name: "flags inequality on float struct fields",
+			src: `package a
+type s struct{ d float64 }
+func f(a, b s) bool { return a.d != b.d }
+`,
+			want: []int{3},
+		},
+		{
+			name: "flags float32 and comparison against a float literal",
+			src: `package a
+func f(x float32) bool { return x != 0 }
+func g(y float64) bool { return y == 1.5 }
+`,
+			want: []int{2, 3},
+		},
+		{
+			name: "ignores integer comparisons",
+			src: `package a
+func f(x, y int64) bool { return x == y }
+`,
+		},
+		{
+			name: "ignores constant-folded comparisons",
+			src: `package a
+const c = 1.5 == 1.5
+`,
+		},
+		{
+			name: "ignores comparison against math.Inf sentinel",
+			src: `package a
+import "math"
+func f(x float64) bool { return x == math.Inf(1) }
+`,
+		},
+		{
+			name: "suppressed by lint:ignore with reason",
+			src: `package a
+func f(x, y float64) bool {
+	//lint:ignore floatcmp bit-exact replay comparison is intended
+	return x == y
+}
+`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := singleFixture(t, c.src)
+			expectLines(t, runRule(t, &FloatCmp{}, p), c.want...)
+		})
+	}
+}
+
+func TestFloatCmpApprovedPackageExempt(t *testing.T) {
+	path := fixtureMod + "/internal/fp"
+	p := checkFixture(t, map[string]map[string]string{path: {"fp.go": `package fp
+func Eq(a, b float64) bool { return a == b }
+`}}, path)
+	expectLines(t, runRule(t, &FloatCmp{}, p))
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import "testing"
+
+// layering fixtures: stub packages for each layer the rules reference.
+var layerStubs = map[string]map[string]string{
+	fixtureMod + "/internal/plot":    {"plot.go": "package plot\n\nconst X = 1\n"},
+	fixtureMod + "/internal/harness": {"harness.go": "package harness\n\nconst X = 1\n"},
+	fixtureMod + "/internal/graph":   {"graph.go": "package graph\n\nconst X = 1\n"},
+	fixtureMod + "/internal/sssp":    {"sssp.go": "package sssp\n\nconst X = 1\n"},
+	fixtureMod + "/cmd/tool":         {"tool.go": "package tool\n\nconst X = 1\n"},
+}
+
+func layeringFixture(t *testing.T, path, src string) *Pass {
+	t.Helper()
+	pkgs := make(map[string]map[string]string, len(layerStubs)+1)
+	for p, files := range layerStubs {
+		pkgs[p] = files
+	}
+	pkgs[path] = map[string]string{"x.go": src}
+	return checkFixture(t, pkgs, path)
+}
+
+func TestLayering(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []int
+	}{
+		{
+			name: "algorithm package must not import plot",
+			path: fixtureMod + "/internal/core",
+			src: `package core
+import _ "example.com/fix/internal/plot"
+`,
+			want: []int{2},
+		},
+		{
+			name: "algorithm package must not import harness",
+			path: fixtureMod + "/internal/sssp/inner",
+			src: `package inner
+import _ "example.com/fix/internal/harness"
+`,
+			want: []int{2},
+		},
+		{
+			name: "base layer must not import upward into sssp",
+			path: fixtureMod + "/internal/graph/sub",
+			src: `package sub
+import _ "example.com/fix/internal/sssp"
+`,
+			want: []int{2},
+		},
+		{
+			name: "no internal package may import cmd",
+			path: fixtureMod + "/internal/trace",
+			src: `package trace
+import _ "example.com/fix/cmd/tool"
+`,
+			want: []int{2},
+		},
+		{
+			name: "algorithm package may import base layers",
+			path: fixtureMod + "/internal/core",
+			src: `package core
+import _ "example.com/fix/internal/graph"
+`,
+		},
+		{
+			name: "commands may import anything",
+			path: fixtureMod + "/cmd/other",
+			src: `package other
+import (
+	_ "example.com/fix/internal/harness"
+	_ "example.com/fix/internal/plot"
+)
+`,
+		},
+		{
+			name: "stdlib imports are never layering findings",
+			path: fixtureMod + "/internal/sssp/other",
+			src: `package other
+import _ "sort"
+`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := layeringFixture(t, c.path, c.src)
+			expectLines(t, runRule(t, &Layering{}, p), c.want...)
+		})
+	}
+}

@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Pass is one type-checked, non-test package presented to a Checker.
+type Pass struct {
+	Fset *token.FileSet
+	// ModPath is the module path from go.mod (e.g. "energysssp").
+	ModPath string
+	// Path is the package's import path ("energysssp/internal/sssp").
+	Path string
+	// Dir is the package's directory on disk.
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// ignores maps filename -> line -> rule IDs suppressed on that line.
+	ignores map[string]map[int]map[string]bool
+}
+
+// Rel returns the package path relative to the module root ("internal/sssp"),
+// or "" for the module root package itself.
+func (p *Pass) Rel() string {
+	if p.Path == p.ModPath {
+		return ""
+	}
+	return strings.TrimPrefix(p.Path, p.ModPath+"/")
+}
+
+// Position resolves a token.Pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// ignored reports whether a finding of the given rule at pos is suppressed
+// by a lint:ignore directive on the same line or the line above.
+func (p *Pass) ignored(pos token.Position, rule string) bool {
+	lines := p.ignores[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if rules := lines[line]; rules != nil && (rules[rule] || rules["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Module is a loaded, fully type-checked module.
+type Module struct {
+	Fset *token.FileSet
+	Path string // module path
+	Dir  string // module root directory
+	Pkgs []*Pass
+}
+
+type loader struct {
+	fset    *token.FileSet
+	modPath string
+	modDir  string
+	std     types.Importer
+	pkgs    map[string]*Pass
+	loading map[string]bool
+}
+
+// Load locates the module containing dir (by walking up to go.mod), parses
+// every non-test package in it, and type-checks them all. Module-local
+// imports are resolved from source within the module; standard-library
+// imports are compiled from $GOROOT source via go/importer's "source" mode,
+// keeping the loader free of toolchain export-data formats and of any
+// dependency outside the standard library.
+func Load(dir string) (*Module, error) {
+	modDir, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		modPath: modPath,
+		modDir:  modDir,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Pass),
+		loading: make(map[string]bool),
+	}
+	dirs, err := packageDirs(modDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range dirs {
+		rel, err := filepath.Rel(modDir, d)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := l.load(path); err != nil {
+			return nil, fmt.Errorf("analysis: loading %s: %w", path, err)
+		}
+	}
+	mod := &Module{Fset: fset, Path: modPath, Dir: modDir}
+	for _, p := range l.pkgs {
+		mod.Pkgs = append(mod.Pkgs, p)
+	}
+	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].Path < mod.Pkgs[j].Path })
+	return mod, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the module
+// root directory and module path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			path := modulePath(string(data))
+			if path == "" {
+				return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", d)
+			}
+			return d, path, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			rest = strings.TrimSpace(rest)
+			if unq, err := strconv.Unquote(rest); err == nil {
+				return unq
+			}
+			return rest
+		}
+	}
+	return ""
+}
+
+// packageDirs returns every directory under root that contains at least one
+// non-test .go file, skipping VCS metadata, testdata, and vendor trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// load parses and type-checks the package at the given module-local import
+// path, memoizing the result. Imports of other module packages recurse.
+func (l *loader) load(path string) (*Pass, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.modDir
+	if path != l.modPath {
+		dir = filepath.Join(l.modDir, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+	}
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	pkg, info, err := checkFiles(l.fset, path, files, importerFunc(l.importPkg))
+	if err != nil {
+		return nil, err
+	}
+	p := &Pass{
+		Fset:    l.fset,
+		ModPath: l.modPath,
+		Path:    path,
+		Dir:     dir,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+		ignores: collectIgnores(l.fset, files),
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// parseDir parses every non-test .go file in dir with comments (needed for
+// lint:ignore directives), skipping files excluded by a build-ignore tag.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if buildIgnored(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// buildIgnored reports whether the file carries a "//go:build ignore"
+// constraint (the only constraint form this repo uses).
+func buildIgnored(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			tag := strings.TrimSpace(strings.TrimPrefix(c.Text, "//go:build"))
+			if strings.HasPrefix(c.Text, "//go:build") && tag == "ignore" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkFiles type-checks one package's files. Exposed within the package so
+// rule tests can type-check in-memory fixtures through the same path the
+// loader uses.
+func checkFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// collectIgnores scans file comments for "//lint:ignore rule1,rule2 reason"
+// directives. A directive suppresses the listed rules (or "all") on its own
+// line and on the line immediately after it.
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					out[pos.Filename] = lines
+				}
+				rules := lines[pos.Line]
+				if rules == nil {
+					rules = make(map[string]bool)
+					lines[pos.Line] = rules
+				}
+				for _, r := range strings.Split(fields[0], ",") {
+					rules[r] = true
+				}
+			}
+		}
+	}
+	return out
+}

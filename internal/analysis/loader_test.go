@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a file tree (relative path -> content) under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for rel, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLoadModule(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod":        "module example.com/tmp\n\ngo 1.22\n",
+		"root.go":       "package tmp\n\nconst Root = 1\n",
+		"a/a.go":        "package a\n\nimport \"example.com/tmp/b\"\n\nvar _ = b.V\n",
+		"b/b.go":        "package b\n\nvar V = 2\n",
+		"a/a_test.go":   "package a\n\nfunc helperOnlyInTests() {}\n",
+		"b/ignored.go":  "//go:build ignore\n\npackage main\n",
+		"testdata/x.go": "package broken this is not go\n",
+	})
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "example.com/tmp" {
+		t.Fatalf("module path = %q", mod.Path)
+	}
+	var paths []string
+	for _, p := range mod.Pkgs {
+		paths = append(paths, p.Path)
+	}
+	want := "example.com/tmp example.com/tmp/a example.com/tmp/b"
+	if got := strings.Join(paths, " "); got != want {
+		t.Fatalf("packages = %q, want %q", got, want)
+	}
+	// Rel() strips the module prefix; the root package maps to "".
+	if rel := mod.Pkgs[1].Rel(); rel != "a" {
+		t.Fatalf("Rel() = %q, want \"a\"", rel)
+	}
+	if rel := mod.Pkgs[0].Rel(); rel != "" {
+		t.Fatalf("root Rel() = %q, want \"\"", rel)
+	}
+	// Test files are excluded from analysis.
+	for _, f := range mod.Pkgs[1].Files {
+		name := mod.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Fatalf("test file loaded: %s", name)
+		}
+	}
+}
+
+func TestRunFindsAndSuppresses(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module example.com/tmp\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+func bad(x, y float64) bool { return x == y }
+
+func ok(x, y float64) bool {
+	//lint:ignore floatcmp fixture demonstrates suppression
+	return x == y
+}
+`,
+	})
+	// Run discovers the module root from a subdirectory.
+	findings, err := Run(filepath.Join(dir, "a"), []Checker{&FloatCmp{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the unsuppressed comparison", findings)
+	}
+	f := findings[0]
+	if f.Rule != "floatcmp" || f.Pos.Line != 3 {
+		t.Fatalf("finding = %+v, want floatcmp at line 3", f)
+	}
+	if f.Severity != Error {
+		t.Fatalf("severity = %v, want error", f.Severity)
+	}
+	if !strings.Contains(f.String(), "[floatcmp]") {
+		t.Fatalf("rendered finding missing rule tag: %s", f.String())
+	}
+}
+
+func TestLoadErrorOnMissingModule(t *testing.T) {
+	if _, err := Load(string(filepath.Separator)); err == nil {
+		t.Fatal("expected an error loading from a directory without go.mod")
+	}
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// poolKernelMethods are the parallel.Pool entry points whose function-literal
+// arguments execute as kernel bodies on worker goroutines. Work done inside
+// them is charged to the simulated machine by the calling solver, and the
+// literals run concurrently with each other.
+var poolKernelMethods = map[string]bool{
+	"Run":           true,
+	"For":           true,
+	"Dynamic":       true,
+	"DynamicWorker": true,
+	"SumInt64":      true,
+}
+
+// kernelCallbacks walks a file and invokes visit for every function literal
+// passed as an argument to a parallel.Pool kernel method. The recognition is
+// type-based: the receiver must be a named type Pool (or *Pool) declared in
+// a package named "parallel".
+func kernelCallbacks(p *Pass, f *ast.File, visit func(call *ast.CallExpr, lit *ast.FuncLit)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !poolKernelMethods[sel.Sel.Name] {
+			return true
+		}
+		if !isPoolType(p.Info.Types[sel.X].Type) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				visit(call, lit)
+			}
+		}
+		return true
+	})
+}
+
+// isPoolType reports whether t is parallel.Pool or *parallel.Pool.
+func isPoolType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Name() == "parallel"
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// PoolCapture flags writes to captured shared variables inside parallel.Pool
+// kernel callbacks. Kernel bodies run concurrently on worker goroutines, so
+// a plain assignment to a variable declared outside the callback is a data
+// race unless every worker writes a disjoint slot. The rule permits the
+// repo's three sanctioned sharing patterns:
+//
+//   - per-worker slots: writes through an index/field expression
+//     (partial[w].v += s) — the indexed location, not the binding, is shared
+//   - sync/atomic: mutation goes through method calls, never assignment
+//   - mutex-protected sections: a callback that locks a sync (RW)Mutex is
+//     assumed to guard its shared writes and is skipped wholesale
+//
+// The check is intentionally conservative about aliasing (writes through
+// captured pointers or slice elements are not modeled); it exists to catch
+// the classic reduction-into-a-captured-scalar bug before -race does.
+type PoolCapture struct{}
+
+func (*PoolCapture) ID() string { return "poolcapture" }
+
+func (*PoolCapture) Doc() string {
+	return "no unguarded writes to captured variables inside parallel.Pool kernel callbacks"
+}
+
+func (r *PoolCapture) Check(p *Pass) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		kernelCallbacks(p, f, func(_ *ast.CallExpr, lit *ast.FuncLit) {
+			if locksMutex(p, lit) {
+				return
+			}
+			report := func(id *ast.Ident, verb string) {
+				obj, ok := p.Info.Uses[id].(*types.Var)
+				if !ok || obj.IsField() {
+					return
+				}
+				if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+					return // declared inside the callback (param or local)
+				}
+				out = append(out, Finding{
+					Pos:      p.Position(id.Pos()),
+					Rule:     r.ID(),
+					Severity: Error,
+					Message: fmt.Sprintf("%s of captured variable %q inside a parallel.Pool kernel callback; use per-worker slots, sync/atomic, or a mutex",
+						verb, id.Name),
+				})
+			}
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.FuncLit:
+					if st != lit {
+						return false // nested literals run where they are invoked
+					}
+				case *ast.AssignStmt:
+					for _, lhs := range st.Lhs {
+						if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+							report(id, "assignment")
+						}
+					}
+				case *ast.IncDecStmt:
+					if id, ok := ast.Unparen(st.X).(*ast.Ident); ok {
+						report(id, "increment/decrement")
+					}
+				}
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// locksMutex reports whether the function literal calls Lock/RLock on a
+// sync.Mutex or sync.RWMutex anywhere in its body.
+func locksMutex(p *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

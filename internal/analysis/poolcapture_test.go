@@ -1,0 +1,156 @@
+package analysis
+
+import "testing"
+
+func TestPoolCapture(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []int
+	}{
+		{
+			name: "flags compound assignment to a captured scalar",
+			src: `package a
+
+import "example.com/fix/internal/parallel"
+
+func f(p *parallel.Pool) int {
+	total := 0
+	p.For(100, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += i
+		}
+	})
+	return total
+}
+`,
+			want: []int{9},
+		},
+		{
+			name: "flags increment of a captured counter in Dynamic",
+			src: `package a
+
+import "example.com/fix/internal/parallel"
+
+func f(p *parallel.Pool) int {
+	count := 0
+	p.Dynamic(100, 8, func(lo, hi int) {
+		count++
+	})
+	return count
+}
+`,
+			want: []int{8},
+		},
+		{
+			name: "flags plain assignment to a captured package-level variable",
+			src: `package a
+
+import "example.com/fix/internal/parallel"
+
+var last int
+
+func f(p *parallel.Pool) {
+	p.Run(func(w int) {
+		last = w
+	})
+}
+`,
+			want: []int{9},
+		},
+		{
+			name: "allows per-worker slots through index expressions",
+			src: `package a
+
+import "example.com/fix/internal/parallel"
+
+func f(p *parallel.Pool) int {
+	parts := make([]int, 8)
+	p.DynamicWorker(100, 16, func(w, lo, hi int) {
+		parts[w] += hi - lo
+	})
+	return parts[0]
+}
+`,
+		},
+		{
+			name: "allows sync/atomic counters",
+			src: `package a
+
+import (
+	"sync/atomic"
+
+	"example.com/fix/internal/parallel"
+)
+
+func f(p *parallel.Pool) int64 {
+	var n atomic.Int64
+	p.For(100, func(lo, hi int) {
+		n.Add(int64(hi - lo))
+	})
+	return n.Load()
+}
+`,
+		},
+		{
+			name: "allows mutex-guarded callbacks",
+			src: `package a
+
+import (
+	"sync"
+
+	"example.com/fix/internal/parallel"
+)
+
+func f(p *parallel.Pool) int {
+	var mu sync.Mutex
+	total := 0
+	p.For(100, func(lo, hi int) {
+		mu.Lock()
+		total += hi - lo
+		mu.Unlock()
+	})
+	return total
+}
+`,
+		},
+		{
+			name: "allows locals and parameters declared inside the callback",
+			src: `package a
+
+import "example.com/fix/internal/parallel"
+
+func f(p *parallel.Pool) {
+	p.For(100, func(lo, hi int) {
+		s := 0
+		s += lo
+		lo = hi
+		_ = s
+	})
+}
+`,
+		},
+		{
+			name: "allows writes outside the callback",
+			src: `package a
+
+import "example.com/fix/internal/parallel"
+
+func f(p *parallel.Pool) int {
+	total := 0
+	p.For(100, func(lo, hi int) {
+		_ = lo
+	})
+	total = 7
+	return total
+}
+`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := poolFixture(t, c.src)
+			expectLines(t, runRule(t, &PoolCapture{}, p), c.want...)
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// WallTime flags wall-clock calls inside parallel.Pool kernel callbacks.
+// Kernel cost is charged to the simulated machine (internal/sim) from the
+// work-item counts the solver reports; reading the host clock inside a
+// kernel body either leaks nondeterministic wall time into simulated
+// results or signals that a solver is timing the wrong layer. Wall-clock
+// measurement belongs at the solver entry point, outside the kernels.
+type WallTime struct{}
+
+// wallClockFuncs are the package time functions that observe or depend on
+// the host clock.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func (*WallTime) ID() string { return "walltime" }
+
+func (*WallTime) Doc() string {
+	return "no time.Now/wall-clock calls inside sim-charged parallel.Pool kernel callbacks"
+}
+
+func (r *WallTime) Check(p *Pass) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		kernelCallbacks(p, f, func(_ *ast.CallExpr, lit *ast.FuncLit) {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !wallClockFuncs[obj.Name()] {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:      p.Position(call.Pos()),
+					Rule:     r.ID(),
+					Severity: Error,
+					Message: fmt.Sprintf("time.%s inside a parallel.Pool kernel callback; kernel cost is simulated — measure wall time at the solver level",
+						obj.Name()),
+				})
+				return true
+			})
+		})
+	}
+	return out
+}

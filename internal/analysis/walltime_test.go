@@ -1,0 +1,97 @@
+package analysis
+
+import "testing"
+
+func TestWallTime(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []int
+	}{
+		{
+			name: "flags time.Now inside a For kernel",
+			src: `package a
+
+import (
+	"time"
+
+	"example.com/fix/internal/parallel"
+)
+
+func f(p *parallel.Pool) {
+	p.For(10, func(lo, hi int) {
+		t0 := time.Now()
+		_ = t0
+	})
+}
+`,
+			want: []int{11},
+		},
+		{
+			name: "flags time.Since and time.Sleep inside Dynamic/Run kernels",
+			src: `package a
+
+import (
+	"time"
+
+	"example.com/fix/internal/parallel"
+)
+
+func f(p *parallel.Pool, start time.Time) {
+	p.Dynamic(10, 2, func(lo, hi int) {
+		d := time.Since(start)
+		_ = d
+	})
+	p.Run(func(w int) {
+		time.Sleep(time.Millisecond)
+	})
+}
+`,
+			want: []int{11, 15},
+		},
+		{
+			name: "allows wall-clock at the solver level outside kernels",
+			src: `package a
+
+import (
+	"time"
+
+	"example.com/fix/internal/parallel"
+)
+
+func f(p *parallel.Pool) time.Duration {
+	start := time.Now()
+	p.For(10, func(lo, hi int) {
+		_ = lo + hi
+	})
+	return time.Since(start)
+}
+`,
+		},
+		{
+			name: "ignores same-named methods on non-parallel types",
+			src: `package a
+
+import "time"
+
+type fake struct{}
+
+func (fake) For(n int, body func(lo, hi int)) { body(0, n) }
+
+func f() {
+	var fk fake
+	fk.For(1, func(lo, hi int) {
+		t0 := time.Now()
+		_ = t0
+	})
+}
+`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := poolFixture(t, c.src)
+			expectLines(t, runRule(t, &WallTime{}, p), c.want...)
+		})
+	}
+}

@@ -19,6 +19,7 @@ package core
 import (
 	"math"
 
+	"energysssp/internal/fp"
 	"energysssp/internal/frontier"
 	"energysssp/internal/graph"
 	"energysssp/internal/sgd"
@@ -114,7 +115,7 @@ type QueueState struct {
 // (X¹ₖ₊₁ − X⁴ₖ), per Eq. 5.
 func (c *Controller) Observe(x1, x2 int) {
 	c.advance.Observe(float64(x1), float64(x2))
-	if c.havePrev && c.lastDelta != 0 {
+	if c.havePrev && !fp.Zero(c.lastDelta) {
 		c.bisect.Observe(c.lastDelta, float64(x1)-c.lastX4)
 	}
 	c.iters++

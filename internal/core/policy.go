@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"energysssp/internal/fp"
 	"energysssp/internal/frontier"
 )
 
@@ -82,7 +83,7 @@ func (o *OneShot) NextDelta(q QueueState) float64 {
 		}
 		return next
 	}
-	if o.step == 0 {
+	if fp.Zero(o.step) {
 		o.step = medianOf(o.steps)
 		if o.step < 1 {
 			o.step = 1

@@ -6,6 +6,7 @@
 package dvfs
 
 import (
+	"fmt"
 	"time"
 
 	"energysssp/internal/sim"
@@ -77,10 +78,16 @@ func (g *Ondemand) OnKernel(m *sim.Machine, util float64, dur time.Duration) {
 
 func (g *Ondemand) apply(m *sim.Machine) {
 	dev := m.Device()
-	_ = m.SetFreq(sim.Freq{
+	err := m.SetFreq(sim.Freq{
 		CoreMHz: dev.CoreFreqsMHz[g.coreIdx],
 		MemMHz:  dev.MemFreqsMHz[g.memIdx],
 	})
+	if err != nil {
+		// The operating point was read out of the device's own tables, so
+		// rejection means the governor indices are corrupt — a programming
+		// bug, not a runtime condition the caller could handle.
+		panic(fmt.Sprintf("dvfs: governor selected an invalid operating point: %v", err))
+	}
 }
 
 // Pin fixes the machine at the given operating point and removes any

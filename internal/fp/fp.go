@@ -1,0 +1,43 @@
+// Package fp holds the repo's approved floating-point comparison helpers.
+//
+// The paper's controller state (δ thresholds, model parameters d and α,
+// learning rates) lives in float64, and several invariants — "a Δδ was
+// applied", "the curvature EMA is degenerate" — are naturally expressed as
+// equality tests. Raw ==/!= on floats is fragile under accumulation error,
+// so the custom linter (internal/analysis, rule floatcmp) bans it everywhere
+// except inside this package; callers route exact-or-approximate equality
+// through Eq/Zero instead.
+package fp
+
+import "math"
+
+// Eps is the default tolerance: absolute for values near zero, relative
+// otherwise. It is far below any physically meaningful δ or model-parameter
+// difference in the controller, and far above accumulated rounding noise
+// from the EMA updates.
+const Eps = 1e-9
+
+// Eq reports whether a and b are equal within a mixed absolute/relative
+// tolerance of Eps. Infinities compare equal only to themselves; NaN is
+// equal to nothing, matching IEEE semantics.
+func Eq(a, b float64) bool { return EqTol(a, b, Eps) }
+
+// EqTol is Eq with an explicit tolerance.
+func EqTol(a, b, tol float64) bool {
+	if a == b {
+		// Exact match; also the only way two infinities compare equal.
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+// Zero reports whether x is within Eps of zero. NaN is not zero.
+func Zero(x float64) bool { return math.Abs(x) <= Eps }

@@ -1,0 +1,59 @@
+package fp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},             // below relative tolerance
+		{1e12, 1e12 * (1 + 1e-12), true}, // relative tolerance scales
+		{1, 1.001, false},
+		{0, 1e-12, true}, // absolute tolerance near zero
+		{0, 1e-3, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.Inf(1), 1e300, false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 0, false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want bool
+	}{
+		{0, true},
+		{1e-12, true},
+		{-1e-12, true},
+		{1e-3, false},
+		{math.Inf(1), false},
+		{math.NaN(), false},
+	}
+	for _, c := range cases {
+		if got := Zero(c.x); got != c.want {
+			t.Errorf("Zero(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEqTol(t *testing.T) {
+	if !EqTol(1, 1.05, 0.1) {
+		t.Error("EqTol(1, 1.05, 0.1) should hold")
+	}
+	if EqTol(1, 1.5, 0.1) {
+		t.Error("EqTol(1, 1.5, 0.1) should not hold")
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"energysssp/internal/fp"
 )
 
 // IterStat describes one solver iteration k.
@@ -110,7 +112,7 @@ func Summarize(xs []float64) Summary {
 	}
 	s.Variance = ss / float64(s.N)
 	s.StdDev = math.Sqrt(s.Variance)
-	if s.Mean != 0 {
+	if !fp.Zero(s.Mean) {
 		s.CoefOfVar = s.StdDev / s.Mean
 	}
 	den := s.Min
@@ -166,7 +168,7 @@ func Histogram(xs []float64, nbins int) []Bin {
 			hi = x
 		}
 	}
-	if hi == lo {
+	if fp.Eq(hi, lo) {
 		return []Bin{{Lo: lo, Hi: hi, Count: len(xs)}}
 	}
 	width := (hi - lo) / float64(nbins)

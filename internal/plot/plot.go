@@ -3,14 +3,20 @@
 // cmd/powerbench expose it behind -plot). It deliberately depends only on
 // the standard library: line charts, bar histograms, and scatter plots with
 // labeled axes.
+//
+// All renderers buffer through a bufio.Writer (whose sticky error surfaces
+// at the final Flush) and report the first write failure, so a full chart
+// either reaches the destination or the caller hears about it.
 package plot
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
 	"strings"
 
+	"energysssp/internal/fp"
 	"energysssp/internal/metrics"
 )
 
@@ -37,9 +43,10 @@ func (o Options) withDefaults() Options {
 // Line renders one or more named series as an overlaid line chart. Series
 // are drawn with distinct glyphs in input order; x is the sample index
 // scaled to the widest series.
-func Line(w io.Writer, series map[string][]float64, opt Options) {
+func Line(w io.Writer, series map[string][]float64, opt Options) error {
 	opt = opt.withDefaults()
 	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	bw := bufio.NewWriter(w)
 
 	names := sortedKeys(series)
 	maxLen := 0
@@ -60,10 +67,10 @@ func Line(w io.Writer, series map[string][]float64, opt Options) {
 		}
 	}
 	if maxLen == 0 {
-		fmt.Fprintln(w, "(empty plot)")
-		return
+		fmt.Fprintln(bw, "(empty plot)")
+		return bw.Flush()
 	}
-	if hi == lo {
+	if fp.Eq(hi, lo) {
 		hi = lo + 1
 	}
 
@@ -84,17 +91,19 @@ func Line(w io.Writer, series map[string][]float64, opt Options) {
 		}
 	}
 
-	grid.render(w, opt, lo, hi, func(si int) string {
+	grid.render(bw, opt, lo, hi, func(si int) string {
 		return fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], names[si])
 	}, len(names))
+	return bw.Flush()
 }
 
 // Scatter renders labeled (x, y) points — the Figure 6/7 speedup-vs-power
 // panels. Each series gets its own glyph.
-func Scatter(w io.Writer, series map[string][][2]float64, opt Options) {
+func Scatter(w io.Writer, series map[string][][2]float64, opt Options) error {
 	opt = opt.withDefaults()
 	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
 	names := sortedScatterKeys(series)
+	bw := bufio.NewWriter(w)
 
 	xlo, xhi := math.Inf(1), math.Inf(-1)
 	ylo, yhi := math.Inf(1), math.Inf(-1)
@@ -107,13 +116,13 @@ func Scatter(w io.Writer, series map[string][][2]float64, opt Options) {
 		}
 	}
 	if count == 0 {
-		fmt.Fprintln(w, "(empty plot)")
-		return
+		fmt.Fprintln(bw, "(empty plot)")
+		return bw.Flush()
 	}
-	if xhi == xlo {
+	if fp.Eq(xhi, xlo) {
 		xhi = xlo + 1
 	}
-	if yhi == ylo {
+	if fp.Eq(yhi, ylo) {
 		yhi = ylo + 1
 	}
 
@@ -126,18 +135,20 @@ func Scatter(w io.Writer, series map[string][][2]float64, opt Options) {
 			grid.set(x, y, g)
 		}
 	}
-	grid.render(w, opt, ylo, yhi, func(si int) string {
+	grid.render(bw, opt, ylo, yhi, func(si int) string {
 		return fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], names[si])
 	}, len(names))
-	fmt.Fprintf(w, "x: [%.3g .. %.3g] %s\n", xlo, xhi, opt.XLabel)
+	fmt.Fprintf(bw, "x: [%.3g .. %.3g] %s\n", xlo, xhi, opt.XLabel)
+	return bw.Flush()
 }
 
 // Histogram renders metrics bins as a horizontal bar chart — the density
 // insets of Figure 1.
-func Histogram(w io.Writer, bins []metrics.Bin, opt Options) {
+func Histogram(w io.Writer, bins []metrics.Bin, opt Options) error {
 	opt = opt.withDefaults()
+	bw := bufio.NewWriter(w)
 	if opt.Title != "" {
-		fmt.Fprintf(w, "%s\n", opt.Title)
+		fmt.Fprintf(bw, "%s\n", opt.Title)
 	}
 	maxC := 0
 	for _, b := range bins {
@@ -146,13 +157,14 @@ func Histogram(w io.Writer, bins []metrics.Bin, opt Options) {
 		}
 	}
 	if maxC == 0 {
-		fmt.Fprintln(w, "(empty histogram)")
-		return
+		fmt.Fprintln(bw, "(empty histogram)")
+		return bw.Flush()
 	}
 	for _, b := range bins {
 		bar := strings.Repeat("█", b.Count*opt.Width/maxC)
-		fmt.Fprintf(w, "%12.4g–%-12.4g |%s %d\n", b.Lo, b.Hi, bar, b.Count)
+		fmt.Fprintf(bw, "%12.4g–%-12.4g |%s %d\n", b.Lo, b.Hi, bar, b.Count)
 	}
+	return bw.Flush()
 }
 
 // tx applies the y-axis transform.
@@ -194,24 +206,24 @@ func (g *grid) set(x, y int, c byte) {
 	g.cells[(g.h-1-y)*g.w+x] = c
 }
 
-func (g *grid) render(w io.Writer, opt Options, lo, hi float64, legend func(int) string, nSeries int) {
+func (g *grid) render(bw *bufio.Writer, opt Options, lo, hi float64, legend func(int) string, nSeries int) {
 	if opt.Title != "" {
-		fmt.Fprintf(w, "%s\n", opt.Title)
+		fmt.Fprintf(bw, "%s\n", opt.Title)
 	}
 	for row := 0; row < g.h; row++ {
 		val := opt.itx(hi - (hi-lo)*float64(row)/float64(g.h-1))
-		fmt.Fprintf(w, "%10.4g |%s\n", val, string(g.cells[row*g.w:(row+1)*g.w]))
+		fmt.Fprintf(bw, "%10.4g |%s\n", val, string(g.cells[row*g.w:(row+1)*g.w]))
 	}
-	fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", g.w))
+	fmt.Fprintf(bw, "%10s +%s\n", "", strings.Repeat("-", g.w))
 	if opt.YLabel != "" {
-		fmt.Fprintf(w, "y: %s", opt.YLabel)
+		fmt.Fprintf(bw, "y: %s", opt.YLabel)
 		if opt.LogY {
-			fmt.Fprintf(w, " (log scale)")
+			fmt.Fprintf(bw, " (log scale)")
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(bw)
 	}
 	for i := 0; i < nSeries; i++ {
-		fmt.Fprintf(w, "  %s\n", legend(i))
+		fmt.Fprintf(bw, "  %s\n", legend(i))
 	}
 }
 

@@ -7,7 +7,11 @@
 // BISECT-MODEL (parameter α, vertices per unit distance near the threshold).
 package sgd
 
-import "math"
+import (
+	"math"
+
+	"energysssp/internal/fp"
+)
 
 // Eps seeds the uncentered variance EMA so the first learning-rate estimate
 // is finite, matching the paper's initialization v̄ = ε, τ = (1+ε)·2.
@@ -65,7 +69,7 @@ func (s *VSGD) Step(grad, grad2 float64) {
 	s.vBar = (1-inv)*s.vBar + inv*grad*grad
 	s.hBar = (1-inv)*s.hBar + inv*grad2
 
-	if s.vBar <= 0 || s.hBar == 0 {
+	if s.vBar <= 0 || fp.Zero(s.hBar) {
 		// Degenerate statistics (e.g. a long run of zero gradients):
 		// skip the parameter update but keep the EMAs.
 		s.steps++

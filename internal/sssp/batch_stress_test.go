@@ -1,0 +1,65 @@
+package sssp
+
+import (
+	"sync"
+	"testing"
+
+	"energysssp/internal/gen"
+	"energysssp/internal/graph"
+)
+
+// TestBatchConcurrentStress hammers Batch under the race detector: two
+// batch runs execute concurrently over the same shared graph (reads must be
+// race-free), each fanning dozens of sources out across solver goroutines,
+// and every per-source result is checked against the sequential Dijkstra
+// oracle. Run via `go test -race` (scripts/check.sh does). Skipped under
+// -short.
+func TestBatchConcurrentStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped under -short")
+	}
+	g := gen.RMAT(11, 8, 0.57, 0.19, 0.19, 1, 99, 21)
+	n := g.NumVertices()
+	sources := make([]graph.VID, 0, 48)
+	for i := 0; i < 48; i++ {
+		sources = append(sources, graph.VID(i*(n-1)/47))
+	}
+
+	oracle := make(map[graph.VID][]graph.Dist, len(sources))
+	for _, src := range sources {
+		res, err := Dijkstra(g, src, &Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[src] = res.Dist
+	}
+
+	check := func(t *testing.T, batch []BatchResult) {
+		t.Helper()
+		if err := FirstError(batch); err != nil {
+			t.Error(err)
+			return
+		}
+		for _, b := range batch {
+			want := oracle[b.Source]
+			for v, d := range b.Result.Dist {
+				if d != want[v] {
+					t.Errorf("source %d vertex %d: dist %d, want %d", b.Source, v, d, want[v])
+					return
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		check(t, BatchDijkstra(g, sources, 8))
+	}()
+	go func() {
+		defer wg.Done()
+		check(t, BatchNearFar(g, sources, 64, 8))
+	}()
+	wg.Wait()
+}

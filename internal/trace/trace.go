@@ -4,6 +4,7 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -116,8 +117,10 @@ func (t *Table) WriteJSON(w io.Writer) error {
 	return enc.Encode(t)
 }
 
-// Fprint renders the table as aligned plain text for terminal output.
-func (t *Table) Fprint(w io.Writer) {
+// Fprint renders the table as aligned plain text for terminal output. The
+// writes buffer through a sticky bufio.Writer; the first failure is
+// reported by the final Flush.
+func (t *Table) Fprint(w io.Writer) error {
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
 		widths[i] = len(c)
@@ -129,43 +132,44 @@ func (t *Table) Fprint(w io.Writer) {
 			}
 		}
 	}
-	fmt.Fprintf(w, "# %s\n", t.Name)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", t.Name)
 	for i, c := range t.Columns {
-		fmt.Fprintf(w, "%-*s  ", widths[i], c)
+		fmt.Fprintf(bw, "%-*s  ", widths[i], c)
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(bw)
 	for _, r := range t.Rows {
 		for i, v := range r {
-			fmt.Fprintf(w, "%-*s  ", widths[i], v)
+			fmt.Fprintf(bw, "%-*s  ", widths[i], v)
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(bw)
 	}
+	return bw.Flush()
 }
 
 // WriteMarkdown renders the table as a GitHub-flavored markdown table with
 // a heading, used by the experiment report generator.
 func (t *Table) WriteMarkdown(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "## %s\n\n", t.Name); err != nil {
-		return err
-	}
-	fmt.Fprint(w, "|")
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "## %s\n\n", t.Name)
+	fmt.Fprint(bw, "|")
 	for _, c := range t.Columns {
-		fmt.Fprintf(w, " %s |", c)
+		fmt.Fprintf(bw, " %s |", c)
 	}
-	fmt.Fprint(w, "\n|")
+	fmt.Fprint(bw, "\n|")
 	for range t.Columns {
-		fmt.Fprint(w, "---|")
+		fmt.Fprint(bw, "---|")
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(bw)
 	for _, r := range t.Rows {
-		fmt.Fprint(w, "|")
+		fmt.Fprint(bw, "|")
 		for _, v := range r {
-			fmt.Fprintf(w, " %s |", v)
+			fmt.Fprintf(bw, " %s |", v)
 		}
-		fmt.Fprintln(w)
+		fmt.Fprintln(bw)
 	}
-	_, err := fmt.Fprintln(w)
-	return err
+	fmt.Fprintln(bw)
+	return bw.Flush()
 }
 
 // SaveCSV writes the table to dir/<name>.csv, creating dir if needed.

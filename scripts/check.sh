@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-2 verification gate: static analysis plus race-detector runs on the
+# concurrent packages. Tier-1 (go build && go test ./...) checks behavior;
+# this script checks the invariants behavior tests can miss — float equality
+# on controller state, wall-clock leaks into simulated kernels, layering
+# violations, unguarded captures in Pool callbacks, and discarded errors —
+# then hammers the concurrent hot paths under -race.
+#
+# Usage: scripts/check.sh            (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go run ./cmd/lint ./..."
+go run ./cmd/lint ./...
+
+echo "==> go test -race (concurrent packages)"
+go test -race ./internal/parallel/... ./internal/sssp/...
+
+echo "==> check.sh: all gates green"
