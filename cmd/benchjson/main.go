@@ -1,0 +1,158 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a machine-readable JSON snapshot, so benchmark results can be
+// committed and compared across commits — the benchmark-trajectory harness
+// (scripts/bench.sh composes the two).
+//
+// Example:
+//
+//	go test -bench 'Advance|NearFar|SelfTuning' -benchmem . | go run ./cmd/benchjson
+//	go test -bench . -benchmem ./... | go run ./cmd/benchjson -out BENCH.json -note "baseline"
+//
+// The snapshot records the environment (go version, GOOS/GOARCH, CPU count
+// and model) alongside each benchmark's ns/op, MB/s (edges relaxed per
+// second for the solver benchmarks, which SetBytes the edge count), B/op,
+// allocs/op, and any custom ReportMetric columns.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"` // GOMAXPROCS suffix on the name
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	MBPerS     float64            `json:"mb_per_s,omitempty"`
+	BytesPerOp int64              `json:"bytes_per_op"`
+	AllocsPerOp int64             `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the committed benchmark record.
+type Snapshot struct {
+	Date       string  `json:"date"`
+	Note       string  `json:"note,omitempty"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPUs       int     `json:"cpus"`
+	CPUModel   string  `json:"cpu_model,omitempty"`
+	Package    string  `json:"package,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456.7 ns/op   <extras>".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// extra matches one "<value> <unit>" pair in the tail of a benchmark line.
+var extra = regexp.MustCompile(`([0-9.]+) (\S+)`)
+
+func main() {
+	var (
+		out  = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		note = flag.String("note", "", "free-form note stored in the snapshot")
+	)
+	flag.Parse()
+
+	snap := Snapshot{
+		Date:      time.Now().Format("2006-01-02"),
+		Note:      *note,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the text through so the run stays readable
+		switch {
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPUModel = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			snap.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Bench{Name: strings.TrimPrefix(m[1], "Benchmark"), Procs: 1}
+		if m[2] != "" {
+			b.Procs = atoi(m[2])
+		}
+		b.Iterations = int64(atoi(m[3]))
+		b.NsPerOp = atof(m[4])
+		for _, kv := range extra.FindAllStringSubmatch(m[5], -1) {
+			v, unit := atof(kv[1]), kv[2]
+			switch unit {
+			case "MB/s":
+				b.MBPerS = v
+			case "B/op":
+				b.BytesPerOp = int64(v)
+			case "allocs/op":
+				b.AllocsPerOp = int64(v)
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin (run `go test -bench ... -benchmem | benchjson`)"))
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + snap.Date + ".json"
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+func atoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		fatal(err)
+	}
+	return n
+}
+
+func atof(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"energysssp/internal/harness"
 	"energysssp/internal/plot"
@@ -21,14 +23,45 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 5, or all")
-		scale   = flag.Float64("scale", 1.0/8, "dataset scale (1.0 = paper size)")
-		seed    = flag.Uint64("seed", 42, "generator seed")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
-		out     = flag.String("out", "", "directory for CSV output (empty prints to stdout)")
-		asPlot  = flag.Bool("plot", false, "render ASCII charts instead of tables")
+		fig        = flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 5, or all")
+		scale      = flag.Float64("scale", 1.0/8, "dataset scale (1.0 = paper size)")
+		seed       = flag.Uint64("seed", 42, "generator seed")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		out        = flag.String("out", "", "directory for CSV output (empty prints to stdout)")
+		asPlot     = flag.Bool("plot", false, "render ASCII charts instead of tables")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "profile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profile:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // flush recent allocations into the heap profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "profile:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	e := harness.NewEnv(harness.Config{Scale: *scale, Seed: *seed, Workers: *workers})
 	defer e.Close()

@@ -29,6 +29,12 @@ type Pass struct {
 
 	// ignores maps filename -> line -> rule IDs suppressed on that line.
 	ignores map[string]map[int]map[string]bool
+
+	// storedKernel caches the variables and fields that are passed to
+	// parallel.Pool kernel methods somewhere in the package, so function
+	// literals assigned to them are checked as kernel callbacks too.
+	// Computed lazily by kernelCallbacks.
+	storedKernel map[types.Object]bool
 }
 
 // Rel returns the package path relative to the module root ("internal/sssp"),

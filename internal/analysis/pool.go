@@ -18,29 +18,114 @@ var poolKernelMethods = map[string]bool{
 }
 
 // kernelCallbacks walks a file and invokes visit for every function literal
-// passed as an argument to a parallel.Pool kernel method. The recognition is
-// type-based: the receiver must be a named type Pool (or *Pool) declared in
-// a package named "parallel".
+// that executes as a kernel body on worker goroutines: literals passed
+// directly as arguments to a parallel.Pool kernel method, and literals
+// assigned to a variable or struct field that is passed to such a method
+// anywhere in the package. The latter form is how allocation-free kernels
+// are written (the closure is built once, stored, and reused per
+// invocation), so skipping it would exempt exactly the hottest callbacks.
+// The recognition is type-based: the receiver must be a named type Pool
+// (or *Pool) declared in a package named "parallel".
 func kernelCallbacks(p *Pass, f *ast.File, visit func(call *ast.CallExpr, lit *ast.FuncLit)) {
+	stored := storedKernelObjs(p)
 	ast.Inspect(f, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !poolKernelMethods[sel.Sel.Name] {
-			return true
-		}
-		if !isPoolType(p.Info.Types[sel.X].Type) {
-			return true
-		}
-		for _, arg := range call.Args {
-			if lit, ok := arg.(*ast.FuncLit); ok {
-				visit(call, lit)
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok || !poolKernelMethods[sel.Sel.Name] {
+				return true
+			}
+			if !isPoolType(p.Info.Types[sel.X].Type) {
+				return true
+			}
+			for _, arg := range st.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					visit(st, lit)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				lit, ok := st.Rhs[i].(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if obj := referencedObj(p, lhs); obj != nil && stored[obj] {
+					visit(nil, lit)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if i >= len(st.Values) {
+					break
+				}
+				lit, ok := st.Values[i].(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if obj := p.Info.Defs[name]; obj != nil && stored[obj] {
+					visit(nil, lit)
+				}
 			}
 		}
 		return true
 	})
+}
+
+// storedKernelObjs returns (computing once per Pass) the set of variables
+// and fields that appear as non-literal callback arguments to Pool kernel
+// methods anywhere in the package.
+func storedKernelObjs(p *Pass) map[types.Object]bool {
+	if p.storedKernel != nil {
+		return p.storedKernel
+	}
+	stored := map[types.Object]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !poolKernelMethods[sel.Sel.Name] {
+				return true
+			}
+			if !isPoolType(p.Info.Types[sel.X].Type) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if _, isLit := arg.(*ast.FuncLit); isLit {
+					continue
+				}
+				if obj := referencedObj(p, arg); obj != nil {
+					stored[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	p.storedKernel = stored
+	return stored
+}
+
+// referencedObj resolves the variable or field an expression names:
+// identifiers through Uses/Defs, field selectors through Selections.
+func referencedObj(p *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return p.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if s, ok := p.Info.Selections[e]; ok {
+			return s.Obj()
+		}
+		return p.Info.Uses[e.Sel]
+	}
+	return nil
 }
 
 // isPoolType reports whether t is parallel.Pool or *parallel.Pool.

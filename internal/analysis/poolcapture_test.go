@@ -146,6 +146,80 @@ func f(p *parallel.Pool) int {
 }
 `,
 		},
+		{
+			// The edge-partition advance shape: a worker closure built once,
+			// stored in a struct field, and launched repeatedly via Run. Each
+			// worker binary-searches a shared prefix array (reads only) and
+			// appends to its own per-worker buffer slot — all of which must
+			// stay clean even though the closure reaches Run as an identifier
+			// rather than a literal.
+			name: "allows the stored edge-partition worker",
+			src: `package a
+
+import "example.com/fix/internal/parallel"
+
+type kern struct {
+	prefix []int64
+	bufs   [][]int32
+	worker func(w int)
+}
+
+func newKern() *kern {
+	k := &kern{prefix: make([]int64, 9), bufs: make([][]int32, 8)}
+	k.worker = func(w int) {
+		lo, hi := k.prefix[w], k.prefix[w+1]
+		vi := search(k.prefix, lo)
+		for e := lo; e < hi; {
+			for k.prefix[vi+1] <= e {
+				vi++
+			}
+			seg := k.prefix[vi+1]
+			if seg > hi {
+				seg = hi
+			}
+			k.bufs[w] = append(k.bufs[w], int32(vi))
+			e = seg
+		}
+	}
+	return k
+}
+
+func search(prefix []int64, x int64) int {
+	lo, hi := 0, len(prefix)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if prefix[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+func (k *kern) advance(p *parallel.Pool) { p.Run(k.worker) }
+`,
+		},
+		{
+			// Same stored-closure launch shape, but the body races on a
+			// captured scalar. Only reachable through the stored-kernel
+			// tracing: the literal never appears inside the Run call.
+			name: "flags captured scalar in a stored kernel closure",
+			src: `package a
+
+import "example.com/fix/internal/parallel"
+
+func f(p *parallel.Pool) int {
+	relaxed := 0
+	worker := func(w int) {
+		relaxed++
+	}
+	p.Run(worker)
+	return relaxed
+}
+`,
+			want: []int{8},
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -84,6 +84,8 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 	}
 	dist[src] = 0
 	kn := sssp.NewKernels(g, pool, opt.Machine, dist)
+	kn.Force = opt.Advance
+	defer kn.Release()
 
 	policy := cfg.Policy
 	if policy == nil {
@@ -188,6 +190,7 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 			st := metrics.IterStat{
 				K: res.Iterations - 1, X1: x1, X2: adv.X2, X3: len(adv.Out), X4: x4,
 				Delta: thr, FarSize: far.Len(), Edges: adv.Edges,
+				EdgeBalanced: adv.EdgeBalanced,
 			}
 			if c, ok := policy.(*Controller); ok {
 				st.DHat = c.D()

@@ -1,0 +1,154 @@
+package parallel
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// refExclusiveSum is the sequential reference the parallel scan must match.
+func refExclusiveSum(vals []int64) (prefix []int64, total, max int64) {
+	prefix = make([]int64, len(vals)+1)
+	for i, v := range vals {
+		prefix[i+1] = prefix[i] + v
+		if v > max {
+			max = v
+		}
+	}
+	return prefix, prefix[len(vals)], max
+}
+
+func TestExclusiveSumMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		p := NewPool(workers)
+		s := NewScan(p)
+		for _, n := range []int{0, 1, 2, 5, scanSeqMax - 1, scanSeqMax, scanSeqMax + 1, 10_000} {
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = rng.Int64N(1000)
+			}
+			want, wantTotal, wantMax := refExclusiveSum(vals)
+			dst := make([]int64, n+1)
+			total, max := s.ExclusiveSum(n, dst, func(i int) int64 { return vals[i] })
+			if total != wantTotal || max != wantMax {
+				t.Fatalf("workers=%d n=%d: total=%d max=%d, want %d %d", workers, n, total, max, wantTotal, wantMax)
+			}
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("workers=%d n=%d: prefix[%d]=%d, want %d", workers, n, i, dst[i], want[i])
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestExclusiveSumZeroRuns(t *testing.T) {
+	// Runs of zero-degree items must keep the prefix non-decreasing and
+	// SearchPrefix must still land on an item that owns the probed edge.
+	vals := []int64{0, 0, 5, 0, 0, 0, 3, 0, 7, 0}
+	prefix := make([]int64, len(vals)+1)
+	p := NewPool(1)
+	defer p.Close()
+	s := NewScan(p)
+	total, _ := s.ExclusiveSum(len(vals), prefix, func(i int) int64 { return vals[i] })
+	if total != 15 {
+		t.Fatalf("total = %d, want 15", total)
+	}
+	for e := int64(0); e < total; e++ {
+		i := SearchPrefix(prefix[:len(vals)+1], e)
+		if prefix[i] > e || prefix[i+1] <= e {
+			t.Fatalf("SearchPrefix(%d) = %d: prefix[i]=%d prefix[i+1]=%d", e, i, prefix[i], prefix[i+1])
+		}
+		if vals[i] == 0 {
+			t.Fatalf("SearchPrefix(%d) = %d: landed on zero-degree item", e, i)
+		}
+	}
+}
+
+func TestExclusiveSumReuseNoAllocs(t *testing.T) {
+	// The scan must not allocate in steady state: the pass closures and
+	// partials are built once, dst is caller-owned.
+	const n = 50_000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 97)
+	}
+	deg := func(i int) int64 { return vals[i] }
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		s := NewScan(p)
+		dst := make([]int64, n+1)
+		s.ExclusiveSum(n, dst, deg) // warm up pool goroutines
+		allocs := testing.AllocsPerRun(20, func() {
+			s.ExclusiveSum(n, dst, deg)
+		})
+		p.Close()
+		if allocs != 0 {
+			t.Errorf("workers=%d: ExclusiveSum allocates %.1f per run, want 0", workers, allocs)
+		}
+	}
+}
+
+func TestSearchPrefix(t *testing.T) {
+	prefix := []int64{0, 3, 3, 10, 12}
+	cases := []struct {
+		x    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 0},
+		{3, 2}, // ties resolve to the largest index
+		{4, 2}, {9, 2},
+		{10, 3}, {11, 3},
+		{12, 4}, {100, 4},
+	}
+	for _, c := range cases {
+		if got := SearchPrefix(prefix, c.x); got != c.want {
+			t.Errorf("SearchPrefix(%d) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEdgeShare(t *testing.T) {
+	for _, total := range []int64{0, 1, 7, 64, 1001} {
+		for _, parts := range []int{1, 2, 3, 8} {
+			var covered int64
+			prevHi := int64(0)
+			for w := 0; w < parts; w++ {
+				lo, hi := EdgeShare(total, parts, w)
+				if lo != prevHi {
+					t.Fatalf("total=%d parts=%d w=%d: lo=%d, want %d (contiguous)", total, parts, w, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("total=%d parts=%d w=%d: hi=%d < lo=%d", total, parts, w, hi, lo)
+				}
+				if diff := (hi - lo) - total/int64(parts); diff < 0 || diff > 1 {
+					t.Fatalf("total=%d parts=%d w=%d: share size %d not balanced", total, parts, w, hi-lo)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != total {
+				t.Fatalf("total=%d parts=%d: covered %d", total, parts, covered)
+			}
+		}
+	}
+}
+
+func TestBlockRangeCovers(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 17, 1024} {
+		for _, parts := range []int{1, 2, 3, 7} {
+			prev := 0
+			for w := 0; w < parts; w++ {
+				lo, hi := blockRange(n, parts, w)
+				if lo != prev || hi < lo {
+					t.Fatalf("n=%d parts=%d w=%d: [%d,%d) after %d", n, parts, w, lo, hi, prev)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d parts=%d: covered %d", n, parts, prev)
+			}
+		}
+	}
+}

@@ -31,10 +31,14 @@ func Batch(g *graph.Graph, sources []graph.VID, width int,
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, width)
 	for i, src := range sources {
+		// Acquire the width slot before spawning so at most `width`
+		// goroutines exist at a time; launching first and blocking inside
+		// would spawn one goroutine per source up front (a 100k-source
+		// batch would create 100k goroutines before any finished).
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, src graph.VID) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			res, err := solve(g, src, &Options{})
 			out[i] = BatchResult{Source: src, Result: res, Err: err}

@@ -27,6 +27,8 @@ func BellmanFord(g *graph.Graph, src graph.VID, opt *Options) (Result, error) {
 	pool := opt.pool()
 	dist := newDist(g.NumVertices(), src)
 	kn := NewKernels(g, pool, opt.Machine, dist)
+	kn.Force = opt.Advance
+	defer kn.Release()
 	front := []graph.VID{src}
 	var res Result
 	guard := opt.maxIters(g)

@@ -34,6 +34,8 @@ func DeltaStepping(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options
 	pool := opt.pool()
 	dist := newDist(g.NumVertices(), src)
 	kn := NewKernels(g, pool, opt.Machine, dist)
+	kn.Force = opt.Advance
+	defer kn.Release()
 
 	type entry struct {
 		v graph.VID

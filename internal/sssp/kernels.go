@@ -4,10 +4,61 @@ import (
 	"sync/atomic"
 	"time"
 
-	"energysssp/internal/bitmap"
 	"energysssp/internal/graph"
 	"energysssp/internal/parallel"
 	"energysssp/internal/sim"
+)
+
+// Strategy selects the advance stage's load-balancing scheme.
+type Strategy uint8
+
+const (
+	// StrategyAuto picks per iteration between the vertex-dynamic and
+	// edge-balanced paths from the frontier's edge count and degree skew.
+	StrategyAuto Strategy = iota
+	// StrategyVertex always partitions the frontier by vertex count with
+	// dynamic chunk scheduling (the classic path; best on small or
+	// uniform-degree frontiers such as road networks).
+	StrategyVertex
+	// StrategyEdge always partitions the frontier's edges equally across
+	// workers via a degree prefix sum (merge-path style; best on skewed
+	// frontiers where one hub would serialize a vertex chunk).
+	StrategyEdge
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyVertex:
+		return "vertex"
+	case StrategyEdge:
+		return "edge"
+	default:
+		return "auto"
+	}
+}
+
+// Advance scheduling parameters. The decision is deterministic in the
+// frontier and pool size — never in timing — so repeated runs take the same
+// path and simulated accounting stays reproducible.
+const (
+	// advanceGrain is the vertex count per dynamically scheduled chunk on
+	// the vertex path.
+	advanceGrain = 64
+	// adaptMinFront is the frontier size below which StrategyAuto takes
+	// the vertex path without scanning degrees at all.
+	adaptMinFront = 128
+	// edgeShareMin is the minimum number of edges per worker for the edge
+	// partition to be worth its prefix-sum setup.
+	edgeShareMin = 1024
+	// skewFactor switches to the edge path when the maximum frontier
+	// degree exceeds this multiple of the mean degree — the regime where
+	// one hub serializes a 64-vertex chunk while other workers idle.
+	skewFactor = 8
+	// largeFrontierEdges switches to the edge path regardless of skew once
+	// the frontier carries this many edges: at that size the exact static
+	// split is as good as dynamic chunking and cheaper to schedule.
+	largeFrontierEdges = 1 << 20
 )
 
 // Kernels bundles the parallel relaxation machinery shared by the near-far
@@ -15,27 +66,146 @@ import (
 // relaxation with atomic-min) fused with the filter stage (bitmap
 // deduplication), mirroring how Gunrock structures the same work on a GPU.
 // A Kernels value is bound to one (graph, distance array) pair for the
-// duration of a solve.
+// duration of a solve; call Release when the solve finishes to return the
+// pooled scratch.
 type Kernels struct {
 	G    *graph.Graph
 	Pool *parallel.Pool
 	Mach *sim.Machine // nil disables simulation accounting
 	Dist []graph.Dist
+	// Force pins the advance strategy; StrategyAuto (the zero value)
+	// adapts per iteration. Host-side scheduling only: simulated kernel
+	// charges are identical across strategies.
+	Force Strategy
 
-	seen *bitmap.Bitmap
-	bufs [][]graph.VID
+	sc   *scratch
+	scan *parallel.Scan
+
+	// Per-call state published to the prebuilt worker closures. The
+	// closures are constructed once in NewKernels and passed by value to
+	// Pool.Run so the steady state performs zero allocations per advance.
+	front     []graph.VID
+	wlo, whi  graph.Weight
+	edgeTotal int64
+	next      atomic.Int64 // vertex-path dynamic chunk cursor
+
+	degreeOf     func(i int) int64
+	vertexWorker func(w int)
+	edgeWorker   func(w int)
 }
 
 // NewKernels prepares the engine. dist must be the solver's live distance
-// array (len == NumVertices), already initialized.
+// array (len == NumVertices), already initialized. The scratch (bitmap,
+// buffers, prefix array, counters) comes from a process-wide pool; pair
+// every NewKernels with a Release.
 func NewKernels(g *graph.Graph, pool *parallel.Pool, mach *sim.Machine, dist []graph.Dist) *Kernels {
-	return &Kernels{
+	kn := &Kernels{
 		G:    g,
 		Pool: pool,
 		Mach: mach,
 		Dist: dist,
-		seen: bitmap.New(g.NumVertices()),
-		bufs: make([][]graph.VID, pool.Size()),
+		sc:   getScratch(g.NumVertices(), pool.Size()),
+		scan: parallel.NewScan(pool),
+	}
+	kn.degreeOf = func(i int) int64 { return kn.G.OutDegree(kn.front[i]) }
+	kn.vertexWorker = func(w int) {
+		front := kn.front
+		n := len(front)
+		g := kn.G
+		dist := kn.Dist
+		wlo, whi := kn.wlo, kn.whi
+		seen := kn.sc.seen
+		buf := kn.sc.bufs[w]
+		var x2, edges int64
+		for {
+			lo := int(kn.next.Add(advanceGrain)) - advanceGrain
+			if lo >= n {
+				break
+			}
+			hi := lo + advanceGrain
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				u := front[i]
+				du := atomic.LoadInt64(&dist[u])
+				vs, ws := g.Neighbors(u)
+				edges += int64(len(vs))
+				for j, v := range vs {
+					if ws[j] < wlo || ws[j] > whi {
+						continue
+					}
+					nd := du + graph.Dist(ws[j])
+					if parallel.MinInt64(&dist[v], nd) {
+						x2++
+						if seen.TrySet(int(v)) {
+							buf = append(buf, v)
+						}
+					}
+				}
+			}
+		}
+		kn.sc.bufs[w] = buf
+		kn.sc.counts[w].x2 += x2
+		kn.sc.counts[w].edges += edges
+	}
+	kn.edgeWorker = func(w int) {
+		elo, ehi := parallel.EdgeShare(kn.edgeTotal, kn.Pool.Size(), w)
+		if elo >= ehi {
+			return
+		}
+		front := kn.front
+		prefix := kn.sc.prefix[:len(front)+1]
+		g := kn.G
+		dist := kn.Dist
+		wlo, whi := kn.wlo, kn.whi
+		seen := kn.sc.seen
+		buf := kn.sc.bufs[w]
+		var x2 int64
+		vi := parallel.SearchPrefix(prefix, elo)
+		for e := elo; e < ehi; {
+			for prefix[vi+1] <= e {
+				vi++ // skip consumed and zero-degree vertices
+			}
+			u := front[vi]
+			du := atomic.LoadInt64(&dist[u])
+			vs, ws := g.Neighbors(u)
+			segLo := int(e - prefix[vi])
+			segHi := len(vs)
+			if rem := ehi - e; int64(segHi-segLo) > rem {
+				segHi = segLo + int(rem)
+			}
+			for j := segLo; j < segHi; j++ {
+				if ws[j] < wlo || ws[j] > whi {
+					continue
+				}
+				nd := du + graph.Dist(ws[j])
+				v := vs[j]
+				if parallel.MinInt64(&dist[v], nd) {
+					x2++
+					if seen.TrySet(int(v)) {
+						buf = append(buf, v)
+					}
+				}
+			}
+			e += int64(segHi - segLo)
+		}
+		kn.sc.bufs[w] = buf
+		kn.sc.counts[w].x2 += x2
+		// Each worker examines exactly its edge share, so the summed
+		// Edges equals the frontier's total out-degree — the same count
+		// the vertex path reports.
+		kn.sc.counts[w].edges += ehi - elo
+	}
+	return kn
+}
+
+// Release returns the pooled scratch. The Kernels value and the Out slice
+// of its last AdvanceResult must not be used afterwards.
+func (kn *Kernels) Release() {
+	if kn.sc != nil {
+		putScratch(kn.sc)
+		kn.sc = nil
 	}
 }
 
@@ -43,7 +213,7 @@ func NewKernels(g *graph.Graph, pool *parallel.Pool, mach *sim.Machine, dist []g
 type AdvanceResult struct {
 	// Out is the deduplicated updated frontier (the filter output, X³).
 	// The slice is reused across calls; callers must consume it before
-	// the next Advance.
+	// the next Advance (and before Release).
 	Out []graph.VID
 	// X2 is the advance output cardinality — the number of successful
 	// distance updates including duplicates, the paper's available
@@ -53,6 +223,9 @@ type AdvanceResult struct {
 	Edges int64
 	// Dur is the simulated duration charged (zero without a machine).
 	Dur time.Duration
+	// EdgeBalanced reports whether the edge-balanced path ran this
+	// advance (false: vertex-dynamic).
+	EdgeBalanced bool
 }
 
 // Advance executes the advance and filter stages over the given frontier:
@@ -67,64 +240,82 @@ func (kn *Kernels) Advance(front []graph.VID) AdvanceResult {
 // AdvanceRange is Advance restricted to edges whose weight lies in
 // [wlo, whi]. Classic delta-stepping uses it for its light-edge
 // (weight <= delta) and heavy-edge (weight > delta) phases.
+//
+// The frontier is scheduled by one of two host-side paths — vertex-dynamic
+// chunks or an edge-balanced static partition over a degree prefix sum —
+// chosen per Force (adaptively under StrategyAuto). Both paths examine the
+// same edge set, perform the same atomic-min relaxations, and charge the
+// simulated machine identically, so strategy affects wall-clock only.
 func (kn *Kernels) AdvanceRange(front []graph.VID, wlo, whi graph.Weight) AdvanceResult {
-	type counters struct {
-		x2    int64
-		edges int64
-		_     [6]int64 // pad to a cache line
+	nw := kn.Pool.Size()
+	sc := kn.sc
+	for w := 0; w < nw; w++ {
+		sc.bufs[w] = sc.bufs[w][:0]
+		sc.counts[w] = counters{}
 	}
-	counts := make([]counters, kn.Pool.Size())
-	for w := range kn.bufs {
-		kn.bufs[w] = kn.bufs[w][:0]
+	kn.front, kn.wlo, kn.whi = front, wlo, whi
+	useEdge := kn.planAdvance(len(front))
+	kn.next.Store(0)
+	switch {
+	case useEdge:
+		kn.Pool.Run(kn.edgeWorker)
+	case nw == 1 || len(front) <= advanceGrain:
+		kn.vertexWorker(0) // drains every chunk in the calling goroutine
+	default:
+		kn.Pool.Run(kn.vertexWorker)
 	}
-	dist := kn.Dist
-	g := kn.G
-	kn.Pool.DynamicWorker(len(front), 64, func(w, lo, hi int) {
-		buf := kn.bufs[w]
-		var x2, edges int64
-		for i := lo; i < hi; i++ {
-			u := front[i]
-			du := atomic.LoadInt64(&dist[u])
-			vs, ws := g.Neighbors(u)
-			edges += int64(len(vs))
-			for j, v := range vs {
-				if ws[j] < wlo || ws[j] > whi {
-					continue
-				}
-				nd := du + graph.Dist(ws[j])
-				if parallel.MinInt64(&dist[v], nd) {
-					x2++
-					if kn.seen.TrySet(int(v)) {
-						buf = append(buf, v)
-					}
-				}
-			}
-		}
-		kn.bufs[w] = buf
-		counts[w].x2 += x2
-		counts[w].edges += edges
-	})
+	kn.front = nil
 
-	var res AdvanceResult
-	for w := range counts {
-		res.X2 += int(counts[w].x2)
-		res.Edges += counts[w].edges
+	res := AdvanceResult{EdgeBalanced: useEdge}
+	for w := 0; w < nw; w++ {
+		res.X2 += int(sc.counts[w].x2)
+		res.Edges += sc.counts[w].edges
 	}
-	out := kn.bufs[0]
-	for w := 1; w < len(kn.bufs); w++ {
-		out = append(out, kn.bufs[w]...)
+	out := sc.bufs[0]
+	for w := 1; w < nw; w++ {
+		out = append(out, sc.bufs[w]...)
 	}
-	kn.bufs[0] = out
+	sc.bufs[0] = out
 	res.Out = out
 	// Release the dedup bits for the next iteration; O(|Out|).
 	for _, v := range out {
-		kn.seen.Clear(int(v))
+		sc.seen.Clear(int(v))
 	}
 	if kn.Mach != nil {
 		res.Dur = kn.Mach.Kernel(sim.KernelAdvance, int(res.Edges))
 		res.Dur += kn.Mach.Kernel(sim.KernelFilter, res.X2)
 	}
 	return res
+}
+
+// planAdvance decides the scheduling path for a frontier of n vertices and,
+// when the edge path is in play, builds the degree prefix sum (reused by
+// the edge workers). The decision depends only on the frontier, the graph,
+// and the pool size, so it is deterministic across runs.
+func (kn *Kernels) planAdvance(n int) bool {
+	if kn.Pool.Size() == 1 || n == 0 {
+		return false
+	}
+	switch kn.Force {
+	case StrategyVertex:
+		return false
+	case StrategyEdge:
+		kn.edgeTotal, _ = kn.scan.ExclusiveSum(n, kn.sc.grownPrefix(n), kn.degreeOf)
+		return kn.edgeTotal > 0
+	}
+	if n < adaptMinFront {
+		return false
+	}
+	total, maxDeg := kn.scan.ExclusiveSum(n, kn.sc.grownPrefix(n), kn.degreeOf)
+	kn.edgeTotal = total
+	if total < int64(kn.Pool.Size())*edgeShareMin {
+		return false
+	}
+	mean := total / int64(n)
+	if mean < 1 {
+		mean = 1
+	}
+	return maxDeg >= skewFactor*mean || total >= largeFrontierEdges
 }
 
 // ChargeBisect charges the bisect-frontier kernel over items work items.

@@ -42,6 +42,8 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 	pool := opt.pool()
 	dist := newDist(g.NumVertices(), src)
 	kn := NewKernels(g, pool, opt.Machine, dist)
+	kn.Force = opt.Advance
+	defer kn.Release()
 	var far frontier.Flat
 	front := []graph.VID{src}
 	thr := delta // the phase-(i+1) boundary (i starts at 0)
@@ -98,6 +100,7 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 			st := metrics.IterStat{
 				K: res.Iterations - 1, X1: x1, X2: adv.X2, X3: len(adv.Out), X4: x4,
 				Delta: float64(thr), FarSize: far.Len(), Edges: adv.Edges,
+				EdgeBalanced: adv.EdgeBalanced,
 			}
 			if opt.Machine != nil {
 				st.SimTime = opt.Machine.Now() - startSim

@@ -1,0 +1,9 @@
+//go:build race
+
+package sssp
+
+// raceEnabled reports whether this test binary was built with -race.
+// sync.Pool deliberately drops a random fraction of Put calls under the
+// race detector (to widen interleaving coverage), so tests asserting
+// scratch-pool hit rates cannot hold there.
+const raceEnabled = true

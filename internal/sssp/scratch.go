@@ -1,0 +1,73 @@
+package sssp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"energysssp/internal/bitmap"
+	"energysssp/internal/graph"
+)
+
+// counters is one worker's advance reduction slot, padded to a cache line.
+type counters struct {
+	x2    int64
+	edges int64
+	_     [6]int64
+}
+
+// scratch is the distance-array-sized working memory of one Kernels value:
+// the filter bitmap, the per-worker output buffers, the degree prefix array
+// of the edge-balanced advance, and the per-worker counter blocks. Scratch
+// is pooled so batch solves (one Kernels per source, internal/sssp.Batch)
+// stop re-allocating vertex-sized temporaries on every solve.
+//
+// Invariant: a released scratch has an all-clear bitmap. AdvanceRange
+// clears every bit it sets before returning, so the invariant holds along
+// every solver path, including early livelock-guard exits (those happen
+// between Advance calls).
+type scratch struct {
+	seen   *bitmap.Bitmap
+	bufs   [][]graph.VID
+	prefix []int64
+	counts []counters
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// scratchBitmapAllocs counts fresh bitmap allocations, i.e. scratch cache
+// misses for the largest component. Tests use it to prove batch solves
+// reuse scratch across sources.
+var scratchBitmapAllocs atomic.Int64
+
+// getScratch returns a pooled scratch sized for n vertices and the given
+// worker count, growing components as needed.
+func getScratch(n, workers int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	if s.seen == nil || s.seen.Len() < n {
+		s.seen = bitmap.New(n)
+		scratchBitmapAllocs.Add(1)
+	}
+	if len(s.bufs) < workers {
+		bufs := make([][]graph.VID, workers)
+		copy(bufs, s.bufs)
+		s.bufs = bufs
+	}
+	if len(s.counts) < workers {
+		s.counts = make([]counters, workers)
+	}
+	return s
+}
+
+// grownPrefix returns the prefix array resized to hold n+1 entries.
+func (s *scratch) grownPrefix(n int) []int64 {
+	if cap(s.prefix) < n+1 {
+		s.prefix = make([]int64, n+1)
+	}
+	s.prefix = s.prefix[:n+1]
+	return s.prefix
+}
+
+// putScratch returns s to the pool.
+func putScratch(s *scratch) {
+	scratchPool.Put(s)
+}

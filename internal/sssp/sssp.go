@@ -42,6 +42,11 @@ type Options struct {
 	// MaxIters overrides the livelock guard (0 selects a generous default
 	// derived from the graph size).
 	MaxIters int
+	// Advance pins the advance load-balancing strategy; StrategyAuto (the
+	// zero value) lets each iteration choose adaptively. The strategy is
+	// host-side scheduling only — simulated time/energy accounting is
+	// identical across strategies.
+	Advance Strategy
 }
 
 func (o *Options) pool() *parallel.Pool {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Benchmark trajectory harness: runs the solver and advance-kernel
+# benchmarks with -benchmem and converts the output into a committed JSON
+# snapshot (BENCH_<date>.json) via cmd/benchjson, so ns/op, relaxed-edge
+# throughput (MB/s of SetBytes'd edges), and allocs/op can be compared
+# across commits.
+#
+# Usage: scripts/bench.sh [extra go-test args...]
+#
+#   BENCH_PATTERN  benchmark regexp      (default: Advance|NearFar|SelfTuning|Batch)
+#   BENCH_TIME     -benchtime value      (default: 1s)
+#   BENCH_OUT      output JSON path      (default: BENCH_<date>.json in repo root)
+#   BENCH_NOTE     note stored in the snapshot
+#
+# Single-machine caveat: numbers are only comparable against snapshots taken
+# on the same hardware; the snapshot records cpus/cpu_model so mismatched
+# comparisons are at least visible.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern=${BENCH_PATTERN:-'Advance|NearFar|SelfTuning|Batch'}
+benchtime=${BENCH_TIME:-1s}
+
+args=(-out "${BENCH_OUT:-}")
+[[ -z "${BENCH_OUT:-}" ]] && args=()
+[[ -n "${BENCH_NOTE:-}" ]] && args+=(-note "$BENCH_NOTE")
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem "$@" . \
+  | go run ./cmd/benchjson "${args[@]}"
