@@ -40,6 +40,7 @@ import (
 	"energysssp/internal/harness"
 	"energysssp/internal/kcore"
 	"energysssp/internal/metrics"
+	"energysssp/internal/obs"
 	"energysssp/internal/pagerank"
 	"energysssp/internal/parallel"
 	"energysssp/internal/power"
@@ -80,6 +81,11 @@ type (
 	PowerSummary = power.Summary
 	// ExperimentConfig parameterizes the paper-evaluation harness.
 	ExperimentConfig = harness.Config
+	// Observer is the runtime observability handle: a phase-span tracer
+	// plus a metric registry (see NewObserver, RunConfig.Obs).
+	Observer = obs.Observer
+	// MetricsServer serves an Observer over HTTP (see ServeMetrics).
+	MetricsServer = obs.Server
 )
 
 // Inf is the distance of unreachable vertices.
@@ -192,6 +198,13 @@ type RunConfig struct {
 	PowerTrace bool
 	// Paths derives the shortest-path tree (RunOutput.Parents) when true.
 	Paths bool
+	// Obs attaches a runtime observer (see NewObserver): phase spans,
+	// solver counters, and controller-health gauges, live-scrapable via
+	// ServeMetrics and exportable to Perfetto via WriteTrace. Host-side
+	// only: simulated time and energy are bit-identical with or without
+	// it, and the zero-allocation steady state is preserved. Nil (the
+	// default) disables all instrumentation.
+	Obs *Observer
 }
 
 // RunOutput bundles a solver result with its optional instrumentation.
@@ -235,10 +248,32 @@ func ParseFreq(s string) (Freq, error) {
 	return Freq{CoreMHz: c, MemMHz: m}, nil
 }
 
+// NewObserver constructs a runtime observer with a trace ring of
+// traceEvents events (0 selects the default, 64Ki). Attach it via
+// RunConfig.Obs (or sssp.Options.Obs), serve it with ServeMetrics, and
+// export its timeline with WriteTrace. One observer may be shared across
+// many runs; counters accumulate and spans interleave.
+func NewObserver(traceEvents int) *Observer { return obs.New(traceEvents) }
+
+// ServeMetrics starts an HTTP server for o on addr: Prometheus text at
+// /metrics, the Perfetto trace at /trace, liveness at /healthz. Use port 0
+// to pick a free port (see MetricsServer.Addr); close when done.
+func ServeMetrics(addr string, o *Observer) (*MetricsServer, error) { return obs.Serve(addr, o) }
+
+// WriteTrace writes o's recorded phase timeline as Chrome trace-event JSON
+// loadable in ui.perfetto.dev: one track of host wall-clock spans, one of
+// the simulated device intervals they charged.
+func WriteTrace(w io.Writer, o *Observer) error {
+	if o == nil {
+		return fmt.Errorf("energysssp: WriteTrace requires a non-nil Observer")
+	}
+	return obs.WriteTraceJSON(w, o.Tracer.Snapshot(nil))
+}
+
 // Run executes one SSSP computation per cfg and returns its result and
 // instrumentation.
 func Run(g *Graph, src VID, cfg RunConfig) (*RunOutput, error) {
-	opt := &sssp.Options{}
+	opt := &sssp.Options{Obs: cfg.Obs}
 	var pool *parallel.Pool
 	switch {
 	case cfg.Workers < 0:

@@ -9,6 +9,7 @@ package energysssp
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"energysssp/internal/gen"
 	"energysssp/internal/harness"
 	"energysssp/internal/metrics"
+	"energysssp/internal/obs"
 	"energysssp/internal/parallel"
 	"energysssp/internal/sim"
 	"energysssp/internal/sssp"
@@ -256,7 +258,7 @@ func BenchmarkSelfTuningWiki(b *testing.B)   { benchSolver(b, SelfTuning, gen.Wi
 // carries the frontier edge count, so MB/s reads as relaxed edges per
 // microsecond; allocs/op must stay 0 once warmed (see
 // TestAdvanceSteadyStateAllocs for the hard gate).
-func benchAdvance(b *testing.B, g *Graph, workers int, strat sssp.Strategy) {
+func benchAdvance(b *testing.B, g *Graph, workers int, strat sssp.Strategy, o *obs.Observer) {
 	pool := parallel.NewPool(workers)
 	defer pool.Close()
 	res, err := sssp.BellmanFord(g, 0, &sssp.Options{Pool: pool})
@@ -267,6 +269,7 @@ func benchAdvance(b *testing.B, g *Graph, workers int, strat sssp.Strategy) {
 	kn := sssp.NewKernels(g, pool, nil, dist)
 	defer kn.Release()
 	kn.Force = strat
+	kn.Observe(o)
 	front := make([]VID, 0, g.NumVertices())
 	var edges int64
 	for v := 0; v < g.NumVertices(); v++ {
@@ -278,6 +281,10 @@ func benchAdvance(b *testing.B, g *Graph, workers int, strat sssp.Strategy) {
 	kn.Advance(front) // warm the scratch buffers to their high-water mark
 	b.SetBytes(edges)
 	b.ReportAllocs()
+	// Collect setup garbage (graph generation, BellmanFord) before timing:
+	// otherwise the first sub-benchmark pays the GC debt inside its window,
+	// skewing A/B pairs like BenchmarkObsAdvance.
+	runtime.GC()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		kn.Advance(front)
@@ -308,11 +315,25 @@ func BenchmarkAdvance(b *testing.B) {
 		for _, workers := range []int{1, 4} {
 			for _, sc := range strategies {
 				b.Run(fmt.Sprintf("%s/p%d/%s", gc.name, workers, sc.name), func(b *testing.B) {
-					benchAdvance(b, gc.g, workers, sc.strat)
+					benchAdvance(b, gc.g, workers, sc.strat, nil)
 				})
 			}
 		}
 	}
+}
+
+// BenchmarkObsAdvance measures the observability overhead head to head: the
+// same steady-state advance with observability off and with a full observer
+// attached (phase tracer, counters, X2 histogram). The budget the release
+// gate watches is < 5% ns/op on the hub-heavy input at pool 4.
+func BenchmarkObsAdvance(b *testing.B) {
+	g := gen.RMAT(14, 16, 0.57, 0.19, 0.19, 1, 99, 21)
+	b.Run("rmat/p4/off", func(b *testing.B) {
+		benchAdvance(b, g, 4, sssp.StrategyAuto, nil)
+	})
+	b.Run("rmat/p4/on", func(b *testing.B) {
+		benchAdvance(b, g, 4, sssp.StrategyAuto, obs.New(obs.DefaultTraceEvents))
+	})
 }
 
 // BenchmarkBatchNearFar measures many-source batch throughput, the workload

@@ -12,6 +12,11 @@
 // and model) alongside each benchmark's ns/op, MB/s (edges relaxed per
 // second for the solver benchmarks, which SetBytes the edge count), B/op,
 // allocs/op, and any custom ReportMetric columns.
+//
+// Repeated runs of the same benchmark (`go test -count=N`) are aggregated
+// into one entry holding the per-column medians, with `runs` recording the
+// sample count — the committed snapshot stays one-row-per-benchmark and the
+// medians damp scheduler noise on shared hosts.
 package main
 
 import (
@@ -22,15 +27,18 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
 
-// Bench is one parsed benchmark result line.
+// Bench is one parsed benchmark result line (or, after aggregation, the
+// median over several runs of the same benchmark).
 type Bench struct {
 	Name       string             `json:"name"`
 	Procs      int                `json:"procs"` // GOMAXPROCS suffix on the name
+	Runs       int                `json:"runs,omitempty"` // samples aggregated (omitted when 1)
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	MBPerS     float64            `json:"mb_per_s,omitempty"`
@@ -121,6 +129,7 @@ func main() {
 	if len(snap.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found on stdin (run `go test -bench ... -benchmem | benchjson`)"))
 	}
+	snap.Benchmarks = aggregate(snap.Benchmarks)
 
 	path := *out
 	if path == "" {
@@ -134,6 +143,78 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+// aggregate collapses repeated runs of the same benchmark (go test -count=N)
+// into one median entry per (name, procs), preserving first-seen order.
+func aggregate(in []Bench) []Bench {
+	type key struct {
+		name  string
+		procs int
+	}
+	groups := make(map[key][]Bench)
+	var order []key
+	for _, b := range in {
+		k := key{b.Name, b.Procs}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], b)
+	}
+	out := make([]Bench, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		if len(g) == 1 {
+			out = append(out, g[0])
+			continue
+		}
+		agg := Bench{Name: k.name, Procs: k.procs, Runs: len(g)}
+		agg.Iterations = int64(median(collect(g, func(b Bench) float64 { return float64(b.Iterations) })))
+		agg.NsPerOp = median(collect(g, func(b Bench) float64 { return b.NsPerOp }))
+		agg.MBPerS = median(collect(g, func(b Bench) float64 { return b.MBPerS }))
+		agg.BytesPerOp = int64(median(collect(g, func(b Bench) float64 { return float64(b.BytesPerOp) })))
+		agg.AllocsPerOp = int64(median(collect(g, func(b Bench) float64 { return float64(b.AllocsPerOp) })))
+		for _, b := range g {
+			for unit := range b.Metrics {
+				if agg.Metrics == nil {
+					agg.Metrics = make(map[string]float64)
+				}
+				if _, done := agg.Metrics[unit]; done {
+					continue
+				}
+				var vs []float64
+				for _, bb := range g {
+					if v, ok := bb.Metrics[unit]; ok {
+						vs = append(vs, v)
+					}
+				}
+				agg.Metrics[unit] = median(vs)
+			}
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+func collect(g []Bench, f func(Bench) float64) []float64 {
+	vs := make([]float64, len(g))
+	for i, b := range g {
+		vs[i] = f(b)
+	}
+	return vs
+}
+
+// median returns the middle value (mean of the two middles for even n).
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	mid := len(vs) / 2
+	if len(vs)%2 == 1 {
+		return vs[mid]
+	}
+	return (vs[mid-1] + vs[mid]) / 2
 }
 
 func atoi(s string) int {

@@ -17,6 +17,7 @@ import (
 	"runtime/pprof"
 
 	"energysssp/internal/harness"
+	"energysssp/internal/obs"
 	"energysssp/internal/plot"
 	"energysssp/internal/trace"
 )
@@ -31,6 +32,7 @@ func main() {
 		asPlot     = flag.Bool("plot", false, "render ASCII charts instead of tables")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		obsSummary = flag.Bool("obs", false, "attach the observability layer and print a one-line phase/controller summary")
 	)
 	flag.Parse()
 
@@ -63,7 +65,11 @@ func main() {
 		}()
 	}
 
-	e := harness.NewEnv(harness.Config{Scale: *scale, Seed: *seed, Workers: *workers})
+	var o *obs.Observer
+	if *obsSummary {
+		o = obs.New(0)
+	}
+	e := harness.NewEnv(harness.Config{Scale: *scale, Seed: *seed, Workers: *workers, Obs: o})
 	defer e.Close()
 
 	var tables []*trace.Table
@@ -88,6 +94,9 @@ func main() {
 		os.Exit(1)
 	}
 	emit(tables, *out, *asPlot)
+	if o != nil {
+		fmt.Println(o.SummaryLine())
+	}
 }
 
 func one(t *trace.Table) []*trace.Table {

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	energysssp "energysssp"
 	"energysssp/internal/trace"
@@ -32,9 +33,11 @@ func main() {
 		workers   = flag.Int("workers", -1, "worker goroutines (-1 = all CPUs, 0/1 = sequential)")
 		device    = flag.String("device", "", "simulated board: TK1 or TX1 (empty = no simulation)")
 		freq      = flag.String("freq", "auto", "DVFS setting: auto or core/mem MHz (e.g. 852/924)")
-		profile   = flag.String("profile", "", "write the per-iteration profile CSV to this path")
+		profile   = flag.String("profile", "", "write the per-iteration profile to this path (.json for JSON, CSV otherwise)")
 		check     = flag.Bool("check", false, "verify distances against the Dijkstra oracle")
 		tune      = flag.Bool("tune", false, "sweep fixed deltas and report the time-minimizing one (requires -device)")
+		obsListen = flag.String("obs-listen", "", "serve live observability on this address (e.g. :9090): /metrics, /trace, /healthz")
+		traceOut  = flag.String("trace-out", "", "write the solve's phase timeline as Perfetto/Chrome trace JSON to this path")
 	)
 	flag.Parse()
 
@@ -72,6 +75,25 @@ func main() {
 		Freq:      *freq,
 		Profile:   true,
 	}
+
+	var o *energysssp.Observer
+	if *obsListen != "" || *traceOut != "" {
+		o = energysssp.NewObserver(0)
+		cfg.Obs = o
+	}
+	if *obsListen != "" {
+		srv, err := energysssp.ServeMetrics(*obsListen, o)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sssp: metrics server:", err)
+			}
+		}()
+		fmt.Printf("observability: http://%s/metrics (Perfetto timeline at /trace)\n", srv.Addr())
+	}
+
 	out, err := energysssp.Run(g, energysssp.VID(*source), cfg)
 	if err != nil {
 		fatal(err)
@@ -102,13 +124,33 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := trace.WriteProfileCSV(f, out.Profile); err != nil {
+		write := trace.WriteProfileCSV
+		if strings.HasSuffix(*profile, ".json") {
+			write = trace.WriteProfileJSON
+		}
+		if err := write(f, out.Profile); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("profile written to %s (%d iterations)\n", *profile, out.Profile.Len())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := energysssp.WriteTrace(f, o); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (load it in ui.perfetto.dev)\n", *traceOut)
+	}
+	if o != nil {
+		fmt.Println(o.SummaryLine())
 	}
 }
 

@@ -6,6 +6,8 @@
 //     parameters) outside the approved epsilon helpers in internal/fp
 //   - walltime:    no wall-clock calls (time.Now etc.) inside kernel
 //     callbacks whose cost is charged to the simulated machine
+//   - hotalloc:    no fmt calls, string concatenation, or interface boxing
+//     inside kernel callbacks covered by the zero-allocation gates
 //   - layering:    algorithm packages must not import presentation or
 //     harness layers, and base layers must not import upward
 //   - poolcapture: no unguarded writes to captured shared variables inside
@@ -74,6 +76,7 @@ func DefaultCheckers() []Checker {
 	return []Checker{
 		&FloatCmp{},
 		&WallTime{},
+		&HotAlloc{},
 		&Layering{},
 		&PoolCapture{},
 		&ErrCheck{},

@@ -1,0 +1,128 @@
+package analysis
+
+import "testing"
+
+func TestHotAlloc(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []int
+	}{
+		{
+			name: "flags fmt calls inside kernels",
+			src: `package a
+
+import (
+	"fmt"
+
+	"example.com/fix/internal/parallel"
+)
+
+func f(p *parallel.Pool) {
+	p.For(10, func(lo, hi int) {
+		fmt.Printf("chunk %d..%d\n", lo, hi)
+	})
+	p.Run(func(w int) {
+		err := fmt.Errorf("worker %d", w)
+		_ = err
+	})
+}
+`,
+			want: []int{11, 14},
+		},
+		{
+			name: "flags non-constant string concatenation and +=",
+			src: `package a
+
+import "example.com/fix/internal/parallel"
+
+func f(p *parallel.Pool, name string) {
+	p.For(10, func(lo, hi int) {
+		s := "worker " + name
+		s += name
+		_ = s
+	})
+}
+`,
+			want: []int{7, 8},
+		},
+		{
+			name: "allows constant string concatenation",
+			src: `package a
+
+import "example.com/fix/internal/parallel"
+
+func f(p *parallel.Pool) {
+	p.For(10, func(lo, hi int) {
+		const s = "a" + "b"
+		_ = s
+	})
+}
+`,
+		},
+		{
+			name: "flags explicit interface conversions, allows interface-to-interface",
+			src: `package a
+
+import "example.com/fix/internal/parallel"
+
+type box interface{ m() }
+
+func f(p *parallel.Pool, v int, b box) {
+	p.For(10, func(lo, hi int) {
+		x := interface{}(v)
+		y := interface{}(b)
+		_, _ = x, y
+	})
+}
+`,
+			want: []int{9},
+		},
+		{
+			name: "flags stored kernel closures, allows solver-level fmt",
+			src: `package a
+
+import (
+	"fmt"
+
+	"example.com/fix/internal/parallel"
+)
+
+type kern struct{ body func(lo, hi int) }
+
+func f(p *parallel.Pool, k *kern) {
+	k.body = func(lo, hi int) {
+		fmt.Println(lo)
+	}
+	p.For(10, k.body)
+	fmt.Println("done")
+}
+`,
+			want: []int{13},
+		},
+		{
+			name: "ignores same-named methods on non-parallel types",
+			src: `package a
+
+import "fmt"
+
+type fake struct{}
+
+func (fake) For(n int, body func(lo, hi int)) { body(0, n) }
+
+func f() {
+	var fk fake
+	fk.For(1, func(lo, hi int) {
+		fmt.Println(lo)
+	})
+}
+`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := poolFixture(t, c.src)
+			expectLines(t, runRule(t, &HotAlloc{}, p), c.want...)
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+
+	"energysssp/internal/metrics"
+	"energysssp/internal/obs"
+)
+
+// health maintains the controller-health gauges incrementally, one update
+// per iteration, with no allocation and no floating-point comparison games:
+// the same formulas metrics.Profile.TrackingError / ConvergenceIter apply
+// to a recorded profile, so a live /metrics scrape after a solve matches
+// the post-hoc profile analysis exactly. A nil *health is a no-op.
+type health struct {
+	p        float64
+	errSum   float64
+	n        int
+	prevD    float64
+	prevA    float64
+	havePrev bool
+	done     bool
+
+	trackErr     *obs.Gauge
+	trackErrMean *obs.Gauge
+	dhat         *obs.Gauge
+	alphahat     *obs.Gauge
+	convIter     *obs.Gauge
+}
+
+// newHealth registers the controller-health gauges. Returns nil (disabling
+// all updates) when no observer is attached or the configuration has no
+// meaningful set-point (custom policies may run without one).
+func newHealth(o *obs.Observer, setPoint float64) *health {
+	if o == nil || setPoint < 1 {
+		return nil
+	}
+	h := &health{p: setPoint}
+	o.Reg.Gauge("sssp_controller_set_point",
+		"parallelism set-point P the controller steers X2 toward").Set(setPoint)
+	h.trackErr = o.Reg.Gauge("sssp_controller_tracking_error",
+		"last iteration's set-point tracking error |X2-P|/P")
+	h.trackErrMean = o.Reg.Gauge("sssp_controller_tracking_error_mean",
+		"mean set-point tracking error |X2-P|/P over the solve")
+	h.dhat = o.Reg.Gauge("sssp_controller_d_hat",
+		"ADVANCE-MODEL degree estimate d")
+	h.alphahat = o.Reg.Gauge("sssp_controller_alpha_hat",
+		"BISECT-MODEL density estimate alpha")
+	h.convIter = o.Reg.Gauge("sssp_controller_model_convergence_iters",
+		"iteration at which both model estimates first moved <1% (-1: not yet)")
+	h.convIter.Set(-1)
+	return h
+}
+
+// observe updates the gauges for iteration k. ctrl is nil when the solve
+// runs a non-Controller policy, in which case only tracking error updates.
+func (h *health) observe(k, x2 int, ctrl *Controller) {
+	if h == nil {
+		return
+	}
+	e := math.Abs(float64(x2)-h.p) / h.p
+	h.errSum += e
+	h.n++
+	h.trackErr.Set(e)
+	h.trackErrMean.Set(h.errSum / float64(h.n))
+	if ctrl == nil {
+		return
+	}
+	d, a := ctrl.D(), ctrl.Alpha()
+	h.dhat.Set(d)
+	h.alphahat.Set(a)
+	if !h.done && h.havePrev && h.prevD > 0 && h.prevA > 0 &&
+		math.Abs(d-h.prevD) <= metrics.ModelConvergenceRelTol*h.prevD &&
+		math.Abs(a-h.prevA) <= metrics.ModelConvergenceRelTol*h.prevA {
+		h.done = true
+		h.convIter.Set(float64(k))
+	}
+	h.prevD, h.prevA, h.havePrev = d, a, true
+}

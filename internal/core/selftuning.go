@@ -8,6 +8,7 @@ import (
 	"energysssp/internal/frontier"
 	"energysssp/internal/graph"
 	"energysssp/internal/metrics"
+	"energysssp/internal/obs"
 	"energysssp/internal/parallel"
 	"energysssp/internal/sssp"
 )
@@ -85,7 +86,10 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 	dist[src] = 0
 	kn := sssp.NewKernels(g, pool, opt.Machine, dist)
 	kn.Force = opt.Advance
+	kn.Observe(opt.Obs)
 	defer kn.Release()
+	tr := kn.Trace() // nil-safe when no observer is attached
+	hlth := newHealth(opt.Obs, cfg.P)
 
 	policy := cfg.Policy
 	if policy == nil {
@@ -115,6 +119,7 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 		res.Updates += int64(adv.X2)
 
 		// bisect-frontier: split the filter output around the threshold.
+		spB := tr.Begin(obs.PhaseRebalance)
 		thrD := distOf(thr)
 		near := front[:0]
 		for _, v := range adv.Out {
@@ -124,10 +129,13 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 				far.Push(v, dist[v])
 			}
 		}
-		kn.ChargeBisect(len(adv.Out))
+		simB := kn.SimNow()
+		durB := kn.ChargeBisect(len(adv.Out))
+		spB.EndSim(int64(len(adv.Out)), simB, durB)
 		x4 := len(near)
 
 		// Controller step (host side).
+		spC := tr.Begin(obs.PhaseController)
 		ctrlStart := time.Now()
 		policy.Observe(x1, adv.X2)
 		q := QueueState{X4: x4, Delta: thr, FarLen: far.Len()}
@@ -183,8 +191,19 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 			bm.MaintainBoundaries(far, thr)
 		}
 		ctrlWall += time.Since(ctrlStart)
-		kn.ChargeFarQueue(far.ScannedAndReset())
+		scanned := far.ScannedAndReset()
+		simQ := kn.SimNow()
+		durQ := kn.ChargeFarQueue(scanned)
+		tr.Mark(obs.PhaseRebalance, int64(scanned), simQ, durQ)
+		simH := kn.SimNow()
 		kn.ChargeHost(cfg.ControllerCost)
+		spC.EndSim(int64(adv.X2), simH, kn.SimNow()-simH)
+
+		if c, ok := policy.(*Controller); ok {
+			hlth.observe(res.Iterations-1, adv.X2, c)
+		} else {
+			hlth.observe(res.Iterations-1, adv.X2, nil)
+		}
 
 		if opt.Profile != nil {
 			st := metrics.IterStat{

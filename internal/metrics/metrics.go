@@ -89,6 +89,50 @@ func (p *Profile) TotalEdges() int64 {
 	return sum
 }
 
+// ModelConvergenceRelTol is the relative-movement threshold below which the
+// controller's two model estimates (d̂ and α̂) are considered converged:
+// both moved less than 1% between consecutive iterations.
+const ModelConvergenceRelTol = 0.01
+
+// TrackingError returns the controller's set-point tracking error
+// |X² − P| / P for the last iteration and its mean over the profile. The
+// live controller-health gauges in internal/core compute the identical
+// quantity incrementally, so a final scrape can be checked against the
+// recorded profile exactly.
+func (p *Profile) TrackingError(setPoint float64) (last, mean float64) {
+	if len(p.Iters) == 0 || setPoint <= 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, it := range p.Iters {
+		e := math.Abs(float64(it.X2)-setPoint) / setPoint
+		sum += e
+		last = e
+	}
+	return last, sum / float64(len(p.Iters))
+}
+
+// ConvergenceIter returns the iteration index K at which the controller's
+// model estimates first converged — both DHat and AlphaHat moved less than
+// ModelConvergenceRelTol relative to the previous iteration — or -1 if they
+// never did (or the profile carries no model estimates).
+func (p *Profile) ConvergenceIter() int {
+	var prevD, prevA float64
+	have := false
+	for _, it := range p.Iters {
+		if it.DHat <= 0 || it.AlphaHat <= 0 {
+			continue
+		}
+		if have &&
+			math.Abs(it.DHat-prevD) <= ModelConvergenceRelTol*prevD &&
+			math.Abs(it.AlphaHat-prevA) <= ModelConvergenceRelTol*prevA {
+			return it.K
+		}
+		prevD, prevA, have = it.DHat, it.AlphaHat, true
+	}
+	return -1
+}
+
 // Summary holds distribution statistics of a series.
 type Summary struct {
 	N              int

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin(PhaseAdvance)
+	sp.End(10)
+	sp.EndSim(10, time.Second, time.Second)
+	tr.Mark(PhaseFilter, 1, 0, 0)
+	if tr.Len() != 0 || tr.Cap() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must report empty state")
+	}
+	if got := tr.Snapshot(nil); got != nil {
+		t.Fatalf("nil tracer Snapshot = %v, want nil", got)
+	}
+	if tot := tr.Totals(PhaseAdvance); tot != (PhaseTotals{}) {
+		t.Fatalf("nil tracer Totals = %+v, want zero", tot)
+	}
+}
+
+func TestTracerRecordAndTotals(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Begin(PhaseAdvance)
+	sp.EndSim(100, 5*time.Millisecond, 2*time.Millisecond)
+	tr.Mark(PhaseAdvance, 50, 7*time.Millisecond, time.Millisecond)
+
+	tot := tr.Totals(PhaseAdvance)
+	if tot.Count != 2 || tot.Items != 150 {
+		t.Fatalf("Totals = %+v, want Count=2 Items=150", tot)
+	}
+	if want := int64(3 * time.Millisecond); tot.SimNs != want {
+		t.Fatalf("SimNs = %d, want %d", tot.SimNs, want)
+	}
+	evs := tr.Snapshot(nil)
+	if len(evs) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(evs))
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Fatalf("Snapshot order wrong: %+v", evs)
+	}
+	if evs[0].SimStartNs != int64(5*time.Millisecond) || evs[0].SimNs != int64(2*time.Millisecond) {
+		t.Fatalf("sim interval not recorded: %+v", evs[0])
+	}
+	if evs[1].HostNs != 0 {
+		t.Fatalf("Mark should record zero host duration, got %d", evs[1].HostNs)
+	}
+	if evs[0].HostNs < 0 || evs[1].StartNs < evs[0].StartNs {
+		t.Fatalf("host timestamps not monotonic: %+v", evs)
+	}
+}
+
+// TestTracerWrap drives the ring past capacity and checks overwrite
+// semantics: Len pins at Cap, Dropped counts the overwritten prefix, and
+// Snapshot returns exactly the newest Cap events oldest-first.
+func TestTracerWrap(t *testing.T) {
+	const cap = 16
+	tr := NewTracer(cap)
+	const total = 3*cap + 5
+	for i := 0; i < total; i++ {
+		tr.Mark(PhaseScan, int64(i), 0, 0)
+	}
+	if tr.Len() != cap {
+		t.Fatalf("Len = %d, want %d", tr.Len(), cap)
+	}
+	if want := uint64(total - cap); tr.Dropped() != want {
+		t.Fatalf("Dropped = %d, want %d", tr.Dropped(), want)
+	}
+	evs := tr.Snapshot(nil)
+	if len(evs) != cap {
+		t.Fatalf("Snapshot len = %d, want %d", len(evs), cap)
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(total - cap + i)
+		if ev.Seq != wantSeq || ev.Items != int64(wantSeq) {
+			t.Fatalf("event %d: Seq=%d Items=%d, want Seq=Items=%d", i, ev.Seq, ev.Items, wantSeq)
+		}
+	}
+	// Aggregates are exact despite the wrap.
+	if tot := tr.Totals(PhaseScan); tot.Count != total {
+		t.Fatalf("Totals.Count = %d, want %d (aggregates must survive wrap)", tot.Count, total)
+	}
+	// Snapshot appends into the destination without clobbering it.
+	pre := []Event{{Seq: 999}}
+	both := tr.Snapshot(pre)
+	if len(both) != cap+1 || both[0].Seq != 999 {
+		t.Fatalf("Snapshot must append to dst, got len=%d first=%+v", len(both), both[0])
+	}
+}
+
+// TestTracerConcurrent hammers one tracer from many goroutines while a
+// reader snapshots — meaningful under -race, and checks the aggregate
+// arithmetic is exact under contention.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ph := Phase(w % NumPhases)
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Begin(ph)
+				sp.EndSim(1, time.Duration(i), time.Duration(1))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var scratch []Event
+		for i := 0; i < 200; i++ {
+			scratch = tr.Snapshot(scratch[:0])
+			_ = tr.Len()
+			_ = tr.Dropped()
+			for p := Phase(0); p < numPhases; p++ {
+				_ = tr.Totals(p)
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	var count, items int64
+	for p := Phase(0); p < numPhases; p++ {
+		tot := tr.Totals(p)
+		count += tot.Count
+		items += tot.Items
+	}
+	if want := int64(workers * perWorker); count != want || items != want {
+		t.Fatalf("totals under contention: count=%d items=%d, want %d", count, items, want)
+	}
+	if got := tr.Dropped() + uint64(tr.Len()); got != uint64(workers*perWorker) {
+		t.Fatalf("dropped+retained = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestTracerSteadyStateAllocs: recording spans into a warm tracer must not
+// allocate — this is the property the solver-level TestObsSteadyStateAllocs
+// builds on.
+func TestTracerSteadyStateAllocs(t *testing.T) {
+	tr := NewTracer(32)
+	c := &Counter{}
+	g := &Gauge{}
+	hist := NewRegistry().Histogram("x", "", []float64{1, 10, 100})
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Begin(PhaseAdvance)
+		sp.EndSim(17, 3, 5)
+		tr.Mark(PhaseRebalance, 4, 1, 2)
+		c.Add(3)
+		g.Set(1.5)
+		hist.Observe(42)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state span+metric path allocates %v allocs/op, want 0", allocs)
+	}
+	if math.Abs(hist.Sum()-42*101) > 1e-9 {
+		t.Fatalf("histogram sum = %v", hist.Sum())
+	}
+}

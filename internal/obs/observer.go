@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PoolStats counts worker-pool launches and the host wall time spent inside
+// them. It lives here (not in internal/parallel) so the pool package can
+// observe into it without importing the registry machinery; fields are
+// padded so the two hot atomics sit on separate cache lines. A nil
+// *PoolStats is a no-op, which is the pool's default.
+type PoolStats struct {
+	launches atomic.Int64
+	_        [7]int64
+	busyNs   atomic.Int64
+	_        [7]int64
+}
+
+// Record accounts one pool launch that kept the workers busy for d.
+func (s *PoolStats) Record(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.launches.Add(1)
+	s.busyNs.Add(int64(d))
+}
+
+// Launches returns the number of recorded pool launches.
+func (s *PoolStats) Launches() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.launches.Load()
+}
+
+// BusyNs returns the total host ns spent inside recorded launches.
+func (s *PoolStats) BusyNs() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.busyNs.Load()
+}
+
+// Observer bundles one tracer and one registry: the single handle threaded
+// through Options/RunConfig. A nil *Observer disables all instrumentation.
+type Observer struct {
+	Tracer *Tracer
+	Reg    *Registry
+
+	poolOnce sync.Once
+	pool     PoolStats
+}
+
+// New returns an Observer with a tracer ring of traceEvents events
+// (DefaultTraceEvents if <= 0) and a registry preloaded with the Go runtime
+// sampler and the tracer's per-phase totals.
+func New(traceEvents int) *Observer {
+	o := &Observer{Tracer: NewTracer(traceEvents), Reg: NewRegistry()}
+	RegisterRuntimeMetrics(o.Reg)
+	registerTracerMetrics(o.Reg, o.Tracer)
+	return o
+}
+
+// PoolStats returns the observer's worker-pool stats block, registering its
+// gauges on first use. Nil-safe: a nil observer returns nil, which
+// parallel.Pool treats as "don't measure".
+func (o *Observer) PoolStats() *PoolStats {
+	if o == nil {
+		return nil
+	}
+	o.poolOnce.Do(func() {
+		o.Reg.GaugeFunc("pool_launches_total",
+			"worker-pool kernel launches observed",
+			func() float64 { return float64(o.pool.Launches()) })
+		o.Reg.GaugeFunc("pool_busy_seconds_total",
+			"host wall time spent inside worker-pool launches",
+			func() float64 { return float64(o.pool.BusyNs()) / 1e9 })
+	})
+	return &o.pool
+}
+
+// registerTracerMetrics exposes the tracer's exact per-phase aggregates —
+// span counts, host seconds, charged sim seconds — plus ring occupancy.
+func registerTracerMetrics(r *Registry, t *Tracer) {
+	for p := Phase(0); p < numPhases; p++ {
+		ph := p // capture per iteration
+		label := `{phase="` + p.String() + `"}`
+		r.GaugeFunc("obs_phase_spans_total"+label,
+			"spans recorded per solver phase",
+			func() float64 { return float64(t.Totals(ph).Count) })
+		r.GaugeFunc("obs_phase_host_seconds_total"+label,
+			"host wall time per solver phase",
+			func() float64 { return float64(t.Totals(ph).HostNs) / 1e9 })
+		r.GaugeFunc("obs_phase_sim_seconds_total"+label,
+			"charged simulated device time per solver phase",
+			func() float64 { return float64(t.Totals(ph).SimNs) / 1e9 })
+	}
+	r.GaugeFunc("obs_trace_events",
+		"events currently retained in the trace ring",
+		func() float64 { return float64(t.Len()) })
+	r.GaugeFunc("obs_trace_dropped_total",
+		"events overwritten by trace ring wrap",
+		func() float64 { return float64(t.Dropped()) })
+}
+
+// SummaryLine renders a one-line human summary: per-phase host-time shares
+// plus controller health if the solve registered it. Used by cmd/profile
+// and cmd/sssp after a run.
+func (o *Observer) SummaryLine() string {
+	if o == nil {
+		return ""
+	}
+	var totalHost int64
+	var totals [numPhases]PhaseTotals
+	for p := Phase(0); p < numPhases; p++ {
+		totals[p] = o.Tracer.Totals(p)
+		totalHost += totals[p].HostNs
+	}
+	if totalHost == 0 {
+		return "obs: no spans recorded"
+	}
+	var b strings.Builder
+	b.WriteString("obs: host ")
+	b.WriteString(time.Duration(totalHost).Round(time.Microsecond).String())
+	for p := Phase(0); p < numPhases; p++ {
+		if totals[p].Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " | %s %.1f%%", p.String(),
+			100*float64(totals[p].HostNs)/float64(totalHost))
+	}
+	if v, ok := o.Reg.Value("sssp_controller_tracking_error_mean"); ok {
+		fmt.Fprintf(&b, " | ctrl err mean %.3f", v)
+	}
+	if v, ok := o.Reg.Value("sssp_controller_model_convergence_iters"); ok && v >= 0 {
+		fmt.Fprintf(&b, " conv@%d", int(v))
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// The Chrome trace-event JSON object format, the subset Perfetto's legacy
+// importer understands: "X" complete events with microsecond ts/dur, plus
+// "M" metadata events naming the process and threads. Host and simulated
+// time render as two threads of one process so the same phase can be read
+// on both clocks side by side.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const (
+	tracePid    = 1
+	hostTrackID = 1 // host wall-clock spans
+	simTrackID  = 2 // charged simulated-device intervals
+)
+
+// WriteTraceJSON writes events as a Perfetto-loadable Chrome trace. Each
+// recorded span becomes an "X" event on the host track (wall time) and, if
+// it charged simulated time, a second "X" event on the sim track placed at
+// the simulated clock — so ui.perfetto.dev shows the host schedule above
+// the device schedule it produced. Each track is sorted by its own clock
+// (a span can open on the host before an earlier-charging sibling but
+// charge the machine after it, so one global order cannot serve both), so
+// ts is monotonic per track.
+func WriteTraceJSON(w io.Writer, events []Event) error {
+	evs := make([]traceEvent, 0, 2*len(events)+3)
+	evs = append(evs,
+		traceEvent{Name: "process_name", Ph: "M", Pid: tracePid,
+			Args: map[string]any{"name": "energysssp solve"}},
+		traceEvent{Name: "thread_name", Ph: "M", Pid: tracePid, Tid: hostTrackID,
+			Args: map[string]any{"name": "host wall clock"}},
+		traceEvent{Name: "thread_name", Ph: "M", Pid: tracePid, Tid: simTrackID,
+			Args: map[string]any{"name": "simulated device clock"}},
+	)
+
+	host := append([]Event(nil), events...)
+	sort.Slice(host, func(i, j int) bool {
+		if host[i].StartNs != host[j].StartNs {
+			return host[i].StartNs < host[j].StartNs
+		}
+		return host[i].Seq < host[j].Seq
+	})
+	for _, ev := range host {
+		evs = append(evs, traceEvent{
+			Name: ev.Phase.String(),
+			Cat:  "host",
+			Ph:   "X",
+			Ts:   float64(ev.StartNs) / 1e3,
+			Dur:  float64(ev.HostNs) / 1e3,
+			Pid:  tracePid,
+			Tid:  hostTrackID,
+			Args: map[string]any{"seq": ev.Seq, "items": ev.Items, "sim_ns": ev.SimNs},
+		})
+	}
+
+	var sim []Event
+	for _, ev := range events {
+		if ev.SimNs > 0 {
+			sim = append(sim, ev)
+		}
+	}
+	sort.Slice(sim, func(i, j int) bool {
+		if sim[i].SimStartNs != sim[j].SimStartNs {
+			return sim[i].SimStartNs < sim[j].SimStartNs
+		}
+		return sim[i].Seq < sim[j].Seq
+	})
+	for _, ev := range sim {
+		evs = append(evs, traceEvent{
+			Name: ev.Phase.String(),
+			Cat:  "sim",
+			Ph:   "X",
+			Ts:   float64(ev.SimStartNs) / 1e3,
+			Dur:  float64(ev.SimNs) / 1e3,
+			Pid:  tracePid,
+			Tid:  simTrackID,
+			Args: map[string]any{"seq": ev.Seq, "items": ev.Items},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decoded mirrors of the trace JSON, using map args so unknown keys surface.
+type decodedEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type decodedFile struct {
+	TraceEvents     []decodedEvent `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+}
+
+// TestPerfettoSchema validates the exporter output against what the
+// Perfetto/Chrome trace-event importer requires: a traceEvents array, "M"
+// metadata naming process and threads, and "X" complete events that all
+// carry name/ph/ts/dur/pid/tid with per-track monotonic ts.
+func TestPerfettoSchema(t *testing.T) {
+	tr := NewTracer(64)
+	simNow := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		sp := tr.Begin(Phase(i % NumPhases))
+		d := time.Duration(i+1) * time.Microsecond
+		sp.EndSim(int64(i), simNow, d)
+		simNow += d
+	}
+	tr.Mark(PhaseRebalance, 3, simNow, 0) // host-instant event, no sim dur
+
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, tr.Snapshot(nil)); err != nil {
+		t.Fatal(err)
+	}
+	var f decodedFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("traceEvents is empty")
+	}
+
+	var meta, complete int
+	lastTs := map[int]float64{}
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" {
+			t.Fatalf("event %d missing required name/ph: %+v", i, ev)
+		}
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Args["name"] == nil {
+				t.Fatalf("metadata event %d has no args.name", i)
+			}
+		case "X":
+			complete++
+			if ev.Ts == nil || ev.Dur == nil || ev.Pid == nil || ev.Tid == nil {
+				t.Fatalf("complete event %d missing ts/dur/pid/tid: %+v", i, ev)
+			}
+			if *ev.Dur < 0 || *ev.Ts < 0 {
+				t.Fatalf("complete event %d has negative ts/dur: %+v", i, ev)
+			}
+			if prev, ok := lastTs[*ev.Tid]; ok && *ev.Ts < prev {
+				t.Fatalf("ts not monotonic on tid %d: %v after %v", *ev.Tid, *ev.Ts, prev)
+			}
+			lastTs[*ev.Tid] = *ev.Ts
+		default:
+			t.Fatalf("unexpected phase type %q", ev.Ph)
+		}
+	}
+	if meta < 3 {
+		t.Fatalf("want >= 3 metadata events (process + 2 threads), got %d", meta)
+	}
+	// 11 host events + 10 with sim durations -> 21 complete events.
+	if complete != 21 {
+		t.Fatalf("complete events = %d, want 21", complete)
+	}
+	if len(lastTs) != 2 {
+		t.Fatalf("want events on 2 tracks (host + sim), got tids %v", lastTs)
+	}
+}
+
+func TestPerfettoEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var f decodedFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "M" {
+			t.Fatalf("empty trace should contain only metadata, got %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64, padded to a cache line so
+// unrelated hot counters never false-share. A nil *Counter is a no-op, so
+// instrumented code can hold counter fields that are simply never set.
+type Counter struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down, stored as atomic bits.
+// A nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+	_    [7]int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with atomic counters. Buckets are
+// preallocated at registration; Observe is a bucket walk plus three atomic
+// ops and never allocates. A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf bucket is implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindFunc
+)
+
+type entry struct {
+	name string // full exposition name, may embed {label="..."} syntax
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	fn   func() float64
+}
+
+// Registry holds named metrics and writes them in Prometheus text
+// exposition format. Registration (Counter/Gauge/Histogram/GaugeFunc) is
+// idempotent by name: re-registering returns the existing metric, so a
+// per-solve Observe step can run many times against one registry and keep
+// accumulating. Registering an existing name as a different kind panics.
+//
+// Names may embed Prometheus label syntax, e.g.
+// `obs_phase_host_seconds_total{phase="advance"}`; entries sharing the
+// family (the part before '{') share one HELP/TYPE header.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byName  map[string]*entry
+	hooks   []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*entry)}
+}
+
+func (r *Registry) lookupOrAdd(name, help string, kind metricKind) (*entry, bool) {
+	e, ok := r.byName[name]
+	if ok {
+		if e.kind != kind {
+			panic("obs: metric " + name + " re-registered as a different kind")
+		}
+		return e, false
+	}
+	e = &entry{name: name, help: help, kind: kind}
+	r.entries = append(r.entries, e)
+	r.byName[name] = e
+	return e, true
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, fresh := r.lookupOrAdd(name, help, kindCounter)
+	if fresh {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, fresh := r.lookupOrAdd(name, help, kindGauge)
+	if fresh {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// Histogram registers (or returns the existing) histogram with the given
+// ascending upper bounds (the +Inf bucket is implicit). Histogram names
+// must not embed label syntax — the bucket `le` label owns it.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if strings.ContainsRune(name, '{') {
+		panic("obs: histogram name must not embed labels: " + name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, fresh := r.lookupOrAdd(name, help, kindHistogram)
+	if fresh {
+		e.h = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
+	return e.h
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+// Re-registering an existing func name replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, _ := r.lookupOrAdd(name, help, kindFunc)
+	e.fn = fn
+}
+
+// OnScrape registers a hook run at the start of every WritePrometheus call,
+// before values are read — used by the runtime sampler to refresh gauges.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+// Value returns the current value of the named metric (counter, gauge, or
+// gauge func; histograms report their observation count). Scrape hooks are
+// not run, so hook-refreshed gauges return their last scraped value.
+func (r *Registry) Value(name string) (float64, bool) {
+	r.mu.Lock()
+	e, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	switch e.kind {
+	case kindCounter:
+		return float64(e.c.Value()), true
+	case kindGauge:
+		return e.g.Value(), true
+	case kindHistogram:
+		return float64(e.h.Count()), true
+	case kindFunc:
+		return e.fn(), true
+	}
+	return 0, false
+}
+
+// family returns the metric family name: everything before the label block.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// fnum renders a float the way Prometheus clients do: shortest decimal that
+// round-trips exactly, so scraped values parse back bit-identical.
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered metric in Prometheus text
+// exposition format (version 0.0.4). Scrape hooks run first. Entries are
+// written sorted by name so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+
+	r.mu.Lock()
+	entries := append([]*entry{}, r.entries...)
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		fam := family(e.name)
+		if !seen[fam] {
+			seen[fam] = true
+			typ := "gauge"
+			switch e.kind {
+			case kindCounter:
+				typ = "counter"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", fam, escapeHelp(e.help), fam, typ)
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", e.name, e.c.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %s\n", e.name, fnum(e.g.Value()))
+		case kindFunc:
+			fmt.Fprintf(bw, "%s %s\n", e.name, fnum(e.fn()))
+		case kindHistogram:
+			var cum int64
+			for i, b := range e.h.bounds {
+				cum += e.h.buckets[i].Load()
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", e.name, fnum(b), cum)
+			}
+			cum += e.h.buckets[len(e.h.bounds)].Load()
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum)
+			fmt.Fprintf(bw, "%s_sum %s\n", e.name, fnum(e.h.Sum()))
+			fmt.Fprintf(bw, "%s_count %d\n", e.name, e.h.count.Load())
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,27 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics adds a Go runtime sampler to the registry: heap
+// size, GC pause totals, and goroutine count, refreshed by a scrape hook so
+// long-running batch/server deployments can watch process health next to
+// solver metrics. One runtime.ReadMemStats call per scrape; nothing runs
+// between scrapes, so solve hot paths are unaffected.
+func RegisterRuntimeMetrics(r *Registry) {
+	goroutines := r.Gauge("go_goroutines", "current number of goroutines")
+	heapAlloc := r.Gauge("go_heap_alloc_bytes", "bytes of allocated heap objects")
+	heapObjects := r.Gauge("go_heap_objects", "number of allocated heap objects")
+	gcCycles := r.Gauge("go_gc_cycles_total", "completed GC cycles")
+	gcPause := r.Gauge("go_gc_pause_seconds_total", "cumulative GC stop-the-world pause time")
+	nextGC := r.Gauge("go_heap_next_gc_bytes", "heap size at which the next GC triggers")
+	r.OnScrape(func() {
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		gcCycles.Set(float64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		nextGC.Set(float64(ms.NextGC))
+	})
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server exposes an observer over HTTP:
+//
+//	/metrics  Prometheus text exposition (version 0.0.4)
+//	/trace    Perfetto/Chrome trace-event JSON of the current ring
+//	/healthz  liveness probe
+//
+// The server runs on its own goroutine; Close shuts it down and reports any
+// serve error other than normal shutdown.
+type Server struct {
+	ln       net.Listener
+	srv      *http.Server
+	serveErr chan error
+}
+
+// Serve starts an HTTP server for o on addr (e.g. ":9090", or
+// "127.0.0.1:0" to pick a free port — see Addr).
+func Serve(addr string, o *Observer) (*Server, error) {
+	if o == nil {
+		return nil, errors.New("obs: Serve requires a non-nil Observer")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := o.Reg.WritePrometheus(w); err != nil {
+			// Headers are already out; nothing useful left to do.
+			return
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteTraceJSON(w, o.Tracer.Snapshot(nil)); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			return
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:       ln,
+		srv:      &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		serveErr: make(chan error, 1),
+	}
+	go func() { s.serveErr <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down and returns any serve-loop error.
+func (s *Server) Close() error {
+	if err := s.srv.Close(); err != nil {
+		return err
+	}
+	if err := <-s.serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServer(t *testing.T) {
+	o := New(32)
+	sp := o.Tracer.Begin(PhaseAdvance)
+	sp.End(9)
+	c := o.Reg.Counter("test_hits_total", "hits")
+	c.Add(3)
+
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	base := "http://" + srv.Addr()
+
+	body, ctype := get(t, base+"/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("metrics content-type = %q", ctype)
+	}
+	for _, want := range []string{
+		"test_hits_total 3",
+		`obs_phase_spans_total{phase="advance"} 1`,
+		"go_goroutines ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	tbody, tctype := get(t, base+"/trace")
+	if !strings.HasPrefix(tctype, "application/json") {
+		t.Errorf("trace content-type = %q", tctype)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(tbody), &f); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(f.TraceEvents) < 4 { // 3 metadata + 1 span
+		t.Fatalf("/trace has %d events, want >= 4", len(f.TraceEvents))
+	}
+
+	if hbody, _ := get(t, base+"/healthz"); hbody != "ok\n" {
+		t.Errorf("/healthz = %q", hbody)
+	}
+}
+
+func TestServeNilObserver(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Fatal("Serve(nil) must error")
+	}
+}

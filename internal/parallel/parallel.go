@@ -15,6 +15,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"energysssp/internal/obs"
 )
 
 // DefaultGrain is the default number of items in a dynamically scheduled
@@ -35,10 +38,11 @@ func MaxWorkers() int { return runtime.GOMAXPROCS(0) }
 // finish before the next begins. (SSSP iterations are themselves sequential,
 // so this matches the usage pattern.)
 type Pool struct {
-	size int
-	jobs []chan func(worker int)
-	wg   sync.WaitGroup
-	once sync.Once
+	size  int
+	jobs  []chan func(worker int)
+	wg    sync.WaitGroup
+	once  sync.Once
+	stats *obs.PoolStats // nil: no observation (the default)
 }
 
 // NewPool creates a pool with the given number of workers. size <= 0 selects
@@ -79,9 +83,25 @@ func (p *Pool) Close() {
 	}
 }
 
+// Observe attaches (or, with nil, detaches) a launch/busy-time accumulator.
+// Observation times each Run launch with two host clock reads; an unobserved
+// pool pays nothing. Host-side only — simulated time and energy are charged
+// by internal/sim regardless of whether the pool is observed.
+func (p *Pool) Observe(s *obs.PoolStats) { p.stats = s }
+
 // Run invokes f once per worker, concurrently, and waits for all invocations
 // to finish. f receives the worker index in [0, Size()).
 func (p *Pool) Run(f func(worker int)) {
+	if p.stats == nil {
+		p.run(f)
+		return
+	}
+	start := time.Now()
+	p.run(f)
+	p.stats.Record(time.Since(start))
+}
+
+func (p *Pool) run(f func(worker int)) {
 	if p.size == 1 {
 		f(0)
 		return

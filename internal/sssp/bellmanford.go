@@ -28,6 +28,7 @@ func BellmanFord(g *graph.Graph, src graph.VID, opt *Options) (Result, error) {
 	dist := newDist(g.NumVertices(), src)
 	kn := NewKernels(g, pool, opt.Machine, dist)
 	kn.Force = opt.Advance
+	kn.Observe(opt.Obs)
 	defer kn.Release()
 	front := []graph.VID{src}
 	var res Result

@@ -35,6 +35,7 @@ func DeltaStepping(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options
 	dist := newDist(g.NumVertices(), src)
 	kn := NewKernels(g, pool, opt.Machine, dist)
 	kn.Force = opt.Advance
+	kn.Observe(opt.Obs)
 	defer kn.Release()
 
 	type entry struct {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"energysssp/internal/graph"
+	"energysssp/internal/obs"
 	"energysssp/internal/parallel"
 	"energysssp/internal/sim"
 )
@@ -80,6 +81,17 @@ type Kernels struct {
 
 	sc   *scratch
 	scan *parallel.Scan
+
+	// Observability handles, all nil when no observer is attached. Every
+	// one is nil-safe, so the instrumented sites below run unconditionally
+	// and the off path is the same code as the on path (which is what makes
+	// the obs-on/obs-off sim accounting bit-identical).
+	tr          *obs.Tracer
+	obsAdvances *obs.Counter
+	obsEdges    *obs.Counter
+	obsUpdates  *obs.Counter
+	obsEdgeBal  *obs.Counter
+	obsX2       *obs.Histogram
 
 	// Per-call state published to the prebuilt worker closures. The
 	// closures are constructed once in NewKernels and passed by value to
@@ -200,6 +212,49 @@ func NewKernels(g *graph.Graph, pool *parallel.Pool, mach *sim.Machine, dist []g
 	return kn
 }
 
+// x2Buckets spans the plausible range of per-iteration update counts
+// (the paper's X² parallelism signal): powers of four from 1 to 4M.
+var x2Buckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
+
+// Observe attaches an observer: phase spans go to o.Tracer and solver
+// totals to o.Reg. Call before the first Advance; safe to call per solve
+// against a shared observer (registration is idempotent, counters
+// accumulate across solves). A nil o is a no-op, leaving the kernels
+// uninstrumented. All metric updates are host-side only and never touch
+// the simulated machine.
+func (kn *Kernels) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	kn.tr = o.Tracer
+	kn.obsAdvances = o.Reg.Counter("sssp_advances_total",
+		"advance+filter kernel executions")
+	kn.obsEdges = o.Reg.Counter("sssp_edges_relaxed_total",
+		"edges examined by advance kernels")
+	kn.obsUpdates = o.Reg.Counter("sssp_updates_total",
+		"successful distance updates (sum of per-iteration X2)")
+	kn.obsEdgeBal = o.Reg.Counter("sssp_edge_balanced_advances_total",
+		"advances scheduled on the edge-balanced path")
+	kn.obsX2 = o.Reg.Histogram("sssp_x2_updates",
+		"distance updates per advance (the controller's X2 signal)", x2Buckets)
+	o.Reg.Counter("sssp_solves_total", "kernel engines constructed (one per solve)").Inc()
+	registerScratchMetrics(o.Reg)
+	kn.Pool.Observe(o.PoolStats())
+}
+
+// SimNow reads the simulated clock without charging it (0 with no machine).
+// Solver drivers use it to bracket charge calls when recording spans.
+func (kn *Kernels) SimNow() time.Duration {
+	if kn.Mach == nil {
+		return 0
+	}
+	return kn.Mach.Now()
+}
+
+// Trace returns the attached tracer (nil when unobserved); the returned
+// tracer is nil-safe, so drivers call Begin/Mark on it unconditionally.
+func (kn *Kernels) Trace() *obs.Tracer { return kn.tr }
+
 // Release returns the pooled scratch. The Kernels value and the Out slice
 // of its last AdvanceResult must not be used afterwards.
 func (kn *Kernels) Release() {
@@ -256,6 +311,7 @@ func (kn *Kernels) AdvanceRange(front []graph.VID, wlo, whi graph.Weight) Advanc
 	kn.front, kn.wlo, kn.whi = front, wlo, whi
 	useEdge := kn.planAdvance(len(front))
 	kn.next.Store(0)
+	spAdv := kn.tr.Begin(obs.PhaseAdvance)
 	switch {
 	case useEdge:
 		kn.Pool.Run(kn.edgeWorker)
@@ -271,6 +327,16 @@ func (kn *Kernels) AdvanceRange(front []graph.VID, wlo, whi graph.Weight) Advanc
 		res.X2 += int(sc.counts[w].x2)
 		res.Edges += sc.counts[w].edges
 	}
+	// Charge order is advance then filter, exactly as before observability:
+	// the advance charge closes the advance span, the filter charge closes
+	// the filter span (which covers the host-side merge + bitmap clear).
+	advSimStart := kn.SimNow()
+	if kn.Mach != nil {
+		res.Dur = kn.Mach.Kernel(sim.KernelAdvance, int(res.Edges))
+	}
+	spAdv.EndSim(res.Edges, advSimStart, res.Dur)
+
+	spFil := kn.tr.Begin(obs.PhaseFilter)
 	out := sc.bufs[0]
 	for w := 1; w < nw; w++ {
 		out = append(out, sc.bufs[w]...)
@@ -281,10 +347,21 @@ func (kn *Kernels) AdvanceRange(front []graph.VID, wlo, whi graph.Weight) Advanc
 	for _, v := range out {
 		sc.seen.Clear(int(v))
 	}
+	filSimStart := kn.SimNow()
+	var filDur time.Duration
 	if kn.Mach != nil {
-		res.Dur = kn.Mach.Kernel(sim.KernelAdvance, int(res.Edges))
-		res.Dur += kn.Mach.Kernel(sim.KernelFilter, res.X2)
+		filDur = kn.Mach.Kernel(sim.KernelFilter, res.X2)
+		res.Dur += filDur
 	}
+	spFil.EndSim(int64(res.X2), filSimStart, filDur)
+
+	kn.obsAdvances.Inc()
+	kn.obsEdges.Add(res.Edges)
+	kn.obsUpdates.Add(int64(res.X2))
+	if useEdge {
+		kn.obsEdgeBal.Inc()
+	}
+	kn.obsX2.Observe(float64(res.X2))
 	return res
 }
 
@@ -300,13 +377,17 @@ func (kn *Kernels) planAdvance(n int) bool {
 	case StrategyVertex:
 		return false
 	case StrategyEdge:
+		sp := kn.tr.Begin(obs.PhaseScan)
 		kn.edgeTotal, _ = kn.scan.ExclusiveSum(n, kn.sc.grownPrefix(n), kn.degreeOf)
+		sp.End(int64(n))
 		return kn.edgeTotal > 0
 	}
 	if n < adaptMinFront {
 		return false
 	}
+	sp := kn.tr.Begin(obs.PhaseScan)
 	total, maxDeg := kn.scan.ExclusiveSum(n, kn.sc.grownPrefix(n), kn.degreeOf)
+	sp.End(int64(n))
 	kn.edgeTotal = total
 	if total < int64(kn.Pool.Size())*edgeShareMin {
 		return false

@@ -7,6 +7,7 @@ import (
 	"energysssp/internal/frontier"
 	"energysssp/internal/graph"
 	"energysssp/internal/metrics"
+	"energysssp/internal/obs"
 )
 
 // NearFar implements the Gunrock-style near-far SSSP baseline of Davidson
@@ -43,6 +44,7 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 	dist := newDist(g.NumVertices(), src)
 	kn := NewKernels(g, pool, opt.Machine, dist)
 	kn.Force = opt.Advance
+	kn.Observe(opt.Obs)
 	defer kn.Release()
 	var far frontier.Flat
 	front := []graph.VID{src}
@@ -62,6 +64,7 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 		res.Updates += int64(adv.X2)
 
 		// Stage 3: bisect-frontier around the current threshold.
+		spB := kn.tr.Begin(obs.PhaseRebalance)
 		near := front[:0]
 		for _, v := range adv.Out {
 			if dist[v] <= thr {
@@ -70,13 +73,17 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 				far.Push(v, dist[v])
 			}
 		}
-		kn.ChargeBisect(len(adv.Out))
+		simB := kn.SimNow()
+		durB := kn.ChargeBisect(len(adv.Out))
+		spB.EndSim(int64(len(adv.Out)), simB, durB)
 		x4 := len(near)
 		front = near
 
 		// Stage 4: when the near frontier drains, advance the phase to
 		// the first delta multiple that admits far-queue work.
 		if len(front) == 0 && far.Len() > 0 {
+			spQ := kn.tr.Begin(obs.PhaseRebalance)
+			var scanned int
 			minD := far.MinDist(dist)
 			if minD < graph.Inf {
 				if minD > thr {
@@ -85,15 +92,14 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 				} else {
 					thr += delta
 				}
-				var scanned int
 				front, scanned = far.ExtractBelow(thr, dist, front)
-				kn.ChargeFarQueue(scanned)
 			} else {
 				// Only stale entries remain: one cleanup scan.
-				var scanned int
 				front, scanned = far.ExtractBelow(graph.Inf, dist, front)
-				kn.ChargeFarQueue(scanned)
 			}
+			simQ := kn.SimNow()
+			durQ := kn.ChargeFarQueue(scanned)
+			spQ.EndSim(int64(scanned), simQ, durQ)
 		}
 
 		if opt.Profile != nil {

@@ -1,0 +1,48 @@
+package sssp
+
+import (
+	"testing"
+
+	"energysssp/internal/gen"
+	"energysssp/internal/graph"
+	"energysssp/internal/obs"
+	"energysssp/internal/parallel"
+)
+
+// TestObsSteadyStateAllocs extends the tentpole's allocation gate to the
+// instrumented path: with a full observer attached (tracer, counters,
+// histogram), Advance must still perform zero allocations per iteration on
+// both scheduling paths at every pool size. This is the invariant that lets
+// observability default-on in long experiments without perturbing them.
+func TestObsSteadyStateAllocs(t *testing.T) {
+	g := gen.RMAT(11, 8, 0.57, 0.19, 0.19, 1, 99, 13)
+	for _, ps := range []int{1, 4} {
+		for _, strat := range []Strategy{StrategyVertex, StrategyEdge} {
+			pool := parallel.NewPool(ps)
+			dist := newDist(g.NumVertices(), 0)
+			kn := NewKernels(g, pool, nil, dist)
+			kn.Force = strat
+			kn.Observe(obs.New(obs.DefaultTraceEvents))
+			front := []graph.VID{0}
+			for len(front) > 0 {
+				adv := kn.Advance(front)
+				front = append(front[:0], adv.Out...)
+			}
+			frontier := make([]graph.VID, 0, g.NumVertices())
+			for v := 0; v < g.NumVertices(); v++ {
+				if dist[v] < graph.Inf {
+					frontier = append(frontier, graph.VID(v))
+				}
+			}
+			kn.Advance(frontier) // warm the full-frontier path
+			allocs := testing.AllocsPerRun(10, func() {
+				kn.Advance(frontier)
+			})
+			kn.Release()
+			pool.Close()
+			if allocs != 0 {
+				t.Errorf("pool %d %v: observed Advance allocates %.1f per run, want 0", ps, strat, allocs)
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"energysssp/internal/graph"
 	"energysssp/internal/metrics"
+	"energysssp/internal/obs"
 	"energysssp/internal/parallel"
 	"energysssp/internal/sim"
 )
@@ -47,6 +48,12 @@ type Options struct {
 	// host-side scheduling only — simulated time/energy accounting is
 	// identical across strategies.
 	Advance Strategy
+	// Obs, when non-nil, attaches the runtime observability layer: phase
+	// spans go to Obs.Tracer, solver/controller metrics to Obs.Reg. Like
+	// Advance, it is host-side only — simulated time and energy are
+	// bit-identical with Obs set or nil — and it preserves the zero-
+	// allocation steady state (gated by TestObsSteadyStateAllocs).
+	Obs *obs.Observer
 }
 
 func (o *Options) pool() *parallel.Pool {

@@ -17,10 +17,12 @@ import (
 	"energysssp/internal/power"
 )
 
-// WriteProfileCSV writes one iteration-statistics row per solver iteration.
+// WriteProfileCSV writes one iteration-statistics row per solver iteration,
+// covering every IterStat field (including the EdgeBalanced scheduling
+// choice, so advance-path decisions can be correlated with the X series).
 func WriteProfileCSV(w io.Writer, p *metrics.Profile) error {
 	cw := csv.NewWriter(w)
-	header := []string{"k", "x1", "x2", "x3", "x4", "delta", "d_hat", "alpha_hat", "far_size", "edges", "sim_ns", "energy_j", "avg_watts"}
+	header := []string{"k", "x1", "x2", "x3", "x4", "delta", "d_hat", "alpha_hat", "far_size", "edges", "sim_ns", "energy_j", "avg_watts", "edge_balanced"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -39,6 +41,7 @@ func WriteProfileCSV(w io.Writer, p *metrics.Profile) error {
 			strconv.FormatInt(int64(it.SimTime), 10),
 			strconv.FormatFloat(it.EnergyJ, 'g', -1, 64),
 			strconv.FormatFloat(it.AvgWatts, 'g', -1, 64),
+			strconv.FormatBool(it.EdgeBalanced),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -46,6 +49,14 @@ func WriteProfileCSV(w io.Writer, p *metrics.Profile) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteProfileJSON writes the profile as an indented JSON array of
+// iteration records, one object per IterStat with every field present.
+func WriteProfileJSON(w io.Writer, p *metrics.Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Iters)
 }
 
 // WritePowerCSV writes PowerMon-style samples.

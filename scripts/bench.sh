@@ -6,8 +6,9 @@
 # across commits.
 #
 # Usage: scripts/bench.sh [extra go-test args...]
+#        scripts/bench.sh -count=5     # median-of-5 snapshot (noise damping)
 #
-#   BENCH_PATTERN  benchmark regexp      (default: Advance|NearFar|SelfTuning|Batch)
+#   BENCH_PATTERN  benchmark regexp      (default: Advance|NearFar|SelfTuning|Batch|Obs)
 #   BENCH_TIME     -benchtime value      (default: 1s)
 #   BENCH_OUT      output JSON path      (default: BENCH_<date>.json in repo root)
 #   BENCH_NOTE     note stored in the snapshot
@@ -18,7 +19,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern=${BENCH_PATTERN:-'Advance|NearFar|SelfTuning|Batch'}
+pattern=${BENCH_PATTERN:-'Advance|NearFar|SelfTuning|Batch|Obs'}
 benchtime=${BENCH_TIME:-1s}
 
 args=(-out "${BENCH_OUT:-}")

@@ -17,6 +17,9 @@ echo "==> go run ./cmd/lint ./..."
 go run ./cmd/lint ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/parallel/... ./internal/sssp/...
+go test -race ./internal/parallel/... ./internal/sssp/... ./internal/obs/...
+
+echo "==> zero-allocation steady-state gates (obs off and on)"
+go test -run 'TestAdvanceSteadyStateAllocs|TestObsSteadyStateAllocs' -count=1 ./internal/sssp/
 
 echo "==> check.sh: all gates green"
