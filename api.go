@@ -35,6 +35,7 @@ import (
 
 	"energysssp/internal/core"
 	"energysssp/internal/dvfs"
+	"energysssp/internal/flight"
 	"energysssp/internal/gen"
 	"energysssp/internal/graph"
 	"energysssp/internal/harness"
@@ -86,6 +87,19 @@ type (
 	Observer = obs.Observer
 	// MetricsServer serves an Observer over HTTP (see ServeMetrics).
 	MetricsServer = obs.Server
+	// FlightRecorder captures one fixed-size controller flight record per
+	// solver iteration (see NewFlightRecorder, RunConfig.FlightLog).
+	FlightRecorder = flight.Recorder
+	// FlightLog is a snapshot of a flight recorder: header plus records.
+	FlightLog = flight.Log
+	// FlightDiff reports the first divergence and per-field deltas between
+	// two flight logs (see DiffFlightLogs).
+	FlightDiff = flight.DiffReport
+	// FlightReplayReport is the outcome of deterministically re-executing a
+	// flight log's controller trajectory (see ReplayFlight).
+	FlightReplayReport = flight.ReplayReport
+	// FlightFinding is one detected controller pathology (see FlightFindings).
+	FlightFinding = flight.Finding
 )
 
 // Inf is the distance of unreachable vertices.
@@ -205,6 +219,14 @@ type RunConfig struct {
 	// it, and the zero-allocation steady state is preserved. Nil (the
 	// default) disables all instrumentation.
 	Obs *Observer
+	// FlightLog attaches a controller flight recorder (see
+	// NewFlightRecorder): one fixed-size record per solver iteration for
+	// the SelfTuning and NearFar algorithms, exportable with
+	// WriteFlightLog, re-executable with ReplayFlight, and comparable with
+	// DiffFlightLogs. When Obs is also set, the recorder is served live at
+	// the observer's /flight endpoint. Host-side only and allocation-free
+	// in the steady state, like Obs.
+	FlightLog *FlightRecorder
 }
 
 // RunOutput bundles a solver result with its optional instrumentation.
@@ -260,6 +282,42 @@ func NewObserver(traceEvents int) *Observer { return obs.New(traceEvents) }
 // to pick a free port (see MetricsServer.Addr); close when done.
 func ServeMetrics(addr string, o *Observer) (*MetricsServer, error) { return obs.Serve(addr, o) }
 
+// NewFlightRecorder constructs a controller flight recorder whose
+// preallocated ring retains the last capacity iterations (0 selects the
+// default, 16Ki — enough for every iteration of paper-scale runs). Attach
+// it via RunConfig.FlightLog (or sssp.Options.Flight); one recorder may be
+// reused across runs, retaining the last run's log.
+func NewFlightRecorder(capacity int) *FlightRecorder { return flight.NewRecorder(capacity) }
+
+// WriteFlightLog serializes a flight log as versioned JSONL. Floats are
+// written in shortest round-tripping decimal form, so ReadFlightLog
+// recovers bit-identical values.
+func WriteFlightLog(w io.Writer, l *FlightLog) error { return flight.WriteJSONL(w, l) }
+
+// ReadFlightLog parses a JSONL flight log written by WriteFlightLog.
+func ReadFlightLog(r io.Reader) (*FlightLog, error) { return flight.ReadJSONL(r) }
+
+// ReplayFlight re-executes the controller trajectory recorded in l and
+// reports every bit-level mismatch between the recorded and re-executed
+// decisions — the determinism gate for the self-tuning controller (and the
+// near-far phase schedule). An empty report means the log replays
+// bit-identically.
+func ReplayFlight(l *FlightLog) (*FlightReplayReport, error) { return core.ReplayFlight(l) }
+
+// DiffFlightLogs aligns two flight logs iteration by iteration and reports
+// the first divergence, per-field deltas, and each run's set-point tracking
+// error.
+func DiffFlightLogs(a, b *FlightLog) *FlightDiff { return flight.DiffLogs(a, b) }
+
+// FlightFindings scans a flight log for controller pathologies — δ
+// sign-flip oscillation, α collapse onto its clamp floor, sustained
+// set-point escape — with the default detector thresholds.
+func FlightFindings(l *FlightLog) []FlightFinding { return flight.Detect(l, flight.DetectOptions{}) }
+
+// WriteFlightDashboard renders an ASCII convergence dashboard of a flight
+// log: trajectory sparklines, tracking statistics, and detector findings.
+func WriteFlightDashboard(w io.Writer, l *FlightLog) error { return flight.WriteDashboard(w, l) }
+
 // WriteTrace writes o's recorded phase timeline as Chrome trace-event JSON
 // loadable in ui.perfetto.dev: one track of host wall-clock spans, one of
 // the simulated device intervals they charged.
@@ -273,7 +331,10 @@ func WriteTrace(w io.Writer, o *Observer) error {
 // Run executes one SSSP computation per cfg and returns its result and
 // instrumentation.
 func Run(g *Graph, src VID, cfg RunConfig) (*RunOutput, error) {
-	opt := &sssp.Options{Obs: cfg.Obs}
+	opt := &sssp.Options{Obs: cfg.Obs, Flight: cfg.FlightLog}
+	if cfg.FlightLog != nil {
+		cfg.Obs.SetFlight(cfg.FlightLog) // nil-safe when no observer is attached
+	}
 	var pool *parallel.Pool
 	switch {
 	case cfg.Workers < 0:

@@ -14,7 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	energysssp "energysssp"
 	"energysssp/internal/trace"
@@ -36,8 +38,9 @@ func main() {
 		profile   = flag.String("profile", "", "write the per-iteration profile to this path (.json for JSON, CSV otherwise)")
 		check     = flag.Bool("check", false, "verify distances against the Dijkstra oracle")
 		tune      = flag.Bool("tune", false, "sweep fixed deltas and report the time-minimizing one (requires -device)")
-		obsListen = flag.String("obs-listen", "", "serve live observability on this address (e.g. :9090): /metrics, /trace, /healthz")
+		obsListen = flag.String("obs-listen", "", "serve live observability on this address (e.g. :9090): /metrics, /trace, /healthz, /flight")
 		traceOut  = flag.String("trace-out", "", "write the solve's phase timeline as Perfetto/Chrome trace JSON to this path")
+		flightOut = flag.String("flight-out", "", "write the controller flight log as JSONL to this path (replay with 'flight replay')")
 	)
 	flag.Parse()
 
@@ -81,8 +84,14 @@ func main() {
 		o = energysssp.NewObserver(0)
 		cfg.Obs = o
 	}
+	var rec *energysssp.FlightRecorder
+	if *flightOut != "" {
+		rec = energysssp.NewFlightRecorder(0)
+		cfg.FlightLog = rec
+	}
+	var srv *energysssp.MetricsServer
 	if *obsListen != "" {
-		srv, err := energysssp.ServeMetrics(*obsListen, o)
+		srv, err = energysssp.ServeMetrics(*obsListen, o)
 		if err != nil {
 			fatal(err)
 		}
@@ -94,10 +103,32 @@ func main() {
 		fmt.Printf("observability: http://%s/metrics (Perfetto timeline at /trace)\n", srv.Addr())
 	}
 
+	// On SIGINT/SIGTERM, flush whatever partial outputs exist — the flight
+	// log and phase trace are exactly the artifacts needed to diagnose a
+	// run bad enough to kill — then exit with the conventional 128+signum.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "\nsssp: %v: flushing partial outputs\n", sig)
+		flushOutputs(*traceOut, *flightOut, o, rec)
+		if srv != nil {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sssp: metrics server:", err)
+			}
+		}
+		code := 130 // SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
+
 	out, err := energysssp.Run(g, energysssp.VID(*source), cfg)
 	if err != nil {
 		fatal(err)
 	}
+	signal.Stop(sigc) // solve done: flush happens on the normal path below
 
 	fmt.Printf("result: %v\n", out.Result)
 	if *check {
@@ -136,22 +167,44 @@ func main() {
 		}
 		fmt.Printf("profile written to %s (%d iterations)\n", *profile, out.Profile.Len())
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := energysssp.WriteTrace(f, o); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("trace written to %s (load it in ui.perfetto.dev)\n", *traceOut)
-	}
+	flushOutputs(*traceOut, *flightOut, o, rec)
 	if o != nil {
 		fmt.Println(o.SummaryLine())
 	}
+}
+
+// flushOutputs writes the Perfetto trace and flight log to their requested
+// paths. It is shared between the normal exit path and the signal handler,
+// so it reports failures instead of fataling.
+func flushOutputs(traceOut, flightOut string, o *energysssp.Observer, rec *energysssp.FlightRecorder) {
+	if traceOut != "" && o != nil {
+		if err := writeFile(traceOut, func(f *os.File) error { return energysssp.WriteTrace(f, o) }); err != nil {
+			fmt.Fprintln(os.Stderr, "sssp: trace:", err)
+		} else {
+			fmt.Printf("trace written to %s (load it in ui.perfetto.dev)\n", traceOut)
+		}
+	}
+	if flightOut != "" && rec != nil {
+		l := rec.Log()
+		if err := writeFile(flightOut, func(f *os.File) error { return energysssp.WriteFlightLog(f, l) }); err != nil {
+			fmt.Fprintln(os.Stderr, "sssp: flight log:", err)
+		} else {
+			fmt.Printf("flight log written to %s (%d iterations; replay with 'flight replay %s')\n",
+				flightOut, len(l.Records), flightOut)
+		}
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close() //lint:ignore errcheck write error takes precedence
+		return err
+	}
+	return f.Close()
 }
 
 func loadOrGenerate(path, dataset string, scale float64, seed uint64) (*energysssp.Graph, error) {

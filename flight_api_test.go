@@ -1,0 +1,122 @@
+package energysssp
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// flightRun performs one deterministic (single-threaded) self-tuning solve
+// with a flight recorder attached and returns its log.
+func flightRun(t *testing.T, seed uint64) *FlightLog {
+	t.Helper()
+	g := CalLike(0.01, seed)
+	rec := NewFlightRecorder(1 << 16)
+	out, err := Run(g, 0, RunConfig{
+		Algorithm: SelfTuning,
+		SetPoint:  200,
+		Device:    "TK1",
+		FlightLog: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := rec.Log()
+	if len(l.Records) != out.Iterations {
+		t.Fatalf("recorded %d iterations, run reports %d", len(l.Records), out.Iterations)
+	}
+	return l
+}
+
+// TestFlightAPI exercises the public surface end to end: record through
+// Run, serialize, read back, replay bit-identically, diff two same-seed
+// runs to zero divergence, and render the dashboard.
+func TestFlightAPI(t *testing.T) {
+	a := flightRun(t, 42)
+
+	rep, err := ReplayFlight(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("replay diverged: %+v", rep.Mismatches)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFlightLog(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadFlightLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffFlightLogs(a, decoded); !d.Identical() {
+		t.Fatalf("serialization changed the log: %+v", d)
+	}
+
+	// Two runs of the same deterministic configuration must diff clean.
+	b := flightRun(t, 42)
+	if d := DiffFlightLogs(a, b); !d.Identical() {
+		t.Fatalf("same-seed runs diverged at iteration %d: %+v", d.FirstDivergence, d.Fields)
+	}
+
+	// A different input must be visibly different (guards against a diff
+	// that trivially reports "identical").
+	c := flightRun(t, 43)
+	if d := DiffFlightLogs(a, c); d.Identical() {
+		t.Fatal("different-seed runs reported identical")
+	}
+
+	_ = FlightFindings(a) // healthy runs usually yield none; must not panic
+
+	var dash bytes.Buffer
+	if err := WriteFlightDashboard(&dash, a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dash.String(), "selftuning") {
+		t.Fatalf("dashboard missing algorithm line:\n%s", dash.String())
+	}
+}
+
+// TestFlightServedLive: when both an observer and a flight recorder are
+// attached, the recorder streams at the observer's /flight endpoint.
+func TestFlightServedLive(t *testing.T) {
+	g := CalLike(0.005, 11)
+	o := NewObserver(0)
+	rec := NewFlightRecorder(0)
+	if _, err := Run(g, 0, RunConfig{Algorithm: SelfTuning, SetPoint: 100, Obs: o, FlightLog: rec}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeMetrics("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	resp, err := http.Get("http://" + srv.Addr() + "/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Error(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/flight status %d", resp.StatusCode)
+	}
+	l, err := ReadFlightLog(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/flight body not a flight log: %v", err)
+	}
+	if l.Header.Algorithm != "selftuning" || len(l.Records) == 0 {
+		t.Fatalf("served log: algorithm=%q records=%d", l.Header.Algorithm, len(l.Records))
+	}
+}

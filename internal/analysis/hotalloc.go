@@ -7,9 +7,10 @@ import (
 )
 
 // HotAlloc flags allocation-prone constructs inside parallel.Pool kernel
-// callbacks. Kernels run once per solver iteration on every worker and are
-// covered by testing.AllocsPerRun gates; the constructs below defeat those
-// gates in ways that are easy to miss in review:
+// callbacks and inside functions carrying the //hot:alloc-free marker.
+// Kernels run once per solver iteration on every worker and are covered by
+// testing.AllocsPerRun gates; the constructs below defeat those gates in
+// ways that are easy to miss in review:
 //
 //   - fmt.* calls box every vararg into an interface and usually build a
 //     string (even fmt.Errorf on a path "never taken" allocates its frame);
@@ -19,12 +20,17 @@ import (
 // Formatting and diagnostics belong at the solver level, outside the
 // kernels; counters (internal/obs) are the allocation-free way to get data
 // out of a kernel body.
+//
+// The //hot:alloc-free marker (a whole doc-comment line, like a //go:
+// directive) declares a named function part of a solver's per-iteration hot
+// path — the flight recorder's Append, the controller's model checkpoint —
+// and subjects its body to the same checks as a kernel callback.
 type HotAlloc struct{}
 
 func (*HotAlloc) ID() string { return "hotalloc" }
 
 func (*HotAlloc) Doc() string {
-	return "no fmt calls, string concatenation, or interface boxing inside parallel.Pool kernel callbacks"
+	return "no fmt calls, string concatenation, or interface boxing inside parallel.Pool kernel callbacks or //hot:alloc-free functions"
 }
 
 func (r *HotAlloc) Check(p *Pass) []Finding {
@@ -37,33 +43,57 @@ func (r *HotAlloc) Check(p *Pass) []Finding {
 			Message:  msg,
 		})
 	}
-	for _, f := range p.Files {
-		kernelCallbacks(p, f, func(_ *ast.CallExpr, lit *ast.FuncLit) {
-			ast.Inspect(lit.Body, func(n ast.Node) bool {
-				switch st := n.(type) {
-				case *ast.CallExpr:
-					if name, ok := fmtCall(p, st); ok {
-						flag(st.Pos(), "fmt."+name+" inside a parallel.Pool kernel callback allocates; format at the solver level or record an obs counter")
-						return true
-					}
-					if to, ok := interfaceConversion(p, st); ok {
-						flag(st.Pos(), "conversion to interface type "+to+" inside a parallel.Pool kernel callback boxes its operand")
-					}
-				case *ast.BinaryExpr:
-					if st.Op == token.ADD && isNonConstString(p, st) {
-						flag(st.Pos(), "string concatenation inside a parallel.Pool kernel callback allocates; build strings at the solver level")
-						return false // one finding per concatenation chain
-					}
-				case *ast.AssignStmt:
-					if st.Tok == token.ADD_ASSIGN && len(st.Lhs) == 1 && isStringType(p.Info.Types[st.Lhs[0]].Type) {
-						flag(st.Pos(), "string += inside a parallel.Pool kernel callback allocates; build strings at the solver level")
-					}
+	scan := func(body *ast.BlockStmt, ctx string) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := fmtCall(p, st); ok {
+					flag(st.Pos(), "fmt."+name+" inside "+ctx+" allocates; format at the solver level or record an obs counter")
+					return true
 				}
-				return true
-			})
+				if to, ok := interfaceConversion(p, st); ok {
+					flag(st.Pos(), "conversion to interface type "+to+" inside "+ctx+" boxes its operand")
+				}
+			case *ast.BinaryExpr:
+				if st.Op == token.ADD && isNonConstString(p, st) {
+					flag(st.Pos(), "string concatenation inside "+ctx+" allocates; build strings at the solver level")
+					return false // one finding per concatenation chain
+				}
+			case *ast.AssignStmt:
+				if st.Tok == token.ADD_ASSIGN && len(st.Lhs) == 1 && isStringType(p.Info.Types[st.Lhs[0]].Type) {
+					flag(st.Pos(), "string += inside "+ctx+" allocates; build strings at the solver level")
+				}
+			}
+			return true
 		})
 	}
+	for _, f := range p.Files {
+		kernelCallbacks(p, f, func(_ *ast.CallExpr, lit *ast.FuncLit) {
+			scan(lit.Body, "a parallel.Pool kernel callback")
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotMarked(fd.Doc) {
+				continue
+			}
+			scan(fd.Body, "the //hot:alloc-free function "+fd.Name.Name)
+		}
+	}
 	return out
+}
+
+// hotMarked reports whether the doc comment contains the //hot:alloc-free
+// marker line.
+func hotMarked(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == "//hot:alloc-free" {
+			return true
+		}
+	}
+	return false
 }
 
 // fmtCall reports whether the call targets a function in package fmt.

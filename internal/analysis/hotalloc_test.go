@@ -101,6 +101,45 @@ func f(p *parallel.Pool, k *kern) {
 			want: []int{13},
 		},
 		{
+			name: "flags fmt and boxing inside //hot:alloc-free functions, allows unmarked",
+			src: `package a
+
+import "fmt"
+
+//hot:alloc-free
+func hot(n int) {
+	fmt.Println(n)
+	x := interface{}(n)
+	_ = x
+}
+
+// Marker must be its own doc-comment line; prose mentioning
+// hot:alloc-free does not arm the rule.
+func cold(n int) {
+	fmt.Println(n)
+}
+`,
+			want: []int{7, 8},
+		},
+		{
+			name: "marker applies to methods and respects lint:ignore",
+			src: `package a
+
+import "fmt"
+
+type rec struct{ n int }
+
+// Append is the hot path.
+//
+//hot:alloc-free
+func (r *rec) Append(v int) {
+	r.n += v
+	//lint:ignore hotalloc fixture exercises suppression
+	fmt.Println(v)
+}
+`,
+		},
+		{
 			name: "ignores same-named methods on non-parallel types",
 			src: `package a
 

@@ -50,6 +50,7 @@ var layerRules = []layerRule{
 	{"internal/power", append(upward, presentation...), "base layers must not import upward"},
 	{"internal/fp", append(upward, presentation...), "base layers must not import upward"},
 	{"internal/obs", append(upward, presentation...), "base layers must not import upward"},
+	{"internal/flight", append(upward, presentation...), "base layers must not import upward"},
 
 	// Nothing in internal may reach into commands.
 	{"internal", []string{"cmd", "examples"}, "library packages must not import commands"},

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"energysssp/internal/flight"
+	"energysssp/internal/sgd"
+)
+
+// Flight-recorder integration: the controller checkpoints its full decision
+// state (clamped estimates plus raw vSGD internals) into each iteration's
+// flight record, and seeds the log header with the construction state a
+// replay needs to rebuild the identical initial controller.
+
+// flightRecording is satisfied by policies whose trajectory is
+// reconstructible from a flight log: the Controller itself, and wrappers
+// that embed it (powerCapPolicy inherits both methods, and its per-window P
+// retuning is replayable because every record carries the P in effect at
+// that decision). Policies with external decision state (OneShot's frozen
+// step) do not implement it, and their logs are marked non-replayable.
+type flightRecording interface {
+	flightSeed(h *flight.Header)
+	flightModels(rec *flight.Record)
+}
+
+var _ flightRecording = (*Controller)(nil)
+
+// flightSeed records the construction state: NewController(SetPoint,
+// InitialD, InitialAlpha) with BootstrapIters restores the exact initial
+// models. Must run before the first Observe (the solver sets the header
+// before its loop).
+func (c *Controller) flightSeed(h *flight.Header) {
+	h.SetPoint = c.P
+	h.InitialD = c.advance.Theta()
+	h.InitialAlpha = c.bisect.Theta()
+	h.BootstrapIters = c.BootstrapIters
+}
+
+// flightModels checkpoints the post-Observe/NextDelta model state into rec.
+// Runs once per solver iteration on the hot path: plain field copies, no
+// allocation, no formatting.
+//
+//hot:alloc-free
+func (c *Controller) flightModels(rec *flight.Record) {
+	rec.SetPoint = c.P
+	rec.D = c.D()
+	rec.Alpha = c.Alpha()
+	fillModelState(&rec.Advance, &c.advance.VSGD)
+	fillModelState(&rec.Bisect, &c.bisect.VSGD)
+}
+
+//hot:alloc-free
+func fillModelState(dst *flight.ModelState, src *sgd.VSGD) {
+	dst.Theta = src.Theta()
+	dst.GBar = src.GBar()
+	dst.VBar = src.VBar()
+	dst.HBar = src.HBar()
+	dst.Tau = src.Tau()
+	dst.Mu = src.Rate()
+	dst.Steps = int64(src.Steps())
+}

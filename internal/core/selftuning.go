@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"energysssp/internal/flight"
 	"energysssp/internal/frontier"
 	"energysssp/internal/graph"
 	"energysssp/internal/metrics"
@@ -103,6 +104,30 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 	thr := float64(cfg.InitialDelta)
 	front := []graph.VID{src}
 
+	// Flight recorder: seed the header before the first Observe so replay
+	// can reconstruct the identical initial controller. fpol is hoisted out
+	// of the loop so the steady state performs no type assertions.
+	frec := opt.Flight
+	var fpol flightRecording
+	if fp, ok := policy.(flightRecording); ok {
+		fpol = fp
+	}
+	if frec != nil {
+		fh := flight.Header{
+			Algorithm:    "policy",
+			Vertices:     int64(g.NumVertices()),
+			Edges:        int64(g.NumEdges()),
+			Source:       int64(src),
+			InitialDelta: float64(cfg.InitialDelta),
+		}
+		if fpol != nil {
+			fh.Algorithm = "selftuning"
+			fpol.flightSeed(&fh)
+		}
+		frec.SetHeader(fh)
+	}
+	var fr flight.Record
+
 	var res sssp.Result
 	guard := optMaxIters(opt, g)
 	var lastSim time.Duration
@@ -142,12 +167,30 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 		if pb, ps, ok := firstNonEmptyPartition(far); ok {
 			q.PartBound, q.PartSize = pb, ps
 		}
-		newThr := policy.NextDelta(q)
+		rawThr := policy.NextDelta(q)
+		newThr := rawThr
 		if newThr < 1 {
 			newThr = 1 // defend against hostile policies
 		}
 		if newThr > float64(graph.Inf) {
 			newThr = float64(graph.Inf)
+		}
+		if frec != nil {
+			// Snapshot the decision inputs and the post-decision model
+			// state now, before SetApplied advances the BISECT-MODEL —
+			// replay re-executes the same Observe → NextDelta prefix and
+			// compares against exactly this checkpoint.
+			fr = flight.Record{
+				K:  int64(res.Iterations - 1),
+				X1: int64(x1), X2: int64(adv.X2), X3: int64(len(adv.Out)), X4: int64(x4),
+				FarLen: int64(q.FarLen), PartBound: int64(q.PartBound), PartSize: int64(q.PartSize),
+				DeltaIn: thr, RawDelta: rawThr,
+				JumpMin:      -1,
+				EdgeBalanced: adv.EdgeBalanced,
+			}
+			if fpol != nil {
+				fpol.flightModels(&fr)
+			}
 		}
 
 		// Rebalancer: realize the new threshold by moving vertices
@@ -175,6 +218,7 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 		// of the applied Δδ so the BISECT-MODEL sees the true change.
 		if len(front) == 0 && far.Len() > 0 {
 			minD := far.MinDist(dist)
+			fr.JumpMin = int64(minD)
 			if minD < graph.Inf {
 				if float64(minD) > thr {
 					appliedDelta += float64(minD) - thr
@@ -225,6 +269,25 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 				lastSim, lastJ = st.SimTime, st.EnergyJ
 			}
 			opt.Profile.Append(st)
+		}
+
+		if frec != nil {
+			fr.DeltaOut = thr
+			fr.AppliedDelta = appliedDelta
+			fr.FarSize = int64(far.Len())
+			fr.NumParts = int64(far.NumPartitions())
+			nb := 0
+			for i := 0; i < far.NumPartitions() && nb < flight.MaxBounds; i++ {
+				if b := far.Bound(i); b < graph.Inf {
+					fr.Bounds[nb] = int64(b)
+					nb++
+				}
+			}
+			if opt.Machine != nil {
+				fr.SimTimeNs = int64(opt.Machine.Now() - startSim)
+				fr.EnergyJ = opt.Machine.Energy() - startJ
+			}
+			frec.Append(&fr)
 		}
 	}
 

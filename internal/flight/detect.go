@@ -1,0 +1,203 @@
+package flight
+
+import (
+	"fmt"
+	"math"
+)
+
+// FindingKind classifies a detected controller pathology.
+type FindingKind string
+
+const (
+	// FindingDeltaOscillation: the applied Δδ alternated sign for many
+	// consecutive iterations — the controller is bouncing across the
+	// set-point instead of settling (typically α mis-estimated, so each
+	// correction overshoots).
+	FindingDeltaOscillation FindingKind = "delta-oscillation"
+	// FindingAlphaCollapse: the BISECT-MODEL estimate sat at its clamp
+	// floor after bootstrap — Eq. 6's (P/d − X⁴)/α division is running on
+	// the defensive clamp, not a learned density, so δ steps are maximal
+	// and essentially open-loop.
+	FindingAlphaCollapse FindingKind = "alpha-collapse"
+	// FindingSetPointEscape: X² stayed outside the [P/band, P·band]
+	// envelope for a sustained window after bootstrap — the controller is
+	// not tracking (input can't supply P parallelism, or the model
+	// diverged).
+	FindingSetPointEscape FindingKind = "setpoint-escape"
+)
+
+// Finding is one structured detector result: a pathology kind, the
+// iteration window it covers, and a human-readable summary.
+type Finding struct {
+	Kind   FindingKind `json:"kind"`
+	FirstK int64       `json:"firstK"`
+	LastK  int64       `json:"lastK"`
+	Count  int         `json:"count"` // iterations involved
+	Detail string      `json:"detail"`
+}
+
+// DetectOptions tunes the divergence detectors; the zero value selects the
+// documented defaults.
+type DetectOptions struct {
+	// MinOscillation is the minimum number of consecutive Δδ sign
+	// alternations to flag (default 6).
+	MinOscillation int
+	// AlphaFloor is the BISECT-MODEL clamp floor (default 1e-3, matching
+	// Controller.Alpha); MinCollapse consecutive at-floor iterations after
+	// bootstrap flag a collapse (default 8).
+	AlphaFloor  float64
+	MinCollapse int
+	// EscapeBand is the multiplicative tracking envelope around P (default
+	// 8: X² outside [P/8, 8P] counts as escaped); MinEscape consecutive
+	// escaped iterations after bootstrap flag a finding (default 8).
+	EscapeBand float64
+	MinEscape  int
+	// Bootstrap is the number of leading iterations exempt from the
+	// alpha-collapse and escape detectors (default: the log header's
+	// BootstrapIters, or 5).
+	Bootstrap int
+}
+
+func (o DetectOptions) withDefaults(hdr Header) DetectOptions {
+	if o.MinOscillation <= 0 {
+		o.MinOscillation = 6
+	}
+	if o.AlphaFloor <= 0 {
+		o.AlphaFloor = 1e-3
+	}
+	if o.MinCollapse <= 0 {
+		o.MinCollapse = 8
+	}
+	if o.EscapeBand <= 1 {
+		o.EscapeBand = 8
+	}
+	if o.MinEscape <= 0 {
+		o.MinEscape = 8
+	}
+	if o.Bootstrap <= 0 {
+		o.Bootstrap = hdr.BootstrapIters
+		if o.Bootstrap <= 0 {
+			o.Bootstrap = 5
+		}
+	}
+	return o
+}
+
+// Detect scans a flight log for controller pathologies and returns them as
+// structured findings ordered by first iteration. An empty slice means the
+// detectors saw a healthy trajectory.
+func Detect(l *Log, opt DetectOptions) []Finding {
+	opt = opt.withDefaults(l.Header)
+	var out []Finding
+	out = append(out, detectOscillation(l, opt)...)
+	out = append(out, detectAlphaCollapse(l, opt)...)
+	out = append(out, detectEscape(l, opt)...)
+	return out
+}
+
+// detectOscillation finds maximal runs of consecutive sign alternations of
+// the applied Δδ. Zero steps end a run (holding is not oscillating).
+func detectOscillation(l *Log, opt DetectOptions) []Finding {
+	var out []Finding
+	runStart, flips, prevSign := -1, 0, 0
+	flush := func(endIdx int) {
+		if flips >= opt.MinOscillation {
+			first, last := l.Records[runStart].K, l.Records[endIdx].K
+			out = append(out, Finding{
+				Kind: FindingDeltaOscillation, FirstK: first, LastK: last,
+				Count: endIdx - runStart + 1,
+				Detail: fmt.Sprintf("Δδ sign alternated %d times over iterations %d–%d",
+					flips, first, last),
+			})
+		}
+		runStart, flips, prevSign = -1, 0, 0
+	}
+	for i := range l.Records {
+		s := sign(l.Records[i].AppliedDelta)
+		switch {
+		case s == 0 || prevSign == 0:
+			if runStart >= 0 {
+				flush(i - 1)
+			}
+			if s != 0 {
+				runStart = i
+			}
+		case s != prevSign:
+			flips++
+		default: // same sign: monotone motion, restart the window here
+			flush(i - 1)
+			runStart = i
+		}
+		prevSign = s
+	}
+	if runStart >= 0 {
+		flush(len(l.Records) - 1)
+	}
+	return out
+}
+
+func detectAlphaCollapse(l *Log, opt DetectOptions) []Finding {
+	return detectRun(l, opt.MinCollapse, opt.Bootstrap,
+		func(r *Record) bool { return r.Bisect.Steps > 0 && r.Alpha <= opt.AlphaFloor },
+		func(first, last int64, n int) Finding {
+			return Finding{
+				Kind: FindingAlphaCollapse, FirstK: first, LastK: last, Count: n,
+				Detail: fmt.Sprintf("α sat at its %.0e clamp floor for %d iterations (%d–%d); δ steps are open-loop",
+					opt.AlphaFloor, n, first, last),
+			}
+		})
+}
+
+func detectEscape(l *Log, opt DetectOptions) []Finding {
+	return detectRun(l, opt.MinEscape, opt.Bootstrap,
+		func(r *Record) bool {
+			if r.SetPoint <= 0 {
+				return false
+			}
+			x2 := float64(r.X2)
+			return x2 > r.SetPoint*opt.EscapeBand || x2 < r.SetPoint/opt.EscapeBand
+		},
+		func(first, last int64, n int) Finding {
+			return Finding{
+				Kind: FindingSetPointEscape, FirstK: first, LastK: last, Count: n,
+				Detail: fmt.Sprintf("X² stayed outside the [P/%.0f, %.0f·P] band for %d iterations (%d–%d)",
+					opt.EscapeBand, opt.EscapeBand, n, first, last),
+			}
+		})
+}
+
+// detectRun reports maximal runs of >= minRun consecutive records matching
+// cond, skipping the first bootstrap iterations.
+func detectRun(l *Log, minRun, bootstrap int, cond func(*Record) bool, mk func(first, last int64, n int) Finding) []Finding {
+	var out []Finding
+	runStart := -1
+	flush := func(endIdx int) {
+		if runStart >= 0 && endIdx-runStart+1 >= minRun {
+			out = append(out, mk(l.Records[runStart].K, l.Records[endIdx].K, endIdx-runStart+1))
+		}
+		runStart = -1
+	}
+	for i := range l.Records {
+		if l.Records[i].K < int64(bootstrap) || !cond(&l.Records[i]) {
+			flush(i - 1)
+			continue
+		}
+		if runStart < 0 {
+			runStart = i
+		}
+	}
+	flush(len(l.Records) - 1)
+	return out
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	case math.IsNaN(x):
+		return 0
+	}
+	return 0
+}

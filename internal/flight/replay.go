@@ -1,0 +1,42 @@
+package flight
+
+// Replay result types. The replay executor itself lives in internal/core
+// (core.ReplayFlight) because re-executing the δ decisions requires the
+// real Controller; this package owns the log-shaped types so CLI and tests
+// can consume reports without importing the algorithm layer.
+
+// ReplayMismatch reports one field of one iteration where the re-executed
+// controller diverged from the recorded trajectory. Want/Got are compared
+// on exact float64 bits; any mismatch means the controller is
+// nondeterministic (or the log was produced by different code).
+type ReplayMismatch struct {
+	K     int64   `json:"k"`
+	Field string  `json:"field"`
+	Want  float64 `json:"want"` // recorded value
+	Got   float64 `json:"got"`  // re-executed value
+}
+
+// MaxReplayMismatches bounds the mismatches a report retains; a truly
+// diverged replay mismatches on nearly every field of every iteration, and
+// the first few localize the bug.
+const MaxReplayMismatches = 100
+
+// ReplayReport is the outcome of re-executing a flight log.
+type ReplayReport struct {
+	Iterations int              `json:"iterations"`
+	Mismatches []ReplayMismatch `json:"mismatches,omitempty"`
+	// Truncated is set when more than MaxReplayMismatches occurred.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// OK reports whether the replay reproduced the log bit-identically.
+func (r *ReplayReport) OK() bool { return len(r.Mismatches) == 0 && !r.Truncated }
+
+// Add records a mismatch, respecting the retention bound.
+func (r *ReplayReport) Add(m ReplayMismatch) {
+	if len(r.Mismatches) >= MaxReplayMismatches {
+		r.Truncated = true
+		return
+	}
+	r.Mismatches = append(r.Mismatches, m)
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,13 @@ func (s *PoolStats) BusyNs() int64 {
 	return s.busyNs.Load()
 }
 
+// FlightSource streams a controller flight log as JSONL. It is declared
+// structurally (satisfied by *flight.Recorder) so this package stays
+// import-free of internal/flight; the server exposes it at /flight.
+type FlightSource interface {
+	WriteJSONL(w io.Writer) error
+}
+
 // Observer bundles one tracer and one registry: the single handle threaded
 // through Options/RunConfig. A nil *Observer disables all instrumentation.
 type Observer struct {
@@ -53,6 +61,9 @@ type Observer struct {
 
 	poolOnce sync.Once
 	pool     PoolStats
+
+	flightMu sync.Mutex
+	flight   FlightSource
 }
 
 // New returns an Observer with a tracer ring of traceEvents events
@@ -81,6 +92,27 @@ func (o *Observer) PoolStats() *PoolStats {
 			func() float64 { return float64(o.pool.BusyNs()) / 1e9 })
 	})
 	return &o.pool
+}
+
+// SetFlight attaches (or, with nil, detaches) the flight-log source the
+// server streams at /flight. Nil-safe on the observer itself.
+func (o *Observer) SetFlight(src FlightSource) {
+	if o == nil {
+		return
+	}
+	o.flightMu.Lock()
+	o.flight = src
+	o.flightMu.Unlock()
+}
+
+// Flight returns the attached flight-log source, or nil when none is set.
+func (o *Observer) Flight() FlightSource {
+	if o == nil {
+		return nil
+	}
+	o.flightMu.Lock()
+	defer o.flightMu.Unlock()
+	return o.flight
 }
 
 // registerTracerMetrics exposes the tracer's exact per-phase aggregates —

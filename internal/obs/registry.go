@@ -113,6 +113,56 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the q-quantile (q in [0,1], clamped) from the bucket
+// counts with linear interpolation inside the containing bucket, the same
+// estimator Prometheus's histogram_quantile uses: the first bucket
+// interpolates from 0, and a quantile landing in the implicit +Inf bucket
+// reports the last finite bound. An empty histogram has no samples to rank,
+// so its every quantile is defined as 0 — a nil or never-observed histogram
+// answers 0 rather than NaN, keeping dashboards and summary lines
+// arithmetic-safe without special-casing. Bucket counts are read without a
+// snapshot, so concurrent Observe calls can skew a result by at most the
+// in-flight samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(n)
+	var cum int64
+	for i, b := range h.bounds {
+		c := h.buckets[i].Load()
+		if c > 0 && float64(cum+c) >= target {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (target - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(b-lower)
+		}
+		cum += c
+	}
+	// Quantile lands in the +Inf bucket: the data gives no upper edge to
+	// interpolate toward, so report the largest finite bound (or 0 when the
+	// histogram has no finite buckets at all).
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
 type metricKind uint8
 
 const (

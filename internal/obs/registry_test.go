@@ -147,3 +147,57 @@ func TestRuntimeMetrics(t *testing.T) {
 		t.Fatalf("go_heap_alloc_bytes = %v, want > 0", vals["go_heap_alloc_bytes"])
 	}
 }
+
+// TestHistogramQuantile covers the bucket-interpolation estimator,
+// including the documented empty-histogram semantics: with no samples there
+// is nothing to rank, so every quantile is 0 (not NaN), keeping summary
+// arithmetic safe without call-site special cases.
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram Quantile = %g, want 0", got)
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("q_test", "quantile fixture", []float64{1, 2, 4, 8})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+
+	// 4 samples in (1,2], 4 in (2,4]: the median sits at the (1,2]/(2,4]
+	// boundary and quartiles interpolate linearly inside their buckets.
+	for i := 0; i < 4; i++ {
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.5, 2},    // 4 of 8 samples ≤ bound 2
+		{0.25, 1.5}, // halfway into the (1,2] bucket
+		{0.75, 3},   // halfway into the (2,4] bucket
+		{1, 4},
+		{-0.5, 1 + 0.0}, // clamped to q=0: lower edge of first non-empty bucket
+		{2, 4},          // clamped to q=1
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+
+	// Samples beyond the last bound land in the +Inf bucket, which has no
+	// upper edge to interpolate toward: report the last finite bound.
+	h2 := r.Histogram("q_test_inf", "overflow fixture", []float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Fatalf("+Inf-bucket quantile = %g, want last finite bound 2", got)
+	}
+
+	// A histogram with no finite buckets at all has no edges anywhere.
+	h3 := r.Histogram("q_test_none", "boundless fixture", nil)
+	h3.Observe(5)
+	if got := h3.Quantile(0.5); got != 0 {
+		t.Fatalf("boundless quantile = %g, want 0", got)
+	}
+}

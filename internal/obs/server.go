@@ -11,6 +11,7 @@ import (
 //
 //	/metrics  Prometheus text exposition (version 0.0.4)
 //	/trace    Perfetto/Chrome trace-event JSON of the current ring
+//	/flight   controller flight log as JSONL (404 until SetFlight)
 //	/healthz  liveness probe
 //
 // The server runs on its own goroutine; Close shuts it down and reports any
@@ -38,6 +39,17 @@ func Serve(addr string, o *Observer) (*Server, error) {
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := WriteTraceJSON(w, o.Tracer.Snapshot(nil)); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		src := o.Flight()
+		if src == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := src.WriteJSONL(w); err != nil {
 			return
 		}
 	})

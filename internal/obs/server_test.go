@@ -85,3 +85,58 @@ func TestServeNilObserver(t *testing.T) {
 		t.Fatal("Serve(nil) must error")
 	}
 }
+
+// stubFlight satisfies FlightSource the same way *flight.Recorder does,
+// without coupling this package's tests to internal/flight.
+type stubFlight struct{ payload string }
+
+func (s stubFlight) WriteJSONL(w io.Writer) error {
+	_, err := io.WriteString(w, s.payload)
+	return err
+}
+
+func TestServerFlightEndpoint(t *testing.T) {
+	o := New(32)
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	base := "http://" + srv.Addr()
+
+	// No source attached: 404, not an empty 200 that looks like a log.
+	resp, err := http.Get(base + "/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Error(cerr)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/flight without a source: status %d, want 404", resp.StatusCode)
+	}
+
+	o.SetFlight(stubFlight{payload: "{\"schema\":\"energysssp-flight\"}\n"})
+	body, ctype := get(t, base+"/flight")
+	if !strings.HasPrefix(ctype, "application/x-ndjson") {
+		t.Errorf("flight content-type = %q", ctype)
+	}
+	if !strings.Contains(body, "energysssp-flight") {
+		t.Errorf("/flight body = %q", body)
+	}
+
+	// Detach: back to 404. Also exercises nil-observer SetFlight/Flight.
+	o.SetFlight(nil)
+	if o.Flight() != nil {
+		t.Fatal("SetFlight(nil) did not detach")
+	}
+	var nilObs *Observer
+	nilObs.SetFlight(stubFlight{})
+	if nilObs.Flight() != nil {
+		t.Fatal("nil observer Flight() != nil")
+	}
+}

@@ -50,6 +50,17 @@ func (s *VSGD) Theta() float64 { return s.theta }
 // Rate returns the learning rate used by the most recent Step.
 func (s *VSGD) Rate() float64 { return s.mu }
 
+// GBar returns the EMA of the first derivative — one of the three
+// learning-rate statistics of Algorithm 1, exposed so the flight recorder
+// can checkpoint (and replay can verify) the full estimator state.
+func (s *VSGD) GBar() float64 { return s.gBar }
+
+// VBar returns the EMA of the squared first derivative.
+func (s *VSGD) VBar() float64 { return s.vBar }
+
+// HBar returns the EMA of the second derivative (curvature).
+func (s *VSGD) HBar() float64 { return s.hBar }
+
 // Tau returns the current EMA time constant.
 func (s *VSGD) Tau() float64 { return s.tau }
 

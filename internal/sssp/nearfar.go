@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"energysssp/internal/flight"
 	"energysssp/internal/frontier"
 	"energysssp/internal/graph"
 	"energysssp/internal/metrics"
@@ -50,6 +51,18 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 	front := []graph.VID{src}
 	thr := delta // the phase-(i+1) boundary (i starts at 0)
 
+	frec := opt.Flight
+	if frec != nil {
+		frec.SetHeader(flight.Header{
+			Algorithm:  "nearfar",
+			Vertices:   int64(g.NumVertices()),
+			Edges:      int64(g.NumEdges()),
+			Source:     int64(src),
+			FixedDelta: int64(delta),
+		})
+	}
+	var fr flight.Record
+
 	var res Result
 	guard := opt.maxIters(g)
 	var lastSim time.Duration
@@ -79,12 +92,27 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 		x4 := len(near)
 		front = near
 
+		if frec != nil {
+			// Snapshot the phase decision's inputs (X⁴ and the far-queue
+			// length are exactly what the stage-4 condition reads) so the
+			// fixed-delta threshold schedule can be replayed from the log.
+			fr = flight.Record{
+				K:  int64(res.Iterations - 1),
+				X1: int64(x1), X2: int64(adv.X2), X3: int64(len(adv.Out)), X4: int64(x4),
+				FarLen:       int64(far.Len()),
+				DeltaIn:      float64(thr),
+				JumpMin:      -1,
+				EdgeBalanced: adv.EdgeBalanced,
+			}
+		}
+
 		// Stage 4: when the near frontier drains, advance the phase to
 		// the first delta multiple that admits far-queue work.
 		if len(front) == 0 && far.Len() > 0 {
 			spQ := kn.tr.Begin(obs.PhaseRebalance)
 			var scanned int
 			minD := far.MinDist(dist)
+			fr.JumpMin = int64(minD)
 			if minD < graph.Inf {
 				if minD > thr {
 					steps := (minD - thr + delta - 1) / delta
@@ -118,6 +146,18 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 				lastSim, lastJ = st.SimTime, st.EnergyJ
 			}
 			opt.Profile.Append(st)
+		}
+
+		if frec != nil {
+			fr.RawDelta = float64(thr)
+			fr.DeltaOut = float64(thr)
+			fr.AppliedDelta = float64(thr) - fr.DeltaIn
+			fr.FarSize = int64(far.Len())
+			if opt.Machine != nil {
+				fr.SimTimeNs = int64(opt.Machine.Now() - startSim)
+				fr.EnergyJ = opt.Machine.Energy() - startJ
+			}
+			frec.Append(&fr)
 		}
 	}
 	res.Dist = dist

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"energysssp/internal/flight"
 	"energysssp/internal/graph"
 	"energysssp/internal/metrics"
 	"energysssp/internal/obs"
@@ -54,6 +55,12 @@ type Options struct {
 	// bit-identical with Obs set or nil — and it preserves the zero-
 	// allocation steady state (gated by TestObsSteadyStateAllocs).
 	Obs *obs.Observer
+	// Flight, when non-nil, records one flight.Record per solver iteration
+	// (the controller flight recorder). Host-side only, like Obs, and
+	// allocation-free in the steady state (gated by
+	// TestFlightSteadyStateAllocs). Supported by the self-tuning solver and
+	// the near-far baseline; other solvers ignore it.
+	Flight *flight.Recorder
 }
 
 func (o *Options) pool() *parallel.Pool {

@@ -19,7 +19,31 @@ go run ./cmd/lint ./...
 echo "==> go test -race (concurrent packages)"
 go test -race ./internal/parallel/... ./internal/sssp/... ./internal/obs/...
 
-echo "==> zero-allocation steady-state gates (obs off and on)"
+echo "==> zero-allocation steady-state gates (obs off, obs on, flight on)"
 go test -run 'TestAdvanceSteadyStateAllocs|TestObsSteadyStateAllocs' -count=1 ./internal/sssp/
+go test -run 'TestFlightSteadyStateAllocs' -count=1 ./internal/core/
+
+echo "==> flight-recorder gates: record/replay determinism + same-seed diff"
+flightbin="$(mktemp -d)"
+trap 'rm -rf "$flightbin"' EXIT
+go build -o "$flightbin/flight" ./cmd/flight
+
+# Replay determinism on both advance paths: a recorded log must re-execute
+# the controller trajectory bit-identically.
+"$flightbin/flight" record -dataset cal -scale 0.01 -seed 42 -P 500 -device TK1 \
+    -advance vertex -o "$flightbin/vertex.jsonl" 2>/dev/null
+"$flightbin/flight" replay -q "$flightbin/vertex.jsonl"
+"$flightbin/flight" record -dataset wiki -scale 0.01 -seed 7 -P 500 -workers 4 \
+    -advance edge -o "$flightbin/edge.jsonl" 2>/dev/null
+"$flightbin/flight" replay -q "$flightbin/edge.jsonl"
+
+# Same-seed diff: two sequential (-workers 1) runs of one configuration must
+# produce bit-identical logs. Parallel runs legitimately differ in X2 (the
+# atomic-min races resolve differently), so this gate pins workers.
+"$flightbin/flight" record -dataset cal -scale 0.01 -seed 42 -P 500 -device TK1 \
+    -workers 1 -o "$flightbin/run-a.jsonl" 2>/dev/null
+"$flightbin/flight" record -dataset cal -scale 0.01 -seed 42 -P 500 -device TK1 \
+    -workers 1 -o "$flightbin/run-b.jsonl" 2>/dev/null
+"$flightbin/flight" diff "$flightbin/run-a.jsonl" "$flightbin/run-b.jsonl" >/dev/null
 
 echo "==> check.sh: all gates green"
