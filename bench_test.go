@@ -336,6 +336,33 @@ func BenchmarkObsAdvance(b *testing.B) {
 	})
 }
 
+// BenchmarkFlightAdvance measures the flight-recorder overhead head to
+// head: the same sequential self-tuning solve without and with a recorder
+// attached (the recorder is reused across ops, as a long-lived service
+// would hold it, so its ring allocation is not charged to the op). The
+// pair rides scripts/bench.sh into the perf trajectory, where perfgate
+// watches the on/off gap the same way it watches BenchmarkObsAdvance.
+func BenchmarkFlightAdvance(b *testing.B) {
+	g := CalLike(0.02, 42)
+	cfg := RunConfig{Algorithm: SelfTuning, SetPoint: 500, Workers: 1}
+	run := func(b *testing.B, cfg RunConfig) {
+		b.SetBytes(int64(g.NumEdges()))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(g, 0, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cal/p1/off", func(b *testing.B) { run(b, cfg) })
+	b.Run("cal/p1/on", func(b *testing.B) {
+		on := cfg
+		on.FlightLog = NewFlightRecorder(0)
+		run(b, on)
+	})
+}
+
 // BenchmarkBatchNearFar measures many-source batch throughput, the workload
 // the pooled per-solve scratch exists for (allocs/op is the headline here).
 func BenchmarkBatchNearFar(b *testing.B) {

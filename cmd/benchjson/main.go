@@ -1,236 +1,91 @@
 // Command benchjson converts `go test -bench` text output (read from stdin)
 // into a machine-readable JSON snapshot, so benchmark results can be
 // committed and compared across commits — the benchmark-trajectory harness
-// (scripts/bench.sh composes the two).
+// (scripts/bench.sh composes the two, and cmd/perfgate judges the history).
 //
 // Example:
 //
 //	go test -bench 'Advance|NearFar|SelfTuning' -benchmem . | go run ./cmd/benchjson
 //	go test -bench . -benchmem ./... | go run ./cmd/benchjson -out BENCH.json -note "baseline"
 //
-// The snapshot records the environment (go version, GOOS/GOARCH, CPU count
-// and model) alongside each benchmark's ns/op, MB/s (edges relaxed per
-// second for the solver benchmarks, which SetBytes the edge count), B/op,
-// allocs/op, and any custom ReportMetric columns.
+// The snapshot records the environment (go version, GOOS/GOARCH, CPU count,
+// GOMAXPROCS, and model) alongside each benchmark's ns/op, MB/s (edges
+// relaxed per second for the solver benchmarks, which SetBytes the edge
+// count), B/op, allocs/op, and any custom ReportMetric columns.
 //
 // Repeated runs of the same benchmark (`go test -count=N`) are aggregated
-// into one entry holding the per-column medians, with `runs` recording the
-// sample count — the committed snapshot stays one-row-per-benchmark and the
-// medians damp scheduler noise on shared hosts.
+// into one entry holding the per-column medians plus the ns/op p10/p90 and
+// relative spread across the samples; entries whose spread exceeds 10% are
+// flagged "unstable": true, and cmd/perfgate refuses to derive regression
+// verdicts from them. With -trajectory the snapshot is also appended as one
+// line to the append-only history cmd/perfgate gates against.
+//
+// The parsing, aggregation, and schema live in internal/perf; this command
+// is the stdin/file plumbing around them.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
-	"runtime"
-	"sort"
-	"strconv"
-	"strings"
 	"time"
+
+	"energysssp/internal/perf"
 )
-
-// Bench is one parsed benchmark result line (or, after aggregation, the
-// median over several runs of the same benchmark).
-type Bench struct {
-	Name       string             `json:"name"`
-	Procs      int                `json:"procs"` // GOMAXPROCS suffix on the name
-	Runs       int                `json:"runs,omitempty"` // samples aggregated (omitted when 1)
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	MBPerS     float64            `json:"mb_per_s,omitempty"`
-	BytesPerOp int64              `json:"bytes_per_op"`
-	AllocsPerOp int64             `json:"allocs_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Snapshot is the committed benchmark record.
-type Snapshot struct {
-	Date       string  `json:"date"`
-	Note       string  `json:"note,omitempty"`
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	CPUs       int     `json:"cpus"`
-	CPUModel   string  `json:"cpu_model,omitempty"`
-	Package    string  `json:"package,omitempty"`
-	Benchmarks []Bench `json:"benchmarks"`
-}
-
-// benchLine matches "BenchmarkName-8   123   456.7 ns/op   <extras>".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
-
-// extra matches one "<value> <unit>" pair in the tail of a benchmark line.
-var extra = regexp.MustCompile(`([0-9.]+) (\S+)`)
 
 func main() {
 	var (
 		out  = flag.String("out", "", "output path (default BENCH_<date>.json)")
 		note = flag.String("note", "", "free-form note stored in the snapshot")
+		traj = flag.String("trajectory", "", "also append the snapshot to this JSONL trajectory")
 	)
 	flag.Parse()
 
-	snap := Snapshot{
-		Date:      time.Now().Format("2006-01-02"),
-		Note:      *note,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-	}
-
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line) // pass the text through so the run stays readable
-		switch {
-		case strings.HasPrefix(line, "cpu: "):
-			snap.CPUModel = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
-			continue
-		case strings.HasPrefix(line, "pkg: "):
-			snap.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
-			continue
-		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		b := Bench{Name: strings.TrimPrefix(m[1], "Benchmark"), Procs: 1}
-		if m[2] != "" {
-			b.Procs = atoi(m[2])
-		}
-		b.Iterations = int64(atoi(m[3]))
-		b.NsPerOp = atof(m[4])
-		for _, kv := range extra.FindAllStringSubmatch(m[5], -1) {
-			v, unit := atof(kv[1]), kv[2]
-			switch unit {
-			case "MB/s":
-				b.MBPerS = v
-			case "B/op":
-				b.BytesPerOp = int64(v)
-			case "allocs/op":
-				b.AllocsPerOp = int64(v)
-			default:
-				if b.Metrics == nil {
-					b.Metrics = make(map[string]float64)
-				}
-				b.Metrics[unit] = v
-			}
-		}
-		snap.Benchmarks = append(snap.Benchmarks, b)
-	}
-	if err := sc.Err(); err != nil {
+	snap, err := perf.ParseGoBench(os.Stdin, os.Stdout) // echo keeps the pipeline readable
+	if err != nil {
 		fatal(err)
 	}
+	snap.Date = time.Now().Format("2006-01-02")
+	snap.Note = *note
 	if len(snap.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found on stdin (run `go test -bench ... -benchmem | benchjson`)"))
 	}
-	snap.Benchmarks = aggregate(snap.Benchmarks)
+	snap.Benchmarks = perf.Aggregate(snap.Benchmarks)
 
 	path := *out
 	if path == "" {
 		path = "BENCH_" + snap.Date + ".json"
 	}
-	data, err := json.MarshalIndent(&snap, "", "  ")
+	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
-}
-
-// aggregate collapses repeated runs of the same benchmark (go test -count=N)
-// into one median entry per (name, procs), preserving first-seen order.
-func aggregate(in []Bench) []Bench {
-	type key struct {
-		name  string
-		procs int
+	fmt.Printf("benchjson: wrote %s (%d benchmarks", path, len(snap.Benchmarks))
+	if n := countUnstable(snap.Benchmarks); n > 0 {
+		fmt.Printf(", %d unstable", n)
 	}
-	groups := make(map[key][]Bench)
-	var order []key
-	for _, b := range in {
-		k := key{b.Name, b.Procs}
-		if _, seen := groups[k]; !seen {
-			order = append(order, k)
+	fmt.Println(")")
+
+	if *traj != "" {
+		if err := perf.AppendTrajectory(*traj, snap); err != nil {
+			fatal(err)
 		}
-		groups[k] = append(groups[k], b)
+		fmt.Printf("benchjson: appended to %s\n", *traj)
 	}
-	out := make([]Bench, 0, len(order))
-	for _, k := range order {
-		g := groups[k]
-		if len(g) == 1 {
-			out = append(out, g[0])
-			continue
+}
+
+func countUnstable(bs []perf.Bench) int {
+	n := 0
+	for _, b := range bs {
+		if b.Unstable {
+			n++
 		}
-		agg := Bench{Name: k.name, Procs: k.procs, Runs: len(g)}
-		agg.Iterations = int64(median(collect(g, func(b Bench) float64 { return float64(b.Iterations) })))
-		agg.NsPerOp = median(collect(g, func(b Bench) float64 { return b.NsPerOp }))
-		agg.MBPerS = median(collect(g, func(b Bench) float64 { return b.MBPerS }))
-		agg.BytesPerOp = int64(median(collect(g, func(b Bench) float64 { return float64(b.BytesPerOp) })))
-		agg.AllocsPerOp = int64(median(collect(g, func(b Bench) float64 { return float64(b.AllocsPerOp) })))
-		for _, b := range g {
-			for unit := range b.Metrics {
-				if agg.Metrics == nil {
-					agg.Metrics = make(map[string]float64)
-				}
-				if _, done := agg.Metrics[unit]; done {
-					continue
-				}
-				var vs []float64
-				for _, bb := range g {
-					if v, ok := bb.Metrics[unit]; ok {
-						vs = append(vs, v)
-					}
-				}
-				agg.Metrics[unit] = median(vs)
-			}
-		}
-		out = append(out, agg)
-	}
-	return out
-}
-
-func collect(g []Bench, f func(Bench) float64) []float64 {
-	vs := make([]float64, len(g))
-	for i, b := range g {
-		vs[i] = f(b)
-	}
-	return vs
-}
-
-// median returns the middle value (mean of the two middles for even n).
-func median(vs []float64) float64 {
-	if len(vs) == 0 {
-		return 0
-	}
-	sort.Float64s(vs)
-	mid := len(vs) / 2
-	if len(vs)%2 == 1 {
-		return vs[mid]
-	}
-	return (vs[mid-1] + vs[mid]) / 2
-}
-
-func atoi(s string) int {
-	n, err := strconv.Atoi(s)
-	if err != nil {
-		fatal(err)
 	}
 	return n
-}
-
-func atof(s string) float64 {
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		fatal(err)
-	}
-	return v
 }
 
 func fatal(err error) {

@@ -1,0 +1,205 @@
+// Command perfgate is the performance observatory CLI: it runs the
+// in-process benchmark specs with per-phase CPU attribution, renders the
+// benchmark trajectory, and gates changes on statistical regressions.
+//
+// Usage:
+//
+//	perfgate run [-traj file] [-note s] [spec ...]   run registered specs in-process
+//	perfgate compare [-k n] [-v]                     judge the latest entry (informational)
+//	perfgate trend [-match substr]                   sparkline per benchmark
+//	perfgate gate [-k n] [-v]                        like compare, but exit 2 on regression
+//
+// Common flags: -bench glob (committed snapshots, default BENCH_*.json)
+// and -traj file (append-only history, default results/perf_trajectory.jsonl).
+//
+// Exit codes: 0 pass, 2 regression (gate only), 1 error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"energysssp/internal/perf"
+)
+
+const (
+	exitOK         = 0
+	exitError      = 1
+	exitRegression = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdoutW, stderrW io.Writer) int {
+	// Both streams render through sticky-error bufio writers; the deferred
+	// flushes run after the exit code is decided, and a broken pipe on the
+	// way out cannot change a gate verdict.
+	stdout := bufio.NewWriter(stdoutW)
+	defer stdout.Flush()
+	stderr := bufio.NewWriter(stderrW)
+	defer stderr.Flush()
+
+	if len(args) == 0 {
+		usage(stderr)
+		return exitError
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet("perfgate "+cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchGlob := fs.String("bench", "BENCH_*.json", "glob of committed benchmark snapshots")
+	trajPath := fs.String("traj", "results/perf_trajectory.jsonl", "append-only trajectory file")
+	window := fs.Int("k", perf.BaselineWindow, "baseline window (history entries per benchmark)")
+	verbose := fs.Bool("v", false, "list stable and no-baseline rows too")
+	match := fs.String("match", "", "trend: only benchmarks whose key contains this substring")
+	note := fs.String("note", "", "run: note recorded with the appended trajectory entry")
+	noAppend := fs.Bool("n", false, "run: dry run, do not append to the trajectory")
+	if err := fs.Parse(rest); err != nil {
+		return exitError
+	}
+
+	switch cmd {
+	case "run":
+		return cmdRun(fs.Args(), *trajPath, *note, *noAppend, stdout, stderr)
+	case "compare", "gate":
+		return cmdGate(cmd, *benchGlob, *trajPath, *window, *verbose, stdout, stderr)
+	case "trend":
+		return cmdTrend(*benchGlob, *trajPath, *match, stdout, stderr)
+	case "help", "-h", "--help":
+		usage(stdout)
+		return exitOK
+	default:
+		fmt.Fprintf(stderr, "perfgate: unknown command %q\n", cmd)
+		usage(stderr)
+		return exitError
+	}
+}
+
+func usage(w *bufio.Writer) {
+	fmt.Fprint(w, `usage: perfgate <command> [flags]
+
+  run [-traj file] [-note s] [-n] [spec ...]
+        run registered benchmark specs in-process under a CPU profile,
+        print ns/op plus the per-phase CPU breakdown, and append one
+        entry to the trajectory (default: all specs)
+  compare [-k n] [-v]
+        judge the trajectory's latest entry against its per-benchmark
+        baselines; informational, always exits 0 unless broken
+  trend [-match substr]
+        render the ns/op trajectory of each benchmark as a sparkline
+  gate [-k n] [-v]
+        like compare, but exit 2 when any benchmark regressed
+
+common flags: -bench glob   committed snapshots (default BENCH_*.json)
+              -traj file    trajectory (default results/perf_trajectory.jsonl)
+`)
+}
+
+func cmdRun(names []string, trajPath, note string, noAppend bool, stdout, stderr *bufio.Writer) int {
+	var specs []*perf.Spec
+	if len(names) == 0 {
+		all := perf.Specs()
+		for i := range all {
+			specs = append(specs, &all[i])
+		}
+	} else {
+		for _, name := range names {
+			sp := perf.FindSpec(name)
+			if sp == nil {
+				fmt.Fprintf(stderr, "perfgate: unknown spec %q; registered:\n", name)
+				for _, s := range perf.Specs() {
+					fmt.Fprintf(stderr, "  %-22s %s\n", s.Name, s.About)
+				}
+				return exitError
+			}
+			specs = append(specs, sp)
+		}
+	}
+
+	snap := perf.NewSnapshot()
+	snap.Date = time.Now().UTC().Format("2006-01-02")
+	snap.Note = note
+	snap.Package = "energysssp (perfgate in-process)"
+	for _, sp := range specs {
+		res, err := perf.RunSpec(sp)
+		if err != nil {
+			fmt.Fprintf(stderr, "perfgate: %v\n", err)
+			return exitError
+		}
+		if err := res.Write(stdout); err != nil {
+			fmt.Fprintf(stderr, "perfgate: %v\n", err)
+			return exitError
+		}
+		snap.CPUModel = cpuModelFromBench()
+		snap.Benchmarks = append(snap.Benchmarks, res.Bench)
+	}
+	if noAppend || trajPath == "" {
+		return exitOK
+	}
+	if err := perf.AppendTrajectory(trajPath, snap); err != nil {
+		fmt.Fprintf(stderr, "perfgate: %v\n", err)
+		return exitError
+	}
+	fmt.Fprintf(stdout, "appended %d benchmark(s) to %s\n", len(snap.Benchmarks), trajPath)
+	return exitOK
+}
+
+// cpuModelFromBench recovers the CPU model string the go-test snapshots
+// record (the runtime does not expose it): reuse the latest committed
+// snapshot's model when the go version matches, else leave it empty — an
+// empty model still forms a consistent machine key for runner entries.
+func cpuModelFromBench() string {
+	st, err := perf.LoadStore("BENCH_*.json", "")
+	if err != nil || st.Latest() == nil {
+		return ""
+	}
+	if st.Latest().GoVersion == perf.NewSnapshot().GoVersion {
+		return st.Latest().CPUModel
+	}
+	return ""
+}
+
+func cmdGate(cmd, benchGlob, trajPath string, window int, verbose bool, stdout, stderr *bufio.Writer) int {
+	st, err := perf.LoadStore(benchGlob, trajPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfgate: %v\n", err)
+		return exitError
+	}
+	rep, err := perf.EvaluateLatest(st, window, perf.DefaultThresholds())
+	if err != nil {
+		fmt.Fprintf(stderr, "perfgate: %v\n", err)
+		return exitError
+	}
+	if err := rep.Write(stdout, verbose); err != nil {
+		fmt.Fprintf(stderr, "perfgate: %v\n", err)
+		return exitError
+	}
+	if cmd == "gate" && rep.Regressions > 0 {
+		return exitRegression
+	}
+	return exitOK
+}
+
+func cmdTrend(benchGlob, trajPath, match string, stdout, stderr *bufio.Writer) int {
+	st, err := perf.LoadStore(benchGlob, trajPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfgate: %v\n", err)
+		return exitError
+	}
+	var m func(string) bool
+	if match != "" {
+		m = func(k string) bool { return strings.Contains(k, match) }
+	}
+	if err := st.WriteTrend(stdout, m); err != nil {
+		fmt.Fprintf(stderr, "perfgate: %v\n", err)
+		return exitError
+	}
+	return exitOK
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGateRegressionFixture is the acceptance check for the failure path:
+// against a trajectory whose last entry carries an injected 2x ns/op
+// regression, `perfgate gate` must exit 2 and name the benchmark.
+func TestGateRegressionFixture(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"gate", "-bench", "", "-traj", "testdata/traj_2x.jsonl"}, &out, &errw)
+	if code != exitRegression {
+		t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, exitRegression, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "NearFarCal-1") {
+		t.Errorf("regressed benchmark not named:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("verdict not shown:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "1 regression(s)") {
+		t.Errorf("summary line missing:\n%s", out.String())
+	}
+	// The stable benchmark must not be blamed.
+	if strings.Contains(out.String(), "REGRESSION   SelfTuningCal") {
+		t.Errorf("stable benchmark misjudged:\n%s", out.String())
+	}
+}
+
+// TestGateCommittedTrajectory is the acceptance check for the pass path:
+// the repo's own committed snapshots plus trajectory must gate clean.
+func TestGateCommittedTrajectory(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"gate", "-bench", "../../BENCH_*.json", "-traj", "../../results/perf_trajectory.jsonl"}, &out, &errw)
+	if code != exitOK {
+		t.Fatalf("committed trajectory gates dirty: exit %d\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "0 regression(s)") {
+		t.Errorf("summary:\n%s", out.String())
+	}
+}
+
+// TestCompareInformational: compare renders the same judgment but never
+// fails the build — it is the always-on smoke in scripts/check.sh.
+func TestCompareInformational(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"compare", "-bench", "", "-traj", "testdata/traj_2x.jsonl"}, &out, &errw)
+	if code != exitOK {
+		t.Fatalf("compare exit = %d, want 0\n%s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("compare hides the regression:\n%s", out.String())
+	}
+}
+
+func TestTrend(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"trend", "-bench", "", "-traj", "testdata/traj_2x.jsonl"}, &out, &errw)
+	if code != exitOK {
+		t.Fatalf("trend exit = %d\n%s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "NearFarCal-1") {
+		t.Errorf("trend misses benchmark:\n%s", out.String())
+	}
+	out.Reset()
+	code = run([]string{"trend", "-bench", "", "-traj", "testdata/traj_2x.jsonl", "-match", "SelfTuning"}, &out, &errw)
+	if code != exitOK || strings.Contains(out.String(), "NearFarCal") {
+		t.Errorf("match filter: exit %d\n%s", code, out.String())
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(nil, &out, &errw); code != exitError {
+		t.Errorf("no args: exit %d", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errw); code != exitError {
+		t.Errorf("unknown command: exit %d", code)
+	}
+	if code := run([]string{"run", "-n", "NoSuchSpec"}, &out, &errw); code != exitError {
+		t.Errorf("unknown spec: exit %d", code)
+	}
+	if !strings.Contains(errw.String(), "PerfSelfTuningCal") {
+		t.Errorf("unknown-spec error does not list registered specs:\n%s", errw.String())
+	}
+	// Gate over nothing is an error, not a pass: a broken path must not
+	// silently green-light a PR.
+	errw.Reset()
+	if code := run([]string{"gate", "-bench", "", "-traj", "testdata/nope.jsonl"}, &out, &errw); code != exitError {
+		t.Errorf("empty store gate: exit %d", code)
+	}
+	if code := run([]string{"help"}, &out, &errw); code != exitOK {
+		t.Errorf("help: exit %d", code)
+	}
+}

@@ -144,6 +144,7 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 		res.Updates += int64(adv.X2)
 
 		// bisect-frontier: split the filter output around the threshold.
+		obs.ApplyPhaseLabel(obs.PhaseRebalance)
 		spB := tr.Begin(obs.PhaseRebalance)
 		thrD := distOf(thr)
 		near := front[:0]
@@ -160,6 +161,7 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 		x4 := len(near)
 
 		// Controller step (host side).
+		obs.ApplyPhaseLabel(obs.PhaseController)
 		spC := tr.Begin(obs.PhaseController)
 		ctrlStart := time.Now()
 		policy.Observe(x1, adv.X2)
@@ -195,6 +197,7 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 
 		// Rebalancer: realize the new threshold by moving vertices
 		// between frontier and far queue.
+		obs.ApplyPhaseLabel(obs.PhaseRebalance)
 		front = near
 		if newThr > thr {
 			front = far.PopBelow(distOf(newThr), dist, front)
@@ -230,6 +233,7 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 				front = far.PopBelow(graph.Inf, dist, front)
 			}
 		}
+		obs.ApplyPhaseLabel(obs.PhaseController)
 		policy.SetApplied(appliedDelta, float64(x4))
 		if bm, ok := policy.(boundaryMaintainer); ok && !cfg.DisablePartitioning {
 			bm.MaintainBoundaries(far, thr)
@@ -291,6 +295,7 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 		}
 	}
 
+	obs.ClearPhaseLabel() // don't bleed the last phase into the caller's samples
 	res.Dist = dist
 	res.WallTime = time.Since(start)
 	res.Reached = 0

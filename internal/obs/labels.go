@@ -1,0 +1,91 @@
+package obs
+
+// Phase pprof labels: CPU-sample attribution for the solver phases.
+//
+// The tracer (obs.go) measures host wall time per phase span, but wall time
+// on a span covers everything that happened while it was open — scheduler
+// preemption, GC assists, unrelated goroutines. CPU *sample* attribution
+// answers the sharper question "where do the cycles go": the runtime's
+// SIGPROF sampler tags each sample with the goroutine's pprof labels, so
+// labeling every goroutine with the phase it is executing turns an ordinary
+// CPU profile into a per-phase cycle breakdown (internal/perf parses it).
+//
+// Two constraints shape the implementation:
+//
+//   - Zero allocations in steady state. pprof.WithLabels allocates, so the
+//     label contexts are built once at init and ApplyPhaseLabel only calls
+//     pprof.SetGoroutineLabels with a precomputed context, which performs no
+//     allocation. This keeps TestObsSteadyStateAllocs and
+//     TestFlightSteadyStateAllocs green with labeling enabled.
+//   - Off by default, one atomic load when off. Labels are process-global
+//     (the profiler is process-global too), guarded by an atomic flag that
+//     the benchmark runner flips around a profiled run. Production solves
+//     pay a single atomic load per phase transition.
+//
+// Labels stick to a goroutine until overwritten. Worker goroutines are
+// relabeled at every kernel entry (internal/sssp, internal/parallel), and
+// the solver driver relabels at every phase transition, so a stale label
+// can only cover time a goroutine spends blocked — which the CPU sampler
+// never observes.
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+)
+
+// PhaseLabelKey is the pprof label key carrying the phase name. The
+// benchmark runner's profile parser groups CPU samples by this key.
+const PhaseLabelKey = "phase"
+
+// PhaseLabelOther is the bucket name the profile parser reports for CPU
+// samples with no phase label: setup, GC, runtime housekeeping.
+const PhaseLabelOther = "other"
+
+var (
+	phaseLabelsOn atomic.Bool
+	// phaseCtx[p] carries {phase=p.String()}; the extra slot at numPhases is
+	// the unlabeled background context used by ClearPhaseLabel.
+	phaseCtx [numPhases + 1]context.Context
+)
+
+func init() {
+	for p := Phase(0); p < numPhases; p++ {
+		phaseCtx[p] = pprof.WithLabels(context.Background(), pprof.Labels(PhaseLabelKey, p.String()))
+	}
+	phaseCtx[numPhases] = context.Background()
+}
+
+// EnablePhaseLabels turns on goroutine phase labeling process-wide. Call
+// before pprof.StartCPUProfile; pair with DisablePhaseLabels.
+func EnablePhaseLabels() { phaseLabelsOn.Store(true) }
+
+// DisablePhaseLabels turns labeling back off and clears the calling
+// goroutine's label so it does not leak into later profiles.
+func DisablePhaseLabels() {
+	phaseLabelsOn.Store(false)
+	pprof.SetGoroutineLabels(phaseCtx[numPhases])
+}
+
+// PhaseLabelsEnabled reports whether phase labeling is currently on.
+func PhaseLabelsEnabled() bool { return phaseLabelsOn.Load() }
+
+// ApplyPhaseLabel tags the calling goroutine's CPU samples with phase p
+// until the next Apply/Clear on the same goroutine. No-op (one atomic load)
+// when labeling is disabled; never allocates.
+func ApplyPhaseLabel(p Phase) {
+	if !phaseLabelsOn.Load() {
+		return
+	}
+	pprof.SetGoroutineLabels(phaseCtx[p])
+}
+
+// ClearPhaseLabel removes the calling goroutine's phase label, returning
+// its samples to the "other" bucket. Solver drivers call it on exit so the
+// final phase does not bleed into the caller's samples.
+func ClearPhaseLabel() {
+	if !phaseLabelsOn.Load() {
+		return
+	}
+	pprof.SetGoroutineLabels(phaseCtx[numPhases])
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"runtime/pprof"
+	"testing"
+)
+
+// TestApplyPhaseLabelAllocs is the property the whole labeling design rests
+// on: switching phase labels in steady state performs zero allocations,
+// enabled or not, so the kernel and controller hot paths can relabel every
+// iteration without breaking the allocs/op gates.
+func TestApplyPhaseLabelAllocs(t *testing.T) {
+	if a := testing.AllocsPerRun(1000, func() { ApplyPhaseLabel(PhaseAdvance) }); a != 0 {
+		t.Errorf("ApplyPhaseLabel (disabled) allocates %.1f per call, want 0", a)
+	}
+	EnablePhaseLabels()
+	defer DisablePhaseLabels()
+	i := 0
+	if a := testing.AllocsPerRun(1000, func() {
+		ApplyPhaseLabel(Phase(i % NumPhases))
+		i++
+	}); a != 0 {
+		t.Errorf("ApplyPhaseLabel (enabled) allocates %.1f per call, want 0", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() { ClearPhaseLabel() }); a != 0 {
+		t.Errorf("ClearPhaseLabel allocates %.1f per call, want 0", a)
+	}
+}
+
+// TestPhaseLabelContexts checks the precomputed contexts ApplyPhaseLabel
+// installs: one per phase carrying {phase=<name>}, plus an unlabeled
+// background slot for Clear. (SetGoroutineLabels installs exactly the
+// context's label map, so context content is goroutine content; the
+// end-to-end CPU-sample attribution is asserted by internal/perf's profile
+// tests, which read labels back out of a real profile.)
+func TestPhaseLabelContexts(t *testing.T) {
+	for p := Phase(0); p < Phase(NumPhases); p++ {
+		got, ok := pprof.Label(phaseCtx[p], PhaseLabelKey)
+		if !ok || got != p.String() {
+			t.Errorf("phaseCtx[%v] label = %q, %v; want %q, true", p, got, ok, p.String())
+		}
+	}
+	if got, ok := pprof.Label(phaseCtx[NumPhases], PhaseLabelKey); ok {
+		t.Errorf("clear context carries label %q, want none", got)
+	}
+}
+
+// TestPhaseLabelEnableDisable checks the global switch semantics.
+func TestPhaseLabelEnableDisable(t *testing.T) {
+	if PhaseLabelsEnabled() {
+		t.Fatal("labels enabled at test start")
+	}
+	EnablePhaseLabels()
+	if !PhaseLabelsEnabled() {
+		t.Fatal("PhaseLabelsEnabled() = false after Enable")
+	}
+	DisablePhaseLabels()
+	if PhaseLabelsEnabled() {
+		t.Fatal("PhaseLabelsEnabled() = true after Disable")
+	}
+}

@@ -116,8 +116,19 @@ func (o *Observer) Flight() FlightSource {
 }
 
 // registerTracerMetrics exposes the tracer's exact per-phase aggregates —
-// span counts, host seconds, charged sim seconds — plus ring occupancy.
+// span counts, host seconds, charged sim seconds, and each phase's fraction
+// of the recorded host time — plus ring occupancy. The fraction gauges give
+// /metrics the same per-phase breakdown cmd/perfgate derives from CPU
+// samples, computed at scrape time so the set always sums to 1 over the
+// phases that have run (0 everywhere before the first span).
 func registerTracerMetrics(r *Registry, t *Tracer) {
+	hostTotal := func() int64 {
+		var tot int64
+		for q := Phase(0); q < numPhases; q++ {
+			tot += t.Totals(q).HostNs
+		}
+		return tot
+	}
 	for p := Phase(0); p < numPhases; p++ {
 		ph := p // capture per iteration
 		label := `{phase="` + p.String() + `"}`
@@ -130,6 +141,15 @@ func registerTracerMetrics(r *Registry, t *Tracer) {
 		r.GaugeFunc("obs_phase_sim_seconds_total"+label,
 			"charged simulated device time per solver phase",
 			func() float64 { return float64(t.Totals(ph).SimNs) / 1e9 })
+		r.GaugeFunc("obs_phase_host_fraction"+label,
+			"share of all recorded host span time spent in this phase",
+			func() float64 {
+				tot := hostTotal()
+				if tot == 0 {
+					return 0
+				}
+				return float64(t.Totals(ph).HostNs) / float64(tot)
+			})
 	}
 	r.GaugeFunc("obs_trace_events",
 		"events currently retained in the trace ring",

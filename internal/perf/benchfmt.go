@@ -1,0 +1,305 @@
+// Package perf is the performance observatory: the one place the repo's
+// benchmark numbers are produced, stored, and judged.
+//
+// It has three layers, each usable alone:
+//
+//   - bench format (this file): the committed snapshot schema shared by the
+//     BENCH_*.json files, the results/perf_trajectory.jsonl trajectory, and
+//     cmd/benchjson — plus the `go test -bench` text parser and the
+//     -count=N aggregation (median, p10/p90, relative spread, unstable
+//     flag) that turns raw runs into one row per benchmark.
+//   - trajectory store (trajectory.go) and classifier (classify.go): an
+//     append-only, machine-keyed benchmark history with robust
+//     median+MAD baselines and a regression/improvement/stable/unstable
+//     verdict per benchmark (gate.go drives it; cmd/perfgate is the CLI).
+//   - runner (runner.go, profile.go): in-process execution of registered
+//     benchmarks under a CPU profile with per-phase pprof labels, reporting
+//     where the cycles go (advance / scan / filter / rebalance /
+//     controller / other) next to ns/op.
+package perf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// UnstableSpread is the relative run-to-run spread — (p90 − p10) / median
+// over the samples of one `go test -count=N` aggregation — above which a
+// benchmark's number is flagged unstable and excluded from gate verdicts.
+// 10%: comfortably above timer jitter on a quiet machine, well below any
+// regression worth stopping a PR for.
+const UnstableSpread = 0.10
+
+// Bench is one benchmark row: a single parsed result line or, after
+// Aggregate, the median over several -count runs of the same benchmark with
+// the sample spread alongside.
+type Bench struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`          // GOMAXPROCS suffix on the name
+	Runs        int     `json:"runs,omitempty"` // samples aggregated (omitted when 1)
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// P10NsPerOp/P90NsPerOp bracket the -count samples; Spread is their
+	// width relative to the median ((p90-p10)/median). All zero when the
+	// row aggregates a single run — one sample has no spread to report.
+	P10NsPerOp float64 `json:"p10_ns_per_op,omitempty"`
+	P90NsPerOp float64 `json:"p90_ns_per_op,omitempty"`
+	Spread     float64 `json:"spread,omitempty"`
+	// Unstable marks a row whose Spread exceeds UnstableSpread: the median
+	// of these samples is noise-dominated and must not gate anything.
+	Unstable bool               `json:"unstable,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Key identifies a benchmark across snapshots: name plus the GOMAXPROCS
+// suffix go test appends (two procs values are different experiments).
+func (b *Bench) Key() string { return b.Name + "-" + strconv.Itoa(b.Procs) }
+
+// Snapshot is one benchmark record: the schema of the committed
+// BENCH_*.json files and of each line of results/perf_trajectory.jsonl.
+type Snapshot struct {
+	Date       string  `json:"date"`
+	Note       string  `json:"note,omitempty"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPUs       int     `json:"cpus"`
+	GOMAXPROCS int     `json:"gomaxprocs,omitempty"` // absent in pre-trajectory snapshots
+	CPUModel   string  `json:"cpu_model,omitempty"`
+	Package    string  `json:"package,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// MachineKey identifies the hardware/runtime a snapshot was taken on:
+// go version, GOMAXPROCS, and CPU model. Entries with different keys are
+// never compared — ns/op across machines is not a regression signal.
+// Pre-trajectory snapshots lack the gomaxprocs field; they fall back to
+// the recorded CPU count, which equaled GOMAXPROCS on the machines that
+// produced them.
+func (s *Snapshot) MachineKey() string {
+	gmp := s.GOMAXPROCS
+	if gmp == 0 {
+		gmp = s.CPUs
+	}
+	return s.GoVersion + "|" + strconv.Itoa(gmp) + "|" + s.CPUModel
+}
+
+// NewSnapshot returns a snapshot stamped with the current runtime
+// environment (date and note are the caller's).
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// benchLine matches "BenchmarkName-8   123   456.7 ns/op   <extras>".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// extraPair matches one "<value> <unit>" pair in the tail of a result line.
+var extraPair = regexp.MustCompile(`([0-9.]+) (\S+)`)
+
+// ParseGoBench reads `go test -bench` text output from r and returns the
+// parsed snapshot: one Bench per result line (unaggregated — call Aggregate
+// to collapse -count repeats), with the cpu:/pkg: header lines captured
+// into CPUModel/Package. When echo is non-nil every input line is copied to
+// it, so a pipeline stays readable while being parsed. The returned
+// snapshot has the runtime environment filled in but no Date.
+func ParseGoBench(r io.Reader, echo io.Writer) (*Snapshot, error) {
+	snap := NewSnapshot()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			if _, err := fmt.Fprintln(echo, line); err != nil {
+				return nil, fmt.Errorf("perf: echoing bench output: %w", err)
+			}
+		}
+		switch {
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPUModel = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			snap.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		b, ok, err := parseBenchLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// parseBenchLine parses one benchmark result line; ok is false for lines
+// that are not benchmark results.
+func parseBenchLine(line string) (b Bench, ok bool, err error) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Bench{}, false, nil
+	}
+	b = Bench{Name: strings.TrimPrefix(m[1], "Benchmark"), Procs: 1}
+	if m[2] != "" {
+		if b.Procs, err = strconv.Atoi(m[2]); err != nil {
+			return Bench{}, false, fmt.Errorf("perf: bad procs suffix in %q: %w", line, err)
+		}
+	}
+	iters, err := strconv.Atoi(m[3])
+	if err != nil {
+		return Bench{}, false, fmt.Errorf("perf: bad iteration count in %q: %w", line, err)
+	}
+	b.Iterations = int64(iters)
+	if b.NsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+		return Bench{}, false, fmt.Errorf("perf: bad ns/op in %q: %w", line, err)
+	}
+	for _, kv := range extraPair.FindAllStringSubmatch(m[5], -1) {
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return Bench{}, false, fmt.Errorf("perf: bad metric value in %q: %w", line, err)
+		}
+		switch unit := kv[2]; unit {
+		case "MB/s":
+			b.MBPerS = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true, nil
+}
+
+// Aggregate collapses repeated runs of the same benchmark (go test
+// -count=N) into one entry per (name, procs), preserving first-seen order.
+// Each aggregated entry carries the per-column median plus the ns/op
+// p10/p90 and relative spread across the samples; entries whose spread
+// exceeds UnstableSpread are flagged Unstable. Single-run benchmarks pass
+// through with no spread columns.
+func Aggregate(in []Bench) []Bench {
+	groups := make(map[string][]Bench)
+	var order []string
+	for _, b := range in {
+		k := b.Key()
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], b)
+	}
+	out := make([]Bench, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		if len(g) == 1 {
+			out = append(out, g[0])
+			continue
+		}
+		agg := Bench{Name: g[0].Name, Procs: g[0].Procs, Runs: len(g)}
+		ns := collect(g, func(b Bench) float64 { return b.NsPerOp })
+		agg.NsPerOp = Median(ns)
+		agg.P10NsPerOp = Quantile(ns, 0.10)
+		agg.P90NsPerOp = Quantile(ns, 0.90)
+		if agg.NsPerOp > 0 {
+			agg.Spread = (agg.P90NsPerOp - agg.P10NsPerOp) / agg.NsPerOp
+			agg.Unstable = agg.Spread > UnstableSpread
+		}
+		agg.Iterations = int64(Median(collect(g, func(b Bench) float64 { return float64(b.Iterations) })))
+		agg.MBPerS = Median(collect(g, func(b Bench) float64 { return b.MBPerS }))
+		agg.BytesPerOp = int64(Median(collect(g, func(b Bench) float64 { return float64(b.BytesPerOp) })))
+		agg.AllocsPerOp = int64(Median(collect(g, func(b Bench) float64 { return float64(b.AllocsPerOp) })))
+		for _, b := range g {
+			for unit := range b.Metrics {
+				if agg.Metrics == nil {
+					agg.Metrics = make(map[string]float64)
+				}
+				if _, done := agg.Metrics[unit]; done {
+					continue
+				}
+				var vs []float64
+				for _, bb := range g {
+					if v, ok := bb.Metrics[unit]; ok {
+						vs = append(vs, v)
+					}
+				}
+				agg.Metrics[unit] = Median(vs)
+			}
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+func collect(g []Bench, f func(Bench) float64) []float64 {
+	vs := make([]float64, len(g))
+	for i, b := range g {
+		vs[i] = f(b)
+	}
+	return vs
+}
+
+// Median returns the middle value (mean of the two middles for even n),
+// 0 for an empty slice. The input is not modified.
+func Median(vs []float64) float64 { return Quantile(vs, 0.5) }
+
+// Quantile returns the q-quantile (q clamped to [0,1]) of vs by linear
+// interpolation between order statistics (rank q·(n−1)), the estimator R-7
+// spreadsheets use. Empty input answers 0; the input is not modified.
+func Quantile(vs []float64, q float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MAD returns the median absolute deviation of vs around its median — the
+// robust spread statistic the regression classifier uses (see classify.go
+// for why not standard deviation). Empty input answers 0.
+func MAD(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	med := Median(vs)
+	dev := make([]float64, len(vs))
+	for i, v := range vs {
+		dev[i] = math.Abs(v - med)
+	}
+	return Median(dev)
+}

@@ -1,0 +1,206 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: energysssp
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkNearFarCal      	      12	  93638358 ns/op	  14.71 MB/s	     120 B/op	       3 allocs/op
+BenchmarkSelfTuningCal   	       8	 144680052 ns/op	 250000 delta-moves
+BenchmarkAdvance/rmat/p4/auto-4 	     500	   2345678 ns/op
+PASS
+ok  	energysssp	12.3s
+`
+
+func TestParseGoBench(t *testing.T) {
+	var echo strings.Builder
+	snap, err := ParseGoBench(strings.NewReader(sampleBenchOutput), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != sampleBenchOutput {
+		t.Errorf("echo mangled the input")
+	}
+	if snap.CPUModel != "Intel(R) Xeon(R) Processor @ 2.70GHz" {
+		t.Errorf("cpu model = %q", snap.CPUModel)
+	}
+	if snap.Package != "energysssp" {
+		t.Errorf("package = %q", snap.Package)
+	}
+	if snap.GoVersion == "" || snap.GOMAXPROCS == 0 {
+		t.Errorf("runtime env not stamped: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+
+	nf := snap.Benchmarks[0]
+	if nf.Name != "NearFarCal" || nf.Procs != 1 {
+		t.Errorf("row 0 = %q procs %d, want NearFarCal procs 1", nf.Name, nf.Procs)
+	}
+	if nf.NsPerOp != 93638358 || nf.Iterations != 12 {
+		t.Errorf("row 0 numbers: %+v", nf)
+	}
+	if nf.MBPerS != 14.71 || nf.BytesPerOp != 120 || nf.AllocsPerOp != 3 {
+		t.Errorf("row 0 extras: %+v", nf)
+	}
+
+	st := snap.Benchmarks[1]
+	if st.Metrics["delta-moves"] != 250000 {
+		t.Errorf("custom metric lost: %+v", st.Metrics)
+	}
+
+	adv := snap.Benchmarks[2]
+	if adv.Name != "Advance/rmat/p4/auto" || adv.Procs != 4 {
+		t.Errorf("subbench = %q procs %d", adv.Name, adv.Procs)
+	}
+	if adv.Key() != "Advance/rmat/p4/auto-4" {
+		t.Errorf("key = %q", adv.Key())
+	}
+}
+
+func TestAggregateSpread(t *testing.T) {
+	in := []Bench{
+		{Name: "X", Procs: 1, NsPerOp: 100, Iterations: 10, AllocsPerOp: 1},
+		{Name: "X", Procs: 1, NsPerOp: 102, Iterations: 11, AllocsPerOp: 1},
+		{Name: "X", Procs: 1, NsPerOp: 98, Iterations: 12, AllocsPerOp: 1},
+		{Name: "X", Procs: 1, NsPerOp: 101, Iterations: 13, AllocsPerOp: 1},
+		{Name: "X", Procs: 1, NsPerOp: 99, Iterations: 14, AllocsPerOp: 1},
+		{Name: "Y", Procs: 1, NsPerOp: 7},
+	}
+	out := Aggregate(in)
+	if len(out) != 2 {
+		t.Fatalf("got %d rows, want 2", len(out))
+	}
+	x := out[0]
+	if x.Runs != 5 || x.NsPerOp != 100 {
+		t.Errorf("X aggregate: %+v", x)
+	}
+	if x.P10NsPerOp >= x.NsPerOp || x.P90NsPerOp <= x.NsPerOp {
+		t.Errorf("p10/p90 do not bracket the median: %+v", x)
+	}
+	if x.Unstable {
+		t.Errorf("2%% wobble flagged unstable: spread=%v", x.Spread)
+	}
+	// Y was a single run: passes through untouched, no spread columns.
+	y := out[1]
+	if y.Runs != 0 || y.Spread != 0 || y.P10NsPerOp != 0 {
+		t.Errorf("single-run row grew spread columns: %+v", y)
+	}
+}
+
+func TestAggregateUnstable(t *testing.T) {
+	in := []Bench{
+		{Name: "X", Procs: 1, NsPerOp: 100},
+		{Name: "X", Procs: 1, NsPerOp: 150},
+		{Name: "X", Procs: 1, NsPerOp: 90},
+	}
+	out := Aggregate(in)
+	if !out[0].Unstable {
+		t.Errorf("50%% spread not flagged unstable: %+v", out[0])
+	}
+	if out[0].Spread <= UnstableSpread {
+		t.Errorf("spread = %v, want > %v", out[0].Spread, UnstableSpread)
+	}
+}
+
+func TestAggregateMetricsMedian(t *testing.T) {
+	in := []Bench{
+		{Name: "X", Procs: 1, NsPerOp: 1, Metrics: map[string]float64{"m": 10}},
+		{Name: "X", Procs: 1, NsPerOp: 1, Metrics: map[string]float64{"m": 30}},
+		{Name: "X", Procs: 1, NsPerOp: 1, Metrics: map[string]float64{"m": 20}},
+	}
+	out := Aggregate(in)
+	if got := out[0].Metrics["m"]; got != 20 {
+		t.Errorf("metric median = %v, want 20", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vs := []float64{4, 1, 3, 2} // unsorted on purpose: input must not be modified
+	if got := Quantile(vs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(vs, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(vs, 0.5); got != 2.5 {
+		t.Errorf("median = %v", got)
+	}
+	if vs[0] != 4 {
+		t.Errorf("input was sorted in place")
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+	if got := Quantile([]float64{5}, 0.9); got != 5 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+	// Clamping.
+	if got := Quantile(vs, -1); got != 1 {
+		t.Errorf("q<0 = %v", got)
+	}
+	if got := Quantile(vs, 2); got != 4 {
+		t.Errorf("q>1 = %v", got)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	if got := MAD([]float64{1, 1, 1, 1}); got != 0 {
+		t.Errorf("identical MAD = %v, want 0", got)
+	}
+	// median 3, |dev| = {2,1,0,1,2} -> MAD 1.
+	if got := MAD([]float64{1, 2, 3, 4, 5}); got != 1 {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	if got := MAD(nil); got != 0 {
+		t.Errorf("empty MAD = %v", got)
+	}
+	// One wild outlier barely moves the MAD — the property classify.go
+	// builds on.
+	clean := MAD([]float64{100, 101, 102, 103, 104})
+	dirty := MAD([]float64{100, 101, 102, 103, 1e6})
+	if dirty > 2*clean+1 {
+		t.Errorf("MAD not robust: clean %v dirty %v", clean, dirty)
+	}
+}
+
+func TestMachineKey(t *testing.T) {
+	s := Snapshot{GoVersion: "go1.24.0", GOMAXPROCS: 4, CPUs: 8, CPUModel: "M"}
+	if got := s.MachineKey(); got != "go1.24.0|4|M" {
+		t.Errorf("key = %q", got)
+	}
+	// Pre-trajectory snapshots lack gomaxprocs: fall back to cpus so the
+	// committed BENCH history stays comparable.
+	old := Snapshot{GoVersion: "go1.24.0", CPUs: 1, CPUModel: "M"}
+	if got := old.MachineKey(); got != "go1.24.0|1|M" {
+		t.Errorf("fallback key = %q", got)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"ok  	energysssp	12.3s",
+		"PASS",
+		"--- BENCH: BenchmarkX",
+		"",
+	} {
+		if _, ok, err := parseBenchLine(line); ok || err != nil {
+			t.Errorf("line %q: ok=%v err=%v", line, ok, err)
+		}
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := Median([]float64{1, 2}); got != 1.5 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Median([]float64{math.Inf(1), 1, 2}); got != 2 {
+		t.Errorf("median with inf = %v", got)
+	}
+}

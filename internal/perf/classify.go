@@ -1,0 +1,155 @@
+package perf
+
+// The regression classifier: one pure function, Classify, holds all of the
+// threshold math so every caller (gate, compare, tests) judges identically.
+//
+// Why median + MAD rather than mean + standard deviation: benchmark history
+// on shared hosts is contaminated — a CI neighbor, a thermal throttle, one
+// run taken mid-compile. The mean and stddev are both dragged by a single
+// such outlier, which fails in two directions at once: a fast-history
+// outlier inflates stddev until a real regression fits inside the band, and
+// a slow outlier shifts the mean until a healthy run looks like a
+// regression. The median ignores the outlier entirely, and the MAD (median
+// absolute deviation around the median) measures spread among the
+// *majority* of runs. Scaling MAD by 1.4826 makes it estimate the same σ
+// as stddev would on clean Gaussian data, so the familiar "k sigma" band
+// intuition carries over — robustly.
+
+import "math"
+
+// madToSigma rescales a MAD to the standard deviation it estimates under a
+// normal distribution (1/Φ⁻¹(3/4)).
+const madToSigma = 1.4826
+
+// Verdict classifies one benchmark's new value against its baseline.
+type Verdict uint8
+
+const (
+	// VerdictStable: inside the noise band — no action.
+	VerdictStable Verdict = iota
+	// VerdictRegression: slower than the baseline by more than the band;
+	// the gate fails on any of these.
+	VerdictRegression
+	// VerdictImprovement: faster than the baseline by more than the band.
+	VerdictImprovement
+	// VerdictUnstable: the history (or the candidate run itself) is too
+	// noisy to judge — spread exceeds the unstable limit. Never fails the
+	// gate, always worth a look.
+	VerdictUnstable
+	// VerdictNoBaseline: not enough history on this machine to judge.
+	VerdictNoBaseline
+	// VerdictInvalid: the candidate value is unusable (NaN, ±Inf, or <= 0
+	// ns/op), which means the producing run was broken.
+	VerdictInvalid
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictStable:
+		return "stable"
+	case VerdictRegression:
+		return "REGRESSION"
+	case VerdictImprovement:
+		return "improvement"
+	case VerdictUnstable:
+		return "unstable"
+	case VerdictNoBaseline:
+		return "no-baseline"
+	case VerdictInvalid:
+		return "invalid"
+	}
+	return "unknown"
+}
+
+// Thresholds parameterizes Classify. The zero value is not useful; start
+// from DefaultThresholds.
+type Thresholds struct {
+	// MinHistory is the number of valid baseline values required before
+	// judging; below it the verdict is NoBaseline.
+	MinHistory int
+	// MADFactor is k in the median ± k·σ̂ band, σ̂ = 1.4826·MAD.
+	MADFactor float64
+	// MinRel is the floor of the band as a fraction of the median. It is
+	// what keeps an all-identical history (MAD = 0, σ̂ = 0) from flagging
+	// a 0.1% wobble as a regression: the band is never narrower than
+	// MinRel·median.
+	MinRel float64
+	// MaxSpread is the relative baseline spread (σ̂ / median) above which
+	// the history itself is too noisy to judge and the verdict is
+	// Unstable.
+	MaxSpread float64
+}
+
+// DefaultThresholds: judge from the first baseline run (MinHistory 1, so a
+// young trajectory still gates), a 4σ̂ band with an 8% floor (below the
+// smallest ns/op change this repo has ever cared about), and give up on
+// histories whose robust spread exceeds 25%.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MinHistory: 1, MADFactor: 4, MinRel: 0.08, MaxSpread: 0.25}
+}
+
+// Classification is Classify's full answer: the verdict plus the numbers
+// it was derived from, so reports can show their work.
+type Classification struct {
+	Verdict Verdict
+	// Median and Sigma are the baseline median and robust sigma estimate
+	// (1.4826·MAD); N is the number of valid baseline values used.
+	Median float64
+	Sigma  float64
+	N      int
+	// Band is the half-width of the acceptance interval around Median.
+	Band float64
+	// Rel is the candidate's relative delta versus the median,
+	// (v − median) / median; positive means slower. 0 when unjudged.
+	Rel float64
+}
+
+// Classify judges candidate value v (ns/op — lower is better) against its
+// history on the same machine. Non-finite and non-positive history values
+// are dropped before any statistic is computed (a broken old run must not
+// poison the baseline); a non-finite or non-positive v is Invalid.
+func Classify(history []float64, v float64, th Thresholds) Classification {
+	if !validNs(v) {
+		return Classification{Verdict: VerdictInvalid}
+	}
+	clean := make([]float64, 0, len(history))
+	for _, h := range history {
+		if validNs(h) {
+			clean = append(clean, h)
+		}
+	}
+	minH := th.MinHistory
+	if minH < 1 {
+		minH = 1
+	}
+	if len(clean) < minH {
+		return Classification{Verdict: VerdictNoBaseline, N: len(clean)}
+	}
+	med := Median(clean)
+	sigma := madToSigma * MAD(clean)
+	c := Classification{
+		Median: med,
+		Sigma:  sigma,
+		N:      len(clean),
+		Rel:    (v - med) / med,
+	}
+	if med > 0 && sigma/med > th.MaxSpread {
+		c.Verdict = VerdictUnstable
+		return c
+	}
+	c.Band = math.Max(th.MADFactor*sigma, th.MinRel*med)
+	switch {
+	case v > med+c.Band:
+		c.Verdict = VerdictRegression
+	case v < med-c.Band:
+		c.Verdict = VerdictImprovement
+	default:
+		c.Verdict = VerdictStable
+	}
+	return c
+}
+
+// validNs reports whether x is a usable ns/op value: finite and positive.
+func validNs(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0) && x > 0
+}

@@ -1,0 +1,146 @@
+package perf
+
+// The classifier edge cases the gate's correctness rests on: empty history,
+// a single baseline entry, an all-identical history (MAD = 0), and broken
+// candidate values. Machine-mismatch isolation is covered in
+// trajectory_test.go and gate_test.go (it is a store property, not a
+// classifier one).
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassifyEmptyHistory(t *testing.T) {
+	c := Classify(nil, 100, DefaultThresholds())
+	if c.Verdict != VerdictNoBaseline {
+		t.Errorf("verdict = %v, want no-baseline", c.Verdict)
+	}
+	if c.N != 0 {
+		t.Errorf("N = %d", c.N)
+	}
+}
+
+func TestClassifySingleEntry(t *testing.T) {
+	// One baseline value: MAD is 0, so the band is the MinRel floor.
+	th := DefaultThresholds()
+	hist := []float64{100}
+	if c := Classify(hist, 200, th); c.Verdict != VerdictRegression {
+		t.Errorf("2x vs single entry = %v, want regression", c.Verdict)
+	}
+	if c := Classify(hist, 105, th); c.Verdict != VerdictStable {
+		t.Errorf("+5%% vs single entry = %v, want stable (8%% floor)", c.Verdict)
+	}
+	if c := Classify(hist, 50, th); c.Verdict != VerdictImprovement {
+		t.Errorf("-50%% vs single entry = %v, want improvement", c.Verdict)
+	}
+}
+
+func TestClassifyIdenticalHistory(t *testing.T) {
+	// All-identical history: MAD = 0, sigma = 0. Without the MinRel floor
+	// any wobble would be an infinite-sigma "regression"; with it, only
+	// moves beyond 8% of the median trip the gate.
+	th := DefaultThresholds()
+	hist := []float64{100, 100, 100, 100, 100}
+	c := Classify(hist, 100.1, th)
+	if c.Verdict != VerdictStable {
+		t.Errorf("0.1%% wobble = %v, want stable", c.Verdict)
+	}
+	if c.Sigma != 0 {
+		t.Errorf("sigma = %v, want 0", c.Sigma)
+	}
+	if c.Band != th.MinRel*100 {
+		t.Errorf("band = %v, want MinRel floor %v", c.Band, th.MinRel*100)
+	}
+	if c := Classify(hist, 109, th); c.Verdict != VerdictRegression {
+		t.Errorf("+9%% vs identical history = %v, want regression", c.Verdict)
+	}
+}
+
+func TestClassifyInvalidCandidate(t *testing.T) {
+	th := DefaultThresholds()
+	hist := []float64{100, 101, 99}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -5} {
+		if c := Classify(hist, v, th); c.Verdict != VerdictInvalid {
+			t.Errorf("Classify(v=%v) = %v, want invalid", v, c.Verdict)
+		}
+	}
+}
+
+func TestClassifyDropsInvalidHistory(t *testing.T) {
+	// Broken old runs (NaN, zero) must not poison the baseline.
+	th := DefaultThresholds()
+	hist := []float64{math.NaN(), 0, -1, 100, 102, 98, math.Inf(1)}
+	c := Classify(hist, 101, th)
+	if c.Verdict != VerdictStable {
+		t.Errorf("verdict = %v, want stable", c.Verdict)
+	}
+	if c.N != 3 {
+		t.Errorf("N = %d, want 3 (invalid values dropped)", c.N)
+	}
+	if c.Median != 100 {
+		t.Errorf("median = %v, want 100", c.Median)
+	}
+	// A history of only invalid values is no baseline at all.
+	if c := Classify([]float64{math.NaN(), 0}, 100, th); c.Verdict != VerdictNoBaseline {
+		t.Errorf("all-invalid history = %v, want no-baseline", c.Verdict)
+	}
+}
+
+func TestClassifyMinHistory(t *testing.T) {
+	th := DefaultThresholds()
+	th.MinHistory = 3
+	if c := Classify([]float64{100, 101}, 500, th); c.Verdict != VerdictNoBaseline {
+		t.Errorf("2 entries under MinHistory 3 = %v, want no-baseline", c.Verdict)
+	}
+	if c := Classify([]float64{100, 101, 99}, 500, th); c.Verdict != VerdictRegression {
+		t.Errorf("3 entries = %v, want regression", c.Verdict)
+	}
+}
+
+func TestClassifyUnstableHistory(t *testing.T) {
+	// Robust spread beyond MaxSpread: the history cannot support a verdict.
+	th := DefaultThresholds()
+	hist := []float64{100, 150, 60, 140, 80}
+	c := Classify(hist, 100, th)
+	if c.Verdict != VerdictUnstable {
+		t.Errorf("noisy history = %v (sigma/med %v), want unstable", c.Verdict, c.Sigma/c.Median)
+	}
+}
+
+func TestClassifyMADBandWidens(t *testing.T) {
+	// A legitimately noisy-but-judgeable history gets a wider band than the
+	// floor: +10% inside 4 sigma must stay stable.
+	th := DefaultThresholds()
+	hist := []float64{100, 104, 96, 103, 97} // MAD 3, sigma ~4.4, band ~17.8
+	if c := Classify(hist, 110, th); c.Verdict != VerdictStable {
+		t.Errorf("+10%% inside 4-sigma band = %v (band %v)", c.Verdict, c.Band)
+	}
+	if c := Classify(hist, 125, th); c.Verdict != VerdictRegression {
+		t.Errorf("+25%% outside band = %v", c.Verdict)
+	}
+}
+
+func TestClassifyRelDelta(t *testing.T) {
+	c := Classify([]float64{100, 100, 100}, 150, DefaultThresholds())
+	if math.Abs(c.Rel-0.5) > 1e-12 {
+		t.Errorf("rel = %v, want 0.5", c.Rel)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	want := map[Verdict]string{
+		VerdictStable:      "stable",
+		VerdictRegression:  "REGRESSION",
+		VerdictImprovement: "improvement",
+		VerdictUnstable:    "unstable",
+		VerdictNoBaseline:  "no-baseline",
+		VerdictInvalid:     "invalid",
+		Verdict(99):        "unknown",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package perf
+
+// Gate evaluation and the trend renderer: the read side of the trajectory
+// store. EvaluateLatest is what `perfgate gate`/`compare` run; Sparkline is
+// what `perfgate trend` draws.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// BaselineWindow is the default number of most-recent history entries the
+// baseline is computed over. Small enough to track genuine drift (a machine
+// gets an OS upgrade), large enough that one bad run cannot move a median.
+const BaselineWindow = 5
+
+// GateRow is the judgment of one benchmark in the candidate entry.
+type GateRow struct {
+	Bench string
+	New   float64 // candidate ns/op
+	Classification
+	// RunUnstable is set when the candidate row itself was flagged
+	// unstable by Aggregate (its -count spread exceeded UnstableSpread);
+	// the verdict is forced to Unstable regardless of the baseline.
+	RunUnstable bool
+}
+
+// Report is the gate's full answer over one candidate entry.
+type Report struct {
+	Machine   string // machine key the comparison was restricted to
+	Candidate string // date/note of the entry under judgment
+	Rows      []GateRow
+	// Counts by verdict, for exit-code and summary decisions.
+	Regressions, Improvements, Stable, Unstable, NoBaseline, Invalid int
+}
+
+// EvaluateLatest judges the store's newest entry against per-benchmark
+// baselines built from the preceding entries with the same machine key
+// (last k each, k <= 0 meaning BaselineWindow). An empty store returns an
+// error; a store with no prior history returns all-NoBaseline, which
+// passes the gate — a young trajectory must not block PRs.
+func EvaluateLatest(st *Store, k int, th Thresholds) (*Report, error) {
+	cand := st.Latest()
+	if cand == nil {
+		return nil, fmt.Errorf("perf: empty trajectory — nothing to gate (run scripts/bench.sh first)")
+	}
+	if k <= 0 {
+		k = BaselineWindow
+	}
+	rep := &Report{
+		Machine:   cand.MachineKey(),
+		Candidate: strings.TrimSpace(cand.Date + " " + cand.Note),
+	}
+	for i := range cand.Benchmarks {
+		b := &cand.Benchmarks[i]
+		hist := st.History(rep.Machine, b.Key(), len(st.Entries)-1, k)
+		row := GateRow{
+			Bench:          b.Key(),
+			New:            b.NsPerOp,
+			Classification: Classify(hist, b.NsPerOp, th),
+			RunUnstable:    b.Unstable,
+		}
+		if row.RunUnstable && row.Verdict != VerdictInvalid {
+			row.Verdict = VerdictUnstable
+		}
+		rep.Rows = append(rep.Rows, row)
+		switch row.Verdict {
+		case VerdictRegression:
+			rep.Regressions++
+		case VerdictImprovement:
+			rep.Improvements++
+		case VerdictStable:
+			rep.Stable++
+		case VerdictUnstable:
+			rep.Unstable++
+		case VerdictNoBaseline:
+			rep.NoBaseline++
+		case VerdictInvalid:
+			rep.Invalid++
+		}
+	}
+	return rep, nil
+}
+
+// Write renders the report as an aligned table. verbose includes
+// stable/no-baseline rows; otherwise only actionable rows (regression,
+// improvement, unstable, invalid) are listed, with a one-line summary
+// either way.
+func (rep *Report) Write(w io.Writer, verbose bool) error {
+	bw := bufio.NewWriter(w)
+	wrote := false
+	for _, r := range rep.Rows {
+		actionable := r.Verdict == VerdictRegression || r.Verdict == VerdictImprovement ||
+			r.Verdict == VerdictUnstable || r.Verdict == VerdictInvalid
+		if !verbose && !actionable {
+			continue
+		}
+		wrote = true
+		switch r.Verdict {
+		case VerdictNoBaseline:
+			fmt.Fprintf(bw, "%-12s %-34s %12.0f ns/op  (no history on this machine)\n",
+				r.Verdict, r.Bench, r.New)
+		case VerdictInvalid:
+			fmt.Fprintf(bw, "%-12s %-34s %12g ns/op  (unusable value)\n",
+				r.Verdict, r.Bench, r.New)
+		default:
+			note := ""
+			if r.RunUnstable {
+				note = "  (run spread > 10%)"
+			}
+			fmt.Fprintf(bw, "%-12s %-34s %12.0f ns/op  vs median %12.0f  (%+.1f%%, band ±%.1f%%, n=%d)%s\n",
+				r.Verdict, r.Bench, r.New, r.Median, 100*r.Rel, relBand(r.Classification), r.N, note)
+		}
+	}
+	if wrote {
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintf(bw, "perfgate: %s — %d regression(s), %d improvement(s), %d stable, %d unstable, %d without baseline",
+		rep.Candidate, rep.Regressions, rep.Improvements, rep.Stable, rep.Unstable, rep.NoBaseline)
+	if rep.Invalid > 0 {
+		fmt.Fprintf(bw, ", %d invalid", rep.Invalid)
+	}
+	fmt.Fprintf(bw, " [machine %s]\n", rep.Machine)
+	return bw.Flush()
+}
+
+func relBand(c Classification) float64 {
+	if !(c.Median > 0) {
+		return 0
+	}
+	return 100 * c.Band / c.Median
+}
+
+// sparkRunes are the eight-level bar glyphs, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vs as a fixed-height ASCII/Unicode sparkline scaled to
+// the series' own min..max ("-" for non-finite values, a flat midline when
+// the series is constant). An empty series renders empty.
+func Sparkline(vs []float64) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if !validNs(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range vs {
+		switch {
+		case !validNs(v):
+			b.WriteByte('-')
+		case !(hi > lo): // constant series (and the all-invalid degenerate)
+			b.WriteRune(sparkRunes[3])
+		default:
+			i := int(math.Round((v - lo) / (hi - lo) * float64(len(sparkRunes)-1)))
+			b.WriteRune(sparkRunes[i])
+		}
+	}
+	return b.String()
+}
+
+// WriteTrend renders one sparkline row per benchmark key matching match
+// (nil matches all) for the machine key of the store's latest entry: the
+// series of ns/op across the trajectory, its min/max, and the latest value
+// with its delta versus the series median.
+func (st *Store) WriteTrend(w io.Writer, match func(string) bool) error {
+	cand := st.Latest()
+	if cand == nil {
+		return fmt.Errorf("perf: empty trajectory — nothing to trend")
+	}
+	machine := cand.MachineKey()
+	keys := st.BenchKeys(machine)
+	bw := bufio.NewWriter(w)
+	n := 0
+	for _, key := range keys {
+		if match != nil && !match(key) {
+			continue
+		}
+		vs := st.History(machine, key, len(st.Entries), 0)
+		if len(vs) == 0 {
+			continue
+		}
+		n++
+		last := vs[len(vs)-1]
+		med := Median(vs)
+		delta := ""
+		if med > 0 {
+			delta = fmt.Sprintf(" (%+.1f%% vs median)", 100*(last-med)/med)
+		}
+		fmt.Fprintf(bw, "%-34s %s  n=%-3d min %.0f  max %.0f  last %.0f ns/op%s\n",
+			key, Sparkline(vs), len(vs), Quantile(vs, 0), Quantile(vs, 1), last, delta)
+	}
+	if n == 0 {
+		return fmt.Errorf("perf: no benchmarks matched for machine %s", machine)
+	}
+	return bw.Flush()
+}

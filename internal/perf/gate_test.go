@@ -1,0 +1,165 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEvaluateLatestRegression(t *testing.T) {
+	st := &Store{Entries: []Snapshot{
+		snap("d1", "M", map[string]float64{"Fast": 100, "Slow": 1000}),
+		snap("d2", "M", map[string]float64{"Fast": 101, "Slow": 1010}),
+		snap("d3", "M", map[string]float64{"Fast": 250, "Slow": 1005}),
+	}}
+	rep, err := EvaluateLatest(st, 0, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 1 || rep.Stable != 1 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	var out strings.Builder
+	rep.Write(&out, false)
+	if !strings.Contains(out.String(), "Fast-1") {
+		t.Errorf("report does not name the regressed benchmark:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("report does not shout REGRESSION:\n%s", out.String())
+	}
+	// The stable row is hidden without verbose, shown with it.
+	if strings.Contains(out.String(), "Slow-1") {
+		t.Errorf("non-verbose report lists stable rows:\n%s", out.String())
+	}
+	out.Reset()
+	rep.Write(&out, true)
+	if !strings.Contains(out.String(), "Slow-1") {
+		t.Errorf("verbose report misses stable rows:\n%s", out.String())
+	}
+}
+
+func TestEvaluateLatestNoHistory(t *testing.T) {
+	// A young trajectory (first run ever) must pass: all no-baseline.
+	st := &Store{Entries: []Snapshot{
+		snap("d1", "M", map[string]float64{"X": 100}),
+	}}
+	rep, err := EvaluateLatest(st, 0, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 || rep.NoBaseline != 1 {
+		t.Fatalf("counts: %+v", rep)
+	}
+}
+
+func TestEvaluateLatestMachineMismatch(t *testing.T) {
+	// History from another machine must not be compared: the candidate has
+	// no baseline, not a 10x improvement.
+	st := &Store{Entries: []Snapshot{
+		snap("d1", "old-box", map[string]float64{"X": 1000}),
+		snap("d2", "new-box", map[string]float64{"X": 100}),
+	}}
+	rep, err := EvaluateLatest(st, 0, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NoBaseline != 1 || rep.Improvements != 0 {
+		t.Fatalf("cross-machine comparison happened: %+v", rep)
+	}
+}
+
+func TestEvaluateLatestRunUnstable(t *testing.T) {
+	st := &Store{Entries: []Snapshot{
+		snap("d1", "M", map[string]float64{"X": 100}),
+		snap("d2", "M", map[string]float64{"X": 300}),
+	}}
+	// Mark the candidate row unstable (as Aggregate would for a >10%
+	// -count spread): verdict is forced off regression.
+	st.Entries[1].Benchmarks[0].Unstable = true
+	rep, err := EvaluateLatest(st, 0, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 || rep.Unstable != 1 {
+		t.Fatalf("unstable run still gated: %+v", rep)
+	}
+}
+
+func TestEvaluateLatestWindow(t *testing.T) {
+	// Only the last k history entries feed the baseline: an ancient slow
+	// era must not mask a regression against the recent fast era.
+	st := &Store{}
+	for i := 0; i < 10; i++ {
+		ns := 1000.0 // old slow era
+		if i >= 5 {
+			ns = 100 // recent fast era
+		}
+		st.Entries = append(st.Entries, snap("d", "M", map[string]float64{"X": ns}))
+	}
+	st.Entries = append(st.Entries, snap("cand", "M", map[string]float64{"X": 200}))
+	rep, err := EvaluateLatest(st, 5, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 1 {
+		t.Fatalf("windowed baseline missed the regression: %+v", rep.Rows)
+	}
+}
+
+func TestEvaluateLatestEmpty(t *testing.T) {
+	if _, err := EvaluateLatest(&Store{}, 0, DefaultThresholds()); err == nil {
+		t.Fatal("empty store did not error")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 || []rune(flat)[0] != sparkRunes[3] {
+		t.Errorf("flat = %q", flat)
+	}
+	ramp := []rune(Sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8}))
+	if ramp[0] != sparkRunes[0] || ramp[7] != sparkRunes[len(sparkRunes)-1] {
+		t.Errorf("ramp = %q", string(ramp))
+	}
+	for i := 1; i < len(ramp); i++ {
+		if ramp[i] < ramp[i-1] {
+			t.Errorf("ramp not monotone: %q", string(ramp))
+		}
+	}
+	withBad := Sparkline([]float64{1, math.NaN(), 8})
+	if !strings.Contains(withBad, "-") {
+		t.Errorf("NaN not rendered as dash: %q", withBad)
+	}
+}
+
+func TestWriteTrend(t *testing.T) {
+	st := &Store{Entries: []Snapshot{
+		snap("d1", "M", map[string]float64{"X": 100, "Y": 50}),
+		snap("d2", "M", map[string]float64{"X": 110, "Y": 51}),
+		snap("d3", "M", map[string]float64{"X": 120, "Y": 52}),
+	}}
+	var out strings.Builder
+	if err := st.WriteTrend(&out, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "X-1") || !strings.Contains(out.String(), "Y-1") {
+		t.Errorf("trend misses benchmarks:\n%s", out.String())
+	}
+	out.Reset()
+	match := func(k string) bool { return strings.HasPrefix(k, "X") }
+	if err := st.WriteTrend(&out, match); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Y-1") {
+		t.Errorf("filter leaked:\n%s", out.String())
+	}
+	if err := st.WriteTrend(&out, func(string) bool { return false }); err == nil {
+		t.Error("no-match did not error")
+	}
+	if err := (&Store{}).WriteTrend(&out, nil); err == nil {
+		t.Error("empty store did not error")
+	}
+}

@@ -1,0 +1,313 @@
+package perf
+
+// A minimal reader for the CPU profiles runtime/pprof writes, built
+// directly on the protobuf wire format so the repo stays stdlib-only. It
+// decodes exactly the fields phase attribution needs from profile.proto —
+// sample types, sample values, sample labels, and the string table — and
+// skips everything else (locations, mappings, functions) wire-generically.
+//
+// profile.proto, reduced to what is read here:
+//
+//	message Profile {
+//	  repeated ValueType sample_type  = 1;  // (type, unit) string indexes
+//	  repeated Sample    sample       = 2;
+//	  repeated string    string_table = 6;
+//	}
+//	message ValueType { int64 type = 1; int64 unit = 2; }
+//	message Sample {
+//	  repeated uint64 location_id = 1;
+//	  repeated int64  value       = 2;  // one per sample_type
+//	  repeated Label  label       = 3;
+//	}
+//	message Label { int64 key = 1; int64 str = 2; int64 num = 3; }
+//
+// The string table is written after the samples, so decoding is two-pass:
+// collect raw index references first, resolve names second.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+
+	"energysssp/internal/obs"
+)
+
+// PhaseLabelKey and PhaseLabelOther re-export the obs label vocabulary so
+// profile consumers need not import obs.
+const (
+	PhaseLabelKey   = obs.PhaseLabelKey
+	PhaseLabelOther = obs.PhaseLabelOther
+)
+
+// PhaseProfile is the per-phase CPU breakdown extracted from one profile.
+type PhaseProfile struct {
+	// CPUNs maps phase label value (plus PhaseLabelOther for unlabeled
+	// samples) to sampled CPU nanoseconds.
+	CPUNs map[string]int64
+	// TotalNs is the summed CPU time across all samples.
+	TotalNs int64
+	// Samples is the number of stack samples in the profile — the
+	// statistical weight behind the fractions (100/s of profiled CPU).
+	Samples int64
+}
+
+// Fraction returns phase's share of total CPU time (0 when empty).
+func (p *PhaseProfile) Fraction(phase string) float64 {
+	if p.TotalNs == 0 {
+		return 0
+	}
+	return float64(p.CPUNs[phase]) / float64(p.TotalNs)
+}
+
+// Attributed returns the fraction of CPU time carrying any phase label —
+// the coverage number the SelfTuningCal acceptance gate checks (≥ 0.9).
+func (p *PhaseProfile) Attributed() float64 {
+	if p.TotalNs == 0 {
+		return 0
+	}
+	return 1 - p.Fraction(PhaseLabelOther)
+}
+
+// Phases returns the phase names present, largest CPU share first,
+// PhaseLabelOther always last.
+func (p *PhaseProfile) Phases() []string {
+	names := make([]string, 0, len(p.CPUNs))
+	for name := range p.CPUNs {
+		if name != PhaseLabelOther {
+			names = append(names, name)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if p.CPUNs[names[i]] != p.CPUNs[names[j]] {
+			return p.CPUNs[names[i]] > p.CPUNs[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	if _, ok := p.CPUNs[PhaseLabelOther]; ok {
+		names = append(names, PhaseLabelOther)
+	}
+	return names
+}
+
+// ParsePhaseProfile decodes a (possibly gzipped) pprof CPU profile and
+// buckets its CPU time by the PhaseLabelKey sample label. Samples without
+// the label are bucketed under PhaseLabelOther.
+func ParsePhaseProfile(data []byte) (*PhaseProfile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("perf: profile gzip: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("perf: profile gunzip: %w", err)
+		}
+		data = raw
+	}
+
+	var (
+		sampleTypes [][2]int64 // (type idx, unit idx) pairs
+		samples     []rawSample
+		strtab      []string
+	)
+	if err := eachField(data, func(field int, wire int, varint uint64, sub []byte) error {
+		switch field {
+		case 1: // sample_type
+			vt, err := parseValueType(sub)
+			if err != nil {
+				return err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			s, err := parseSample(sub)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case 6: // string_table
+			strtab = append(strtab, string(sub))
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("perf: profile decode: %w", err)
+	}
+
+	lookup := func(i int64) string {
+		if i < 0 || int(i) >= len(strtab) {
+			return ""
+		}
+		return strtab[i]
+	}
+
+	// Pick the value column holding CPU nanoseconds. runtime/pprof CPU
+	// profiles carry [samples/count, cpu/nanoseconds]; fall back to the
+	// last column for defensive generality.
+	valIdx := len(sampleTypes) - 1
+	for i, vt := range sampleTypes {
+		if lookup(vt[1]) == "nanoseconds" {
+			valIdx = i
+			break
+		}
+	}
+	if valIdx < 0 && len(samples) > 0 {
+		return nil, fmt.Errorf("perf: profile has samples but no sample types")
+	}
+
+	out := &PhaseProfile{CPUNs: make(map[string]int64)}
+	for _, s := range samples {
+		if valIdx >= len(s.values) {
+			continue
+		}
+		v := s.values[valIdx]
+		phase := PhaseLabelOther
+		for _, l := range s.labels {
+			if lookup(l[0]) == PhaseLabelKey {
+				if name := lookup(l[1]); name != "" {
+					phase = name
+				}
+				break
+			}
+		}
+		out.CPUNs[phase] += v
+		out.TotalNs += v
+		out.Samples++
+	}
+	return out, nil
+}
+
+// rawSample is one Sample message before string resolution.
+type rawSample struct {
+	values []int64
+	labels [][2]int64 // (key idx, str idx)
+}
+
+func parseValueType(b []byte) ([2]int64, error) {
+	var vt [2]int64
+	err := eachField(b, func(field, wire int, varint uint64, sub []byte) error {
+		switch field {
+		case 1:
+			vt[0] = int64(varint)
+		case 2:
+			vt[1] = int64(varint)
+		}
+		return nil
+	})
+	return vt, err
+}
+
+func parseSample(b []byte) (rawSample, error) {
+	var s rawSample
+	err := eachField(b, func(field, wire int, varint uint64, sub []byte) error {
+		switch field {
+		case 2: // value: packed or repeated varint
+			if wire == 2 {
+				return eachPacked(sub, func(v uint64) {
+					s.values = append(s.values, int64(v))
+				})
+			}
+			s.values = append(s.values, int64(varint))
+		case 3: // label
+			l, err := parseLabel(sub)
+			if err != nil {
+				return err
+			}
+			s.labels = append(s.labels, l)
+		}
+		return nil
+	})
+	return s, err
+}
+
+func parseLabel(b []byte) ([2]int64, error) {
+	var l [2]int64
+	err := eachField(b, func(field, wire int, varint uint64, sub []byte) error {
+		switch field {
+		case 1:
+			l[0] = int64(varint)
+		case 2:
+			l[1] = int64(varint)
+		}
+		return nil
+	})
+	return l, err
+}
+
+// eachField walks one protobuf message, invoking fn per field with the
+// decoded varint (wire type 0) or sub-message bytes (wire type 2). Fixed
+// 32/64-bit fields are skipped; groups are rejected (proto3 never emits
+// them).
+func eachField(b []byte, fn func(field, wire int, varint uint64, sub []byte) error) error {
+	for len(b) > 0 {
+		tag, n := uvarint(b)
+		if n <= 0 {
+			return fmt.Errorf("bad field tag")
+		}
+		b = b[n:]
+		field, wire := int(tag>>3), int(tag&7)
+		switch wire {
+		case 0: // varint
+			v, n := uvarint(b)
+			if n <= 0 {
+				return fmt.Errorf("bad varint in field %d", field)
+			}
+			b = b[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(b) < 8 {
+				return fmt.Errorf("truncated fixed64 in field %d", field)
+			}
+			b = b[8:]
+		case 2: // length-delimited
+			l, n := uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < l {
+				return fmt.Errorf("truncated bytes in field %d", field)
+			}
+			sub := b[n : n+int(l)]
+			b = b[n+int(l):]
+			if err := fn(field, wire, 0, sub); err != nil {
+				return err
+			}
+		case 5: // fixed32
+			if len(b) < 4 {
+				return fmt.Errorf("truncated fixed32 in field %d", field)
+			}
+			b = b[4:]
+		default:
+			return fmt.Errorf("unsupported wire type %d in field %d", wire, field)
+		}
+	}
+	return nil
+}
+
+// eachPacked decodes a packed repeated varint payload.
+func eachPacked(b []byte, fn func(v uint64)) error {
+	for len(b) > 0 {
+		v, n := uvarint(b)
+		if n <= 0 {
+			return fmt.Errorf("bad packed varint")
+		}
+		fn(v)
+		b = b[n:]
+	}
+	return nil
+}
+
+// uvarint decodes one base-128 varint; n <= 0 means malformed input.
+func uvarint(b []byte) (v uint64, n int) {
+	var shift uint
+	for i, c := range b {
+		if i == 10 {
+			return 0, -1 // longer than any valid 64-bit varint
+		}
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, i + 1
+		}
+		shift += 7
+	}
+	return 0, 0
+}

@@ -1,0 +1,175 @@
+package perf
+
+import (
+	"bytes"
+	"compress/gzip"
+	"math"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"energysssp/internal/obs"
+)
+
+// ---- wire-format encoding helpers (test-only) ----
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	for v >= 0x80 {
+		buf.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	buf.WriteByte(byte(v))
+}
+
+func putVarintField(buf *bytes.Buffer, field int, v uint64) {
+	putUvarint(buf, uint64(field)<<3|0)
+	putUvarint(buf, v)
+}
+
+func putBytesField(buf *bytes.Buffer, field int, b []byte) {
+	putUvarint(buf, uint64(field)<<3|2)
+	putUvarint(buf, uint64(len(b)))
+	buf.Write(b)
+}
+
+// syntheticProfile hand-encodes a two-sample CPU profile: one sample
+// labeled phase=advance worth 1000ns (packed values), one unlabeled worth
+// 500ns (unpacked values). Samples precede the string table, as
+// runtime/pprof writes them, to exercise the two-pass resolve.
+func syntheticProfile() []byte {
+	strtab := []string{"", "samples", "count", "cpu", "nanoseconds", PhaseLabelKey, "advance"}
+
+	var vt1, vt2 bytes.Buffer
+	putVarintField(&vt1, 1, 1) // type = "samples"
+	putVarintField(&vt1, 2, 2) // unit = "count"
+	putVarintField(&vt2, 1, 3) // type = "cpu"
+	putVarintField(&vt2, 2, 4) // unit = "nanoseconds"
+
+	var label bytes.Buffer
+	putVarintField(&label, 1, 5) // key = "phase"
+	putVarintField(&label, 2, 6) // str = "advance"
+
+	var s1 bytes.Buffer
+	var packed bytes.Buffer
+	putUvarint(&packed, 2)    // count
+	putUvarint(&packed, 1000) // nanoseconds
+	putBytesField(&s1, 2, packed.Bytes())
+	putBytesField(&s1, 3, label.Bytes())
+
+	var s2 bytes.Buffer
+	putVarintField(&s2, 2, 1)   // count, unpacked
+	putVarintField(&s2, 2, 500) // nanoseconds, unpacked
+
+	var p bytes.Buffer
+	putBytesField(&p, 1, vt1.Bytes())
+	putBytesField(&p, 1, vt2.Bytes())
+	putBytesField(&p, 2, s1.Bytes())
+	putBytesField(&p, 2, s2.Bytes())
+	for _, s := range strtab {
+		putBytesField(&p, 6, []byte(s))
+	}
+	return p.Bytes()
+}
+
+func checkSynthetic(t *testing.T, ph *PhaseProfile) {
+	t.Helper()
+	if ph.TotalNs != 1500 || ph.Samples != 2 {
+		t.Fatalf("total=%d samples=%d, want 1500/2", ph.TotalNs, ph.Samples)
+	}
+	if ph.CPUNs["advance"] != 1000 || ph.CPUNs[PhaseLabelOther] != 500 {
+		t.Fatalf("buckets = %v", ph.CPUNs)
+	}
+	if math.Abs(ph.Fraction("advance")-2.0/3) > 1e-12 {
+		t.Errorf("advance fraction = %v", ph.Fraction("advance"))
+	}
+	if math.Abs(ph.Attributed()-2.0/3) > 1e-12 {
+		t.Errorf("attributed = %v", ph.Attributed())
+	}
+	names := ph.Phases()
+	if len(names) != 2 || names[0] != "advance" || names[1] != PhaseLabelOther {
+		t.Errorf("phase order = %v", names)
+	}
+}
+
+func TestParsePhaseProfileSynthetic(t *testing.T) {
+	raw := syntheticProfile()
+	ph, err := ParsePhaseProfile(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSynthetic(t, ph)
+
+	// The gzipped form (what runtime/pprof actually emits) parses the same.
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ph, err = ParsePhaseProfile(gz.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSynthetic(t, ph)
+}
+
+func TestParsePhaseProfileMalformed(t *testing.T) {
+	raw := syntheticProfile()
+	if _, err := ParsePhaseProfile(raw[:len(raw)-3]); err == nil {
+		t.Error("truncated profile did not error")
+	}
+	if _, err := ParsePhaseProfile([]byte{0x1f, 0x8b, 0x00}); err == nil {
+		t.Error("bogus gzip did not error")
+	}
+	// Empty profile: no samples, zero totals, no error.
+	ph, err := ParsePhaseProfile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.TotalNs != 0 || ph.Attributed() != 0 || ph.Fraction("x") != 0 {
+		t.Errorf("empty profile: %+v", ph)
+	}
+}
+
+// TestParsePhaseProfileReal is the end-to-end check of the attribution
+// chain: enable the obs labels, burn CPU under PhaseAdvance, and verify
+// runtime/pprof's own output parses back with the advance bucket dominant.
+func TestParsePhaseProfileReal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling burn loop in -short mode")
+	}
+	obs.EnablePhaseLabels()
+	defer obs.DisablePhaseLabels()
+
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("CPU profiling unavailable: %v", err)
+	}
+	obs.ApplyPhaseLabel(obs.PhaseAdvance)
+	sink := 0
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1 << 16; i++ {
+			sink += i * i
+		}
+	}
+	obs.ClearPhaseLabel()
+	pprof.StopCPUProfile()
+	if sink == 42 {
+		t.Log("unreachable, defeats dead-code elimination")
+	}
+
+	ph, err := ParsePhaseProfile(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Samples == 0 {
+		t.Skip("no CPU samples collected (starved machine)")
+	}
+	if f := ph.Fraction("advance"); f < 0.5 {
+		t.Errorf("advance fraction = %v over %d samples, want >= 0.5 (buckets %v)",
+			f, ph.Samples, ph.CPUNs)
+	}
+}

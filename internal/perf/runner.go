@@ -1,0 +1,249 @@
+package perf
+
+// The in-process benchmark runner: executes registered solver benchmarks
+// via testing.Benchmark under a CPU profile with the obs phase labels
+// enabled, so one `perfgate run` reports ns/op, B/op, allocs/op AND where
+// the cycles went (advance / scan / filter / rebalance / controller /
+// other) without involving `go test`.
+//
+// Spec inputs (graphs, pools, converged distances) are built lazily in
+// Setup and cached at package level, so they are paid once per process and
+// — critically — outside the profiled window: setup CPU never pollutes the
+// "other" bucket the attribution gate watches.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"testing"
+
+	"energysssp/internal/core"
+	"energysssp/internal/gen"
+	"energysssp/internal/graph"
+	"energysssp/internal/obs"
+	"energysssp/internal/parallel"
+	"energysssp/internal/sssp"
+)
+
+// Spec is one registered runner benchmark.
+type Spec struct {
+	// Name is the benchmark's trajectory name. Runner specs carry a
+	// "Perf" prefix so their keys never collide with the `go test -bench`
+	// names in the same trajectory — the runner's inputs are sized for
+	// interactive runs and its numbers are not comparable to bench.sh's.
+	Name string
+	// About is a one-line description for listings.
+	About string
+	// Setup builds the spec's cached inputs; it runs before profiling
+	// starts and may be called repeatedly (it must be idempotent).
+	Setup func() error
+	// Fn is the benchmark body, conventional testing.B shape.
+	Fn func(b *testing.B)
+}
+
+// SpecResult is one runner execution: the benchmark numbers plus the
+// per-phase CPU attribution extracted from the run's profile.
+type SpecResult struct {
+	Bench Bench
+	// Phases is nil when CPU profiling was unavailable (another profile
+	// was already active in this process).
+	Phases *PhaseProfile
+}
+
+// Specs returns the registered runner benchmarks.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name:  "PerfAdvance",
+			About: "steady-state frontier advance, scale-free graph, auto schedule",
+			Setup: advSetup,
+			Fn:    advFn,
+		},
+		{
+			Name:  "PerfNearFarCal",
+			About: "fixed-delta near-far solve, road-like graph",
+			Setup: calSetup,
+			Fn:    nearFarFn,
+		},
+		{
+			Name:  "PerfSelfTuningCal",
+			About: "self-tuning solve at set-point 2500, road-like graph",
+			Setup: calSetup,
+			Fn:    selfTuningFn,
+		},
+	}
+}
+
+// FindSpec returns the registered spec with the given name, or nil.
+func FindSpec(name string) *Spec {
+	specs := Specs()
+	for i := range specs {
+		if specs[i].Name == name {
+			return &specs[i]
+		}
+	}
+	return nil
+}
+
+// RunSpec executes sp once under phase labels and a CPU profile and
+// returns its numbers. If CPU profiling cannot start (a profile is already
+// active), the benchmark still runs and Phases is nil.
+func RunSpec(sp *Spec) (*SpecResult, error) {
+	if sp.Setup != nil {
+		if err := sp.Setup(); err != nil {
+			return nil, fmt.Errorf("perf: setup %s: %w", sp.Name, err)
+		}
+	}
+	obs.EnablePhaseLabels()
+	defer obs.DisablePhaseLabels()
+
+	var buf bytes.Buffer
+	profErr := pprof.StartCPUProfile(&buf)
+	r := testing.Benchmark(sp.Fn)
+	if profErr == nil {
+		pprof.StopCPUProfile()
+	}
+	if r.N == 0 {
+		return nil, fmt.Errorf("perf: benchmark %s failed (zero iterations)", sp.Name)
+	}
+
+	res := &SpecResult{Bench: Bench{
+		Name:        sp.Name,
+		Procs:       runtime.GOMAXPROCS(0),
+		Iterations:  int64(r.N),
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}}
+	if r.Bytes > 0 && r.T > 0 {
+		res.Bench.MBPerS = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	if profErr == nil {
+		ph, err := ParsePhaseProfile(buf.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("perf: %s: %w", sp.Name, err)
+		}
+		res.Phases = ph
+		if ph.TotalNs > 0 {
+			res.Bench.Metrics = make(map[string]float64, len(ph.CPUNs)+1)
+			for name := range ph.CPUNs {
+				res.Bench.Metrics["phase:"+name] = ph.Fraction(name)
+			}
+			res.Bench.Metrics["phase-attributed"] = ph.Attributed()
+		}
+	}
+	return res, nil
+}
+
+// Write renders the result: one benchmark line, then the phase breakdown.
+func (r *SpecResult) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-22s %12.0f ns/op", r.Bench.Name, r.Bench.NsPerOp)
+	if r.Bench.MBPerS > 0 {
+		fmt.Fprintf(bw, " %10.2f MB/s", r.Bench.MBPerS)
+	}
+	fmt.Fprintf(bw, " %8d B/op %6d allocs/op  (%d iterations)\n",
+		r.Bench.BytesPerOp, r.Bench.AllocsPerOp, r.Bench.Iterations)
+	if r.Phases == nil {
+		fmt.Fprintf(bw, "  (no CPU profile: another profile was active)\n")
+		return bw.Flush()
+	}
+	for _, name := range r.Phases.Phases() {
+		fmt.Fprintf(bw, "  phase %-12s %5.1f%%\n", name, 100*r.Phases.Fraction(name))
+	}
+	fmt.Fprintf(bw, "  attributed %.1f%% of %d CPU samples\n",
+		100*r.Phases.Attributed(), r.Phases.Samples)
+	return bw.Flush()
+}
+
+// ---- Spec inputs, cached at package level ----
+
+// advEnv is the steady-state advance fixture: a converged scale-free graph
+// whose full reachable frontier is re-advanced each op (constant work, no
+// state mutation — the same shape as BenchmarkAdvance in bench_test.go).
+var advEnv struct {
+	once  sync.Once
+	err   error
+	kn    *sssp.Kernels
+	front []graph.VID
+	edges int64
+}
+
+func advSetup() error {
+	advEnv.once.Do(func() {
+		g := gen.RMAT(12, 16, 0.57, 0.19, 0.19, 1, 99, 21)
+		pool := parallel.NewPool(0)
+		res, err := sssp.BellmanFord(g, 0, &sssp.Options{Pool: pool})
+		if err != nil {
+			advEnv.err = err
+			pool.Close()
+			return
+		}
+		advEnv.kn = sssp.NewKernels(g, pool, nil, res.Dist)
+		advEnv.kn.Force = sssp.StrategyAuto
+		for v := 0; v < g.NumVertices(); v++ {
+			if res.Dist[v] < graph.Inf {
+				advEnv.front = append(advEnv.front, graph.VID(v))
+				advEnv.edges += int64(g.OutDegree(graph.VID(v)))
+			}
+		}
+		advEnv.kn.Advance(advEnv.front) // warm scratch to the high-water mark
+	})
+	return advEnv.err
+}
+
+func advFn(b *testing.B) {
+	b.SetBytes(advEnv.edges)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		advEnv.kn.Advance(advEnv.front)
+	}
+}
+
+// calEnv is the solver fixture: a road-like graph plus a shared pool.
+var calEnv struct {
+	once  sync.Once
+	g     *graph.Graph
+	pool  *parallel.Pool
+	delta graph.Dist
+}
+
+func calSetup() error {
+	calEnv.once.Do(func() {
+		calEnv.g = gen.CalLike(0.05, 42)
+		calEnv.pool = parallel.NewPool(0)
+		calEnv.delta = graph.Dist(calEnv.g.AvgWeight())
+		if calEnv.delta < 1 {
+			calEnv.delta = 1
+		}
+	})
+	return nil
+}
+
+func nearFarFn(b *testing.B) {
+	b.SetBytes(int64(calEnv.g.NumEdges()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sssp.NearFar(calEnv.g, 0, calEnv.delta, &sssp.Options{Pool: calEnv.pool}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func selfTuningFn(b *testing.B) {
+	b.SetBytes(int64(calEnv.g.NumEdges()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(calEnv.g, 0, core.Config{P: 2500},
+			&sssp.Options{Pool: calEnv.pool}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFindSpec(t *testing.T) {
+	if FindSpec("PerfSelfTuningCal") == nil {
+		t.Fatal("PerfSelfTuningCal not registered")
+	}
+	if FindSpec("NoSuchSpec") != nil {
+		t.Fatal("unknown spec resolved")
+	}
+	seen := map[string]bool{}
+	for _, sp := range Specs() {
+		if sp.Name == "" || sp.Fn == nil || sp.About == "" {
+			t.Errorf("incomplete spec: %+v", sp)
+		}
+		if seen[sp.Name] {
+			t.Errorf("duplicate spec name %s", sp.Name)
+		}
+		seen[sp.Name] = true
+		if !strings.HasPrefix(sp.Name, "Perf") {
+			t.Errorf("spec %s lacks the Perf prefix that keeps runner keys off bench.sh keys", sp.Name)
+		}
+	}
+}
+
+// TestRunSpecSelfTuningAttribution is the acceptance check for the phase
+// attribution chain: an in-process SelfTuningCal run under labels + CPU
+// profile must attribute at least 90% of its sampled CPU to a named solver
+// phase (the rest is GC background work and harness overhead).
+func TestRunSpecSelfTuningAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark run in -short mode")
+	}
+	sp := FindSpec("PerfSelfTuningCal")
+	res, err := RunSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bench.Name != "PerfSelfTuningCal" || res.Bench.NsPerOp <= 0 || res.Bench.Iterations <= 0 {
+		t.Fatalf("bench row: %+v", res.Bench)
+	}
+	if res.Phases == nil {
+		t.Fatal("no CPU profile collected")
+	}
+	if res.Phases.Samples < 20 {
+		t.Skipf("only %d CPU samples (starved machine), attribution not meaningful", res.Phases.Samples)
+	}
+	if att := res.Phases.Attributed(); att < 0.9 {
+		t.Errorf("attributed = %.1f%%, want >= 90%% (buckets %v)",
+			100*att, res.Phases.CPUNs)
+	}
+	if res.Bench.Metrics["phase-attributed"] != res.Phases.Attributed() {
+		t.Errorf("phase-attributed metric mismatch: %v", res.Bench.Metrics)
+	}
+	// The breakdown must name real solver phases, and the report renders.
+	if res.Phases.Fraction("advance") <= 0 {
+		t.Errorf("no advance samples: %v", res.Phases.CPUNs)
+	}
+	var out strings.Builder
+	res.Write(&out)
+	if !strings.Contains(out.String(), "attributed") || !strings.Contains(out.String(), "phase advance") {
+		t.Errorf("report:\n%s", out.String())
+	}
+}
+
+// TestRunSpecAdvance exercises the steady-state advance spec: the op body
+// is allocation-free, so allocs/op must be 0 and throughput positive.
+func TestRunSpecAdvance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark run in -short mode")
+	}
+	res, err := RunSpec(FindSpec("PerfAdvance"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bench.AllocsPerOp != 0 {
+		t.Errorf("steady-state advance allocates: %d allocs/op", res.Bench.AllocsPerOp)
+	}
+	if res.Bench.MBPerS <= 0 {
+		t.Errorf("no throughput reported: %+v", res.Bench)
+	}
+}

@@ -1,0 +1,195 @@
+package perf
+
+// The trajectory store: the repo's benchmark history as one ordered list of
+// snapshots. Two sources feed it:
+//
+//   - the committed BENCH_<date>.json files (one whole-snapshot file per
+//     milestone, kept because their diffs read well in review), and
+//   - results/perf_trajectory.jsonl, the append-only line-per-run log that
+//     scripts/bench.sh and `perfgate run -traj` extend on every run.
+//
+// Snapshot files load first (sorted by filename, which sorts by date),
+// then the JSONL lines in append order — so the last entry is always the
+// most recent run and Store.Latest is the gate's candidate. Entries are
+// machine-keyed (MachineKey); history lookups never mix machines.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Store is a loaded benchmark trajectory, ordered oldest to newest.
+type Store struct {
+	Entries []Snapshot
+	// Sources records where each entry came from (same index), for error
+	// messages and the trend listing.
+	Sources []string
+}
+
+// LoadStore reads the benchmark history: every file matching benchGlob
+// (pass "" to skip snapshot files), then the JSONL trajectory at trajPath
+// (pass "" to skip; a missing trajectory file is an empty history, not an
+// error — the first run ever has nothing to read).
+func LoadStore(benchGlob, trajPath string) (*Store, error) {
+	st := &Store{}
+	if benchGlob != "" {
+		files, err := filepath.Glob(benchGlob)
+		if err != nil {
+			return nil, fmt.Errorf("perf: bad snapshot glob %q: %w", benchGlob, err)
+		}
+		sort.Strings(files)
+		for _, f := range files {
+			s, err := ReadSnapshotFile(f)
+			if err != nil {
+				return nil, err
+			}
+			st.Entries = append(st.Entries, *s)
+			st.Sources = append(st.Sources, f)
+		}
+	}
+	if trajPath != "" {
+		entries, err := ReadTrajectory(trajPath)
+		if err != nil {
+			return nil, err
+		}
+		for i := range entries {
+			st.Entries = append(st.Entries, entries[i])
+			st.Sources = append(st.Sources, fmt.Sprintf("%s:%d", trajPath, i+1))
+		}
+	}
+	return st, nil
+}
+
+// ReadSnapshotFile parses one committed BENCH_*.json snapshot.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: read snapshot: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("perf: parse snapshot %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// ReadTrajectory parses the append-only JSONL trajectory: one Snapshot per
+// line, blank lines ignored. A missing file is an empty trajectory.
+func ReadTrajectory(path string) ([]Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("perf: open trajectory: %w", err)
+	}
+	defer f.Close()
+
+	var out []Snapshot
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var s Snapshot
+		if err := json.Unmarshal(line, &s); err != nil {
+			return nil, fmt.Errorf("perf: parse trajectory %s:%d: %w", path, lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf: read trajectory %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// AppendTrajectory appends s as one compact JSON line to the trajectory at
+// path, creating the file (and its directory) on first use. Append-only by
+// construction: existing lines are never rewritten, so concurrent readers
+// and `git diff` both see a pure addition.
+func AppendTrajectory(path string, s *Snapshot) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("perf: create trajectory dir: %w", err)
+		}
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("perf: encode trajectory entry: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("perf: open trajectory: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("perf: append trajectory: %w", err)
+	}
+	return f.Close()
+}
+
+// Latest returns the newest entry (the gate's candidate), or nil for an
+// empty store.
+func (st *Store) Latest() *Snapshot {
+	if len(st.Entries) == 0 {
+		return nil
+	}
+	return &st.Entries[len(st.Entries)-1]
+}
+
+// History returns the ns/op series for one benchmark key across the
+// entries before index before (pass len(Entries) for all), restricted to
+// entries whose MachineKey equals machine, oldest first, keeping at most
+// the last k values (k <= 0 keeps all). Entries lacking the benchmark are
+// skipped, so a benchmark added later simply has a shorter history.
+func (st *Store) History(machine, benchKey string, before, k int) []float64 {
+	if before > len(st.Entries) {
+		before = len(st.Entries)
+	}
+	var vs []float64
+	for i := 0; i < before; i++ {
+		e := &st.Entries[i]
+		if e.MachineKey() != machine {
+			continue
+		}
+		for j := range e.Benchmarks {
+			if b := &e.Benchmarks[j]; b.Key() == benchKey {
+				vs = append(vs, b.NsPerOp)
+				break
+			}
+		}
+	}
+	if k > 0 && len(vs) > k {
+		vs = vs[len(vs)-k:]
+	}
+	return vs
+}
+
+// BenchKeys returns the union of benchmark keys across entries matching
+// machine, in first-seen order.
+func (st *Store) BenchKeys(machine string) []string {
+	var order []string
+	seen := make(map[string]bool)
+	for i := range st.Entries {
+		e := &st.Entries[i]
+		if e.MachineKey() != machine {
+			continue
+		}
+		for j := range e.Benchmarks {
+			if k := e.Benchmarks[j].Key(); !seen[k] {
+				seen[k] = true
+				order = append(order, k)
+			}
+		}
+	}
+	return order
+}

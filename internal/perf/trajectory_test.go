@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func snap(date, cpuModel string, nsByName map[string]float64) Snapshot {
+	s := Snapshot{
+		Date:      date,
+		GoVersion: "go1.24.0",
+		CPUs:      1,
+		CPUModel:  cpuModel,
+	}
+	// Deterministic order is irrelevant for the store; append as given.
+	for name, ns := range nsByName {
+		s.Benchmarks = append(s.Benchmarks, Bench{Name: name, Procs: 1, NsPerOp: ns})
+	}
+	return s
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "traj.jsonl")
+
+	// Missing file is an empty trajectory, not an error.
+	if entries, err := ReadTrajectory(path); err != nil || entries != nil {
+		t.Fatalf("missing file: entries=%v err=%v", entries, err)
+	}
+
+	a := snap("2026-01-01", "M", map[string]float64{"X": 100})
+	b := snap("2026-01-02", "M", map[string]float64{"X": 105})
+	if err := AppendTrajectory(path, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTrajectory(path, &b); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Date != "2026-01-01" || entries[1].Date != "2026-01-02" {
+		t.Fatalf("round trip lost entries: %+v", entries)
+	}
+	if entries[1].Benchmarks[0].NsPerOp != 105 {
+		t.Errorf("benchmark row mangled: %+v", entries[1].Benchmarks)
+	}
+}
+
+func TestTrajectoryBlankLinesAndErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traj.jsonl")
+	content := "\n{\"date\":\"d1\",\"go_version\":\"go1.24.0\",\"goos\":\"linux\",\"goarch\":\"amd64\",\"cpus\":1,\"benchmarks\":[]}\n\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadTrajectory(path)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("blank lines: entries=%d err=%v", len(entries), err)
+	}
+
+	if err := os.WriteFile(path, []byte("{\"date\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrajectory(path); err == nil {
+		t.Fatal("malformed line did not error")
+	}
+}
+
+func TestLoadStoreOrdering(t *testing.T) {
+	dir := t.TempDir()
+	// Two snapshot files plus a two-line trajectory: snapshots load first
+	// (filename-sorted), trajectory lines after, so Latest is the newest
+	// trajectory run.
+	writeSnapFile := func(name string, s Snapshot) {
+		t.Helper()
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeSnapFile("BENCH_2026-02-01.json", snap("2026-02-01", "M", map[string]float64{"X": 102}))
+	writeSnapFile("BENCH_2026-01-01.json", snap("2026-01-01", "M", map[string]float64{"X": 100}))
+	traj := filepath.Join(dir, "traj.jsonl")
+	s3 := snap("2026-03-01", "M", map[string]float64{"X": 104})
+	s4 := snap("2026-04-01", "M", map[string]float64{"X": 106})
+	if err := AppendTrajectory(traj, &s3); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendTrajectory(traj, &s4); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := LoadStore(filepath.Join(dir, "BENCH_*.json"), traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dates []string
+	for _, e := range st.Entries {
+		dates = append(dates, e.Date)
+	}
+	want := []string{"2026-01-01", "2026-02-01", "2026-03-01", "2026-04-01"}
+	for i := range want {
+		if dates[i] != want[i] {
+			t.Fatalf("order = %v, want %v", dates, want)
+		}
+	}
+	if st.Latest().Date != "2026-04-01" {
+		t.Errorf("latest = %s", st.Latest().Date)
+	}
+	if len(st.Sources) != 4 {
+		t.Errorf("sources = %v", st.Sources)
+	}
+
+	hist := st.History(st.Latest().MachineKey(), "X-1", len(st.Entries), 0)
+	wantHist := []float64{100, 102, 104, 106}
+	for i := range wantHist {
+		if hist[i] != wantHist[i] {
+			t.Fatalf("history = %v, want %v", hist, wantHist)
+		}
+	}
+}
+
+func TestLoadStoreMissingPieces(t *testing.T) {
+	st, err := LoadStore("", "")
+	if err != nil || len(st.Entries) != 0 {
+		t.Fatalf("empty store: %v %v", st.Entries, err)
+	}
+	if st.Latest() != nil {
+		t.Errorf("latest of empty store = %v", st.Latest())
+	}
+	st, err = LoadStore("", filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || len(st.Entries) != 0 {
+		t.Fatalf("missing trajectory: %v %v", st.Entries, err)
+	}
+}
+
+func TestHistoryMachineIsolation(t *testing.T) {
+	// Entries from a different machine (different cpu model here) must
+	// never enter a baseline: ns/op across machines is not a regression
+	// signal.
+	st := &Store{Entries: []Snapshot{
+		snap("d1", "machine-A", map[string]float64{"X": 100}),
+		snap("d2", "machine-B", map[string]float64{"X": 9999}),
+		snap("d3", "machine-A", map[string]float64{"X": 102}),
+	}}
+	machineA := st.Entries[0].MachineKey()
+	hist := st.History(machineA, "X-1", len(st.Entries), 0)
+	if len(hist) != 2 || hist[0] != 100 || hist[1] != 102 {
+		t.Fatalf("history = %v, want [100 102] (machine B excluded)", hist)
+	}
+	keys := st.BenchKeys(machineA)
+	if len(keys) != 1 || keys[0] != "X-1" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestHistoryWindowAndBefore(t *testing.T) {
+	st := &Store{}
+	for i := 0; i < 6; i++ {
+		st.Entries = append(st.Entries,
+			snap("d", "M", map[string]float64{"X": float64(100 + i)}))
+	}
+	m := st.Entries[0].MachineKey()
+	// before excludes the candidate itself; k keeps the last k.
+	hist := st.History(m, "X-1", 5, 3)
+	if len(hist) != 3 || hist[0] != 102 || hist[2] != 104 {
+		t.Fatalf("history = %v, want [102 103 104]", hist)
+	}
+	// before beyond len clamps; k<=0 keeps all.
+	hist = st.History(m, "X-1", 100, 0)
+	if len(hist) != 6 {
+		t.Fatalf("history = %v", hist)
+	}
+	// A benchmark absent from some entries just has a shorter history.
+	st.Entries = append(st.Entries, snap("d", "M", map[string]float64{"Y": 5}))
+	if got := st.History(m, "Y-1", len(st.Entries), 0); len(got) != 1 {
+		t.Fatalf("sparse history = %v", got)
+	}
+}

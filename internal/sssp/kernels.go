@@ -121,6 +121,7 @@ func NewKernels(g *graph.Graph, pool *parallel.Pool, mach *sim.Machine, dist []g
 	}
 	kn.degreeOf = func(i int) int64 { return kn.G.OutDegree(kn.front[i]) }
 	kn.vertexWorker = func(w int) {
+		obs.ApplyPhaseLabel(obs.PhaseAdvance) // worker CPU samples -> advance
 		front := kn.front
 		n := len(front)
 		g := kn.G
@@ -162,6 +163,7 @@ func NewKernels(g *graph.Graph, pool *parallel.Pool, mach *sim.Machine, dist []g
 		kn.sc.counts[w].edges += edges
 	}
 	kn.edgeWorker = func(w int) {
+		obs.ApplyPhaseLabel(obs.PhaseAdvance) // worker CPU samples -> advance
 		elo, ehi := parallel.EdgeShare(kn.edgeTotal, kn.Pool.Size(), w)
 		if elo >= ehi {
 			return
@@ -311,6 +313,7 @@ func (kn *Kernels) AdvanceRange(front []graph.VID, wlo, whi graph.Weight) Advanc
 	kn.front, kn.wlo, kn.whi = front, wlo, whi
 	useEdge := kn.planAdvance(len(front))
 	kn.next.Store(0)
+	obs.ApplyPhaseLabel(obs.PhaseAdvance)
 	spAdv := kn.tr.Begin(obs.PhaseAdvance)
 	switch {
 	case useEdge:
@@ -336,6 +339,7 @@ func (kn *Kernels) AdvanceRange(front []graph.VID, wlo, whi graph.Weight) Advanc
 	}
 	spAdv.EndSim(res.Edges, advSimStart, res.Dur)
 
+	obs.ApplyPhaseLabel(obs.PhaseFilter)
 	spFil := kn.tr.Begin(obs.PhaseFilter)
 	out := sc.bufs[0]
 	for w := 1; w < nw; w++ {
@@ -377,6 +381,7 @@ func (kn *Kernels) planAdvance(n int) bool {
 	case StrategyVertex:
 		return false
 	case StrategyEdge:
+		obs.ApplyPhaseLabel(obs.PhaseScan)
 		sp := kn.tr.Begin(obs.PhaseScan)
 		kn.edgeTotal, _ = kn.scan.ExclusiveSum(n, kn.sc.grownPrefix(n), kn.degreeOf)
 		sp.End(int64(n))
@@ -385,6 +390,7 @@ func (kn *Kernels) planAdvance(n int) bool {
 	if n < adaptMinFront {
 		return false
 	}
+	obs.ApplyPhaseLabel(obs.PhaseScan)
 	sp := kn.tr.Begin(obs.PhaseScan)
 	total, maxDeg := kn.scan.ExclusiveSum(n, kn.sc.grownPrefix(n), kn.degreeOf)
 	sp.End(int64(n))

@@ -77,6 +77,7 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 		res.Updates += int64(adv.X2)
 
 		// Stage 3: bisect-frontier around the current threshold.
+		obs.ApplyPhaseLabel(obs.PhaseRebalance)
 		spB := kn.tr.Begin(obs.PhaseRebalance)
 		near := front[:0]
 		for _, v := range adv.Out {
@@ -160,6 +161,7 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 			frec.Append(&fr)
 		}
 	}
+	obs.ClearPhaseLabel() // don't bleed the last phase into the caller's samples
 	res.Dist = dist
 	finishResult(&res, opt, start, startSim, startJ)
 	return res, nil

@@ -11,10 +11,15 @@ import (
 
 // TestObsSteadyStateAllocs extends the tentpole's allocation gate to the
 // instrumented path: with a full observer attached (tracer, counters,
-// histogram), Advance must still perform zero allocations per iteration on
-// both scheduling paths at every pool size. This is the invariant that lets
-// observability default-on in long experiments without perturbing them.
+// histogram) AND pprof phase labels enabled, Advance must still perform
+// zero allocations per iteration on both scheduling paths at every pool
+// size. This is the invariant that lets observability default-on in long
+// experiments without perturbing them, and that lets cmd/perfgate profile
+// the very same steady state it reports on (labels switch via precomputed
+// contexts, so relabeling every phase transition allocates nothing).
 func TestObsSteadyStateAllocs(t *testing.T) {
+	obs.EnablePhaseLabels()
+	defer obs.DisablePhaseLabels()
 	g := gen.RMAT(11, 8, 0.57, 0.19, 0.19, 1, 99, 13)
 	for _, ps := range []int{1, 4} {
 		for _, strat := range []Strategy{StrategyVertex, StrategyEdge} {

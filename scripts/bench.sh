@@ -5,26 +5,34 @@
 # throughput (MB/s of SetBytes'd edges), and allocs/op can be compared
 # across commits.
 #
+# Every run is also appended as one line to the append-only trajectory
+# (results/perf_trajectory.jsonl), the machine-keyed history that
+# `go run ./cmd/perfgate gate` judges regressions against.
+#
 # Usage: scripts/bench.sh [extra go-test args...]
 #        scripts/bench.sh -count=5     # median-of-5 snapshot (noise damping)
 #
-#   BENCH_PATTERN  benchmark regexp      (default: Advance|NearFar|SelfTuning|Batch|Obs)
+#   BENCH_PATTERN  benchmark regexp      (default: Advance|NearFar|SelfTuning|Batch|Obs|Flight)
 #   BENCH_TIME     -benchtime value      (default: 1s)
 #   BENCH_OUT      output JSON path      (default: BENCH_<date>.json in repo root)
 #   BENCH_NOTE     note stored in the snapshot
+#   BENCH_TRAJ     trajectory JSONL path (default: results/perf_trajectory.jsonl;
+#                  set to "" to skip appending)
 #
 # Single-machine caveat: numbers are only comparable against snapshots taken
-# on the same hardware; the snapshot records cpus/cpu_model so mismatched
-# comparisons are at least visible.
+# on the same hardware; each entry records go version, GOMAXPROCS, and
+# cpu_model, and perfgate never compares entries across machine keys.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern=${BENCH_PATTERN:-'Advance|NearFar|SelfTuning|Batch|Obs'}
+pattern=${BENCH_PATTERN:-'Advance|NearFar|SelfTuning|Batch|Obs|Flight'}
 benchtime=${BENCH_TIME:-1s}
+traj=${BENCH_TRAJ-results/perf_trajectory.jsonl}
 
 args=(-out "${BENCH_OUT:-}")
 [[ -z "${BENCH_OUT:-}" ]] && args=()
 [[ -n "${BENCH_NOTE:-}" ]] && args+=(-note "$BENCH_NOTE")
+[[ -n "$traj" ]] && args+=(-trajectory "$traj")
 
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem "$@" . \
   | go run ./cmd/benchjson "${args[@]}"

@@ -46,4 +46,17 @@ go build -o "$flightbin/flight" ./cmd/flight
     -workers 1 -o "$flightbin/run-b.jsonl" 2>/dev/null
 "$flightbin/flight" diff "$flightbin/run-a.jsonl" "$flightbin/run-b.jsonl" >/dev/null
 
+echo "==> perfgate: committed trajectory parses and judges clean"
+# Always-on smoke: the committed snapshots + trajectory must load and the
+# latest entry must classify without regressions (compare never fails a
+# young or machine-mismatched history, only a broken one).
+go run ./cmd/perfgate compare
+
+if [[ "${PERF_GATE:-0}" == "1" ]]; then
+  echo "==> perfgate: statistical regression gate (PERF_GATE=1)"
+  # Opt-in because it is only meaningful right after a scripts/bench.sh run
+  # on the same machine the history was recorded on.
+  go run ./cmd/perfgate gate -v
+fi
+
 echo "==> check.sh: all gates green"
