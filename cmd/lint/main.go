@@ -7,20 +7,37 @@
 //
 //	go run ./cmd/lint ./...          # analyze the whole module
 //	go run ./cmd/lint -list          # print the rule set
-//	go run ./cmd/lint -rules floatcmp,errcheck ./...
+//	go run ./cmd/lint -rule determinism,leakspawn ./...
+//	go run ./cmd/lint -json ./...    # machine-readable findings
+//
+// Exit codes:
+//
+//	0  no findings
+//	1  findings reported (printed to stdout, count to stderr)
+//	2  usage or load error (unknown rule, unparseable module)
 //
 // The positional argument selects the directory whose enclosing module is
 // analyzed; "./..." (and any /... suffix) means the module containing the
 // current directory. Analysis is always whole-module: the rules encode
-// cross-package invariants (layering) that per-directory runs would miss.
+// cross-package invariants (layering, call-graph reachability) that
+// per-directory runs would miss.
+//
+// With -json, findings are emitted as one JSON array of objects with
+// "file", "line", "col", "rule", "severity", and "message" fields — stable
+// keys for CI annotations and editors. An empty run prints "[]".
 //
 // Findings can be suppressed at the site with a directive comment carrying a
 // reason, on the same line or the line above:
 //
 //	//lint:ignore errcheck best-effort cleanup on shutdown path
+//
+// Suppressions are themselves audited: a directive that suppresses no
+// findings in a full run is reported under the "staleignore" pseudo-rule,
+// so the escape hatch cannot silently accumulate dead weight.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,20 +52,27 @@ func main() {
 
 func run() int {
 	list := flag.Bool("list", false, "print the rule set and exit")
-	rules := flag.String("rules", "", "comma-separated rule IDs to run (default: all)")
+	rule := flag.String("rule", "", "comma-separated rule IDs to run (default: all)")
+	rules := flag.String("rules", "", "alias for -rule")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
 		for _, c := range analysis.DefaultCheckers() {
 			fmt.Printf("%-12s %s\n", c.ID(), c.Doc())
 		}
+		fmt.Printf("%-12s %s\n", analysis.StaleIgnoreRule, "lint:ignore directives that suppress no findings (framework check, always on)")
 		return 0
 	}
 
+	sel := *rule
+	if sel == "" {
+		sel = *rules
+	}
 	checkers := analysis.DefaultCheckers()
-	if *rules != "" {
+	if sel != "" {
 		checkers = checkers[:0]
-		for _, id := range strings.Split(*rules, ",") {
+		for _, id := range strings.Split(sel, ",") {
 			id = strings.TrimSpace(id)
 			c := analysis.CheckerByID(id)
 			if c == nil {
@@ -73,12 +97,46 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "lint: %v\n", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *asJSON {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if n := len(findings); n > 0 {
 		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", n)
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the stable wire shape for -json output.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, findings []analysis.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Rule:     f.Rule,
+			Severity: f.Severity.String(),
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

@@ -101,12 +101,12 @@ func wrap(t *trace.Table) []*trace.Table {
 // writePowerTrace runs the self-tuning solver once on the road network at
 // the middle set-point with trace recording on, and writes the resampled
 // 1 kHz PowerMon-style readings.
-func writePowerTrace(e *harness.Env, path string) error {
+func writePowerTrace(e *harness.Env, path string) (err error) {
 	mc := harness.MachineConfig{Device: sim.TK1(), Auto: true}
 	mach := mc.NewMachine()
 	mach.EnableTrace()
 	g := e.Graph(gen.Cal)
-	_, err := core.Solve(g, e.Source(gen.Cal), core.Config{P: e.SetPoints(gen.Cal)[1]},
+	_, err = core.Solve(g, e.Source(gen.Cal), core.Config{P: e.SetPoints(gen.Cal)[1]},
 		&sssp.Options{Pool: e.Pool, Machine: mach})
 	if err != nil {
 		return err
@@ -116,9 +116,14 @@ func writePowerTrace(e *harness.Env, path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := trace.WritePowerCSV(f, samples); err != nil {
-		return err
+	defer closeFile(f, &err)
+	return trace.WritePowerCSV(f, samples)
+}
+
+// closeFile folds a Close error into the caller's named return, so a write
+// failure surfacing only at close is not lost.
+func closeFile(f *os.File, err *error) {
+	if cerr := f.Close(); cerr != nil && *err == nil {
+		*err = cerr
 	}
-	return f.Close()
 }

@@ -42,7 +42,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "profile:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "profile:", err)
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "profile:", err)
 			os.Exit(1)
@@ -56,7 +60,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, "profile:", err)
 				os.Exit(1)
 			}
-			defer f.Close()
+			defer func() {
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "profile:", err)
+				}
+			}()
 			runtime.GC() // flush recent allocations into the heap profile
 			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
 				fmt.Fprintln(os.Stderr, "profile:", err)

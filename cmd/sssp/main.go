@@ -108,6 +108,7 @@ func main() {
 	// run bad enough to kill — then exit with the conventional 128+signum.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	//lint:ignore leakspawn one-off signal handler; lives for the process lifetime by design
 	go func() {
 		sig := <-sigc
 		fmt.Fprintf(os.Stderr, "\nsssp: %v: flushing partial outputs\n", sig)

@@ -12,7 +12,25 @@
 //     harness layers, and base layers must not import upward
 //   - poolcapture: no unguarded writes to captured shared variables inside
 //     parallel.Pool kernel callbacks
-//   - errcheck:    no discarded error returns in non-test code
+//   - errcheck:    no discarded error returns (including deferred calls) in
+//     non-test code
+//   - determinism: no map ranges, multi-case selects, or transitive
+//     wall-clock/rand reads in flight-replayed code
+//   - atomicmix:   no mixing of sync/atomic and plain accesses on the same
+//     variable or field within a package
+//   - leakspawn:   goroutine spawns must be bounded and channel ops must
+//     have an unblock path
+//   - hotescape:   no unbounded append growth or escaping loop closures on
+//     //hot:alloc-free paths and in kernel callbacks
+//
+// The flow-aware rules are built on two module-wide structures, both
+// stdlib-only: an intra-procedural control-flow graph (cfg.go) and a
+// CHA-expanded call graph over every package in the module (callgraph.go).
+//
+// The framework also polices its own escape hatch: a lint:ignore directive
+// that suppressed nothing during a full run is reported under the
+// "staleignore" pseudo-rule, so suppressions cannot outlive the findings
+// that justified them.
 //
 // The framework deliberately avoids golang.org/x/tools: packages are loaded
 // and type-checked with a small module-aware loader (see loader.go), and
@@ -80,6 +98,10 @@ func DefaultCheckers() []Checker {
 		&Layering{},
 		&PoolCapture{},
 		&ErrCheck{},
+		&Determinism{},
+		&AtomicMix{},
+		&LeakSpawn{},
+		&HotEscape{},
 	}
 }
 
@@ -96,7 +118,9 @@ func CheckerByID(id string) Checker {
 // Run loads the module containing dir, applies the checkers to every
 // non-test package, and returns all findings sorted by position. Findings
 // suppressed by a "//lint:ignore <rule> <reason>" comment on the same or
-// preceding line are dropped.
+// preceding line are dropped; directives that suppress nothing are
+// themselves reported under the "staleignore" pseudo-rule (see
+// staleIgnoreFindings).
 func Run(dir string, checkers []Checker) ([]Finding, error) {
 	mod, err := Load(dir)
 	if err != nil {
@@ -113,6 +137,9 @@ func Run(dir string, checkers []Checker) ([]Finding, error) {
 			}
 		}
 	}
+	for _, p := range mod.Pkgs {
+		out = append(out, staleIgnoreFindings(p, checkers)...)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -127,4 +154,56 @@ func Run(dir string, checkers []Checker) ([]Finding, error) {
 		return a.Rule < b.Rule
 	})
 	return out, nil
+}
+
+// StaleIgnoreRule is the pseudo-rule ID under which Run reports lint:ignore
+// directives that suppressed nothing. It is framework-level, not a Checker:
+// staleness is only known after every active rule has run.
+const StaleIgnoreRule = "staleignore"
+
+// staleIgnoreFindings reports the suppression debt in one package after the
+// checkers ran: listed rules that suppressed no finding, and rule names no
+// checker answers to. A rule is only judged when it was active in this run —
+// under a -rule subset, directives for the inactive rules are left alone.
+// An "all" directive is judged only when the active set covers the full
+// default set, since any missing rule could be the one it suppresses.
+func staleIgnoreFindings(p *Pass, checkers []Checker) []Finding {
+	active := make(map[string]bool, len(checkers))
+	for _, c := range checkers {
+		active[c.ID()] = true
+	}
+	fullSet := true
+	known := map[string]bool{}
+	for _, c := range DefaultCheckers() {
+		known[c.ID()] = true
+		if !active[c.ID()] {
+			fullSet = false
+		}
+	}
+	var out []Finding
+	flag := func(d *ignoreDirective, msg string) {
+		out = append(out, Finding{Pos: d.pos, Rule: StaleIgnoreRule, Severity: Warning, Message: msg})
+	}
+	for _, lines := range p.ignores {
+		for _, d := range lines {
+			rules := make([]string, 0, len(d.rules))
+			for r := range d.rules {
+				rules = append(rules, r)
+			}
+			sort.Strings(rules)
+			for _, r := range rules {
+				switch {
+				case r == "all":
+					if fullSet && len(d.used) == 0 {
+						flag(d, "lint:ignore all suppresses no findings; remove the directive or narrow it to a real one")
+					}
+				case !known[r]:
+					flag(d, fmt.Sprintf("lint:ignore names unknown rule %q; fix the rule ID or remove it", r))
+				case active[r] && !d.used[r]:
+					flag(d, fmt.Sprintf("lint:ignore %s suppresses no %s findings; the code below is clean — remove the directive", r, r))
+				}
+			}
+		}
+	}
+	return out
 }

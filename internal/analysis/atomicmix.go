@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMix flags variables and fields that are accessed both through
+// sync/atomic operations and through plain loads/stores in the same
+// package. Mixing the two is the exact bug class behind atomic-min races:
+// the atomic CAS path promises other goroutines a consistent view, and a
+// single plain store (or read) on the same location re-introduces the data
+// race the atomics were bought to eliminate. The race detector only sees
+// the interleavings a test happens to drive; this rule rejects the pattern
+// statically.
+//
+// Atomic accesses are recognized at two levels:
+//
+//   - direct sync/atomic calls: atomic.LoadInt64(&x), atomic.AddInt32(&s.f, 1), …
+//   - calls to module wrappers that forward a pointer parameter into
+//     sync/atomic (possibly through further wrappers): parallel.MinInt64(
+//     &dist[v], d) marks dist element accesses atomic at the call site.
+//     Wrapper detection is a fixpoint over the module call graph.
+//
+// Element-wise atomics (&x[i]) are matched against plain element accesses
+// (x[j] loads/stores, `for _, v := range x`); whole-variable atomics (&x)
+// are matched against any plain value use of x. Sequential-phase accesses
+// that are intentionally plain (initialization before workers start, reads
+// after a barrier) are suppressed with a //lint:ignore atomicmix directive
+// stating that reasoning.
+type AtomicMix struct{}
+
+func (*AtomicMix) ID() string { return "atomicmix" }
+
+func (*AtomicMix) Doc() string {
+	return "no mixing of sync/atomic and plain loads/stores on the same variable or field within a package"
+}
+
+// atomicSite records how a location is accessed atomically.
+type atomicSite struct {
+	pos  token.Position
+	elem bool // accessed element-wise through &x[i]
+}
+
+func (r *AtomicMix) Check(p *Pass) []Finding {
+	atomics := make(map[types.Object]*atomicSite)
+	consumed := make(map[*ast.Ident]bool)
+
+	record := func(arg ast.Expr) {
+		base, elem, ident := atomicBase(p, arg)
+		if base == nil {
+			return
+		}
+		consumed[ident] = true
+		if s := atomics[base]; s == nil {
+			atomics[base] = &atomicSite{pos: p.Position(arg.Pos()), elem: elem}
+		} else if s.elem && !elem {
+			s.elem = false // whole-variable atomic subsumes element-wise
+		}
+	}
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				for _, idx := range atomicArgIndices(p, n) {
+					if idx < len(n.Args) {
+						record(n.Args[idx])
+					}
+				}
+			case *ast.UnaryExpr:
+				// Any address-of is excluded from the plain-access scan:
+				// &b.words[w] bound to a local for atomic.CompareAndSwap is
+				// not a load or store — the access happens through the
+				// pointer, at the atomic call.
+				if n.Op == token.AND {
+					if _, _, ident := atomicBase(p, n); ident != nil {
+						consumed[ident] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomics) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if site := r.firstPlainUse(p, fd, atomics, consumed); site != nil {
+				out = append(out, *site)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos.Line < out[j].Pos.Line })
+	return out
+}
+
+// firstPlainUse returns a finding for the first non-atomic access of an
+// atomically-accessed object inside fd (one finding per function keeps a
+// hot loop from producing dozens of identical reports).
+func (r *AtomicMix) firstPlainUse(p *Pass, fd *ast.FuncDecl, atomics map[types.Object]*atomicSite, consumed map[*ast.Ident]bool) *Finding {
+	var found *Finding
+	flag := func(pos token.Pos, obj types.Object, s *atomicSite) {
+		if found != nil && p.Position(pos).Line >= found.Pos.Line {
+			return
+		}
+		found = &Finding{
+			Pos:      p.Position(pos),
+			Rule:     r.ID(),
+			Severity: Error,
+			Message: fmt.Sprintf("%s is accessed atomically (e.g. %s:%d) but plainly here; use the atomic helpers on every access or lint:ignore with the happens-before argument",
+				obj.Name(), shortFile(s.pos.Filename), s.pos.Line),
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IndexExpr:
+			base := referencedObj(p, e.X)
+			if base == nil {
+				return true
+			}
+			if s, ok := atomics[base]; ok && s.elem && !insideAtomicArg(p, e, consumed) {
+				flag(e.Pos(), base, s)
+			}
+		case *ast.RangeStmt:
+			base := referencedObj(p, e.X)
+			if base == nil {
+				return true
+			}
+			if s, ok := atomics[base]; ok && s.elem && e.Value != nil {
+				flag(e.X.Pos(), base, s)
+			}
+		case *ast.Ident:
+			if consumed[e] {
+				return true
+			}
+			obj := p.Info.Uses[e]
+			if obj == nil {
+				return true
+			}
+			if s, ok := atomics[obj]; ok && !s.elem {
+				flag(e.Pos(), obj, s)
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// insideAtomicArg reports whether the index expression's base identifier
+// was consumed by an atomic access (&x[i] passed to an atomic operation).
+func insideAtomicArg(p *Pass, e *ast.IndexExpr, consumed map[*ast.Ident]bool) bool {
+	switch x := ast.Unparen(e.X).(type) {
+	case *ast.Ident:
+		return consumed[x]
+	case *ast.SelectorExpr:
+		return consumed[x.Sel]
+	}
+	return false
+}
+
+// atomicBase resolves the location behind an atomic address argument:
+// &x → (x, elem=false), &x[i] → (x, elem=true), &s.f → (f, false),
+// &s.f[i] → (f, true). Returns the base identifier so the use site can be
+// excluded from the plain-access scan.
+func atomicBase(p *Pass, arg ast.Expr) (types.Object, bool, *ast.Ident) {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, false, nil
+	}
+	inner := ast.Unparen(un.X)
+	elem := false
+	if ix, ok := inner.(*ast.IndexExpr); ok {
+		inner = ast.Unparen(ix.X)
+		elem = true
+	}
+	switch e := inner.(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			return obj, elem, e
+		}
+	case *ast.SelectorExpr:
+		if obj := referencedObj(p, e); obj != nil {
+			return obj, elem, e.Sel
+		}
+	}
+	return nil, false, nil
+}
+
+// atomicArgIndices returns the argument positions of call that are atomic
+// address arguments: position 0 for direct sync/atomic operations, and the
+// atomically-forwarded pointer-parameter positions for module wrappers.
+func atomicArgIndices(p *Pass, call *ast.CallExpr) []int {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return nil
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "sync/atomic" && isAtomicOpName(fn.Name()) {
+		return []int{0}
+	}
+	if p.Mod == nil {
+		return nil
+	}
+	flags := p.Mod.CallGraph().AtomicParams(fn)
+	var idxs []int
+	for i, atomic := range flags {
+		if atomic {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+// isAtomicOpName matches the sync/atomic package functions that take an
+// address: Load*, Store*, Add*, Swap*, CompareAndSwap*, And*, Or*.
+func isAtomicOpName(name string) bool {
+	for _, prefix := range [...]string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the statically-called function of a call expression.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// shortFile trims a path to its final element for compact messages.
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

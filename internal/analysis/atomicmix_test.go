@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAtomicMixDirectFieldMix(t *testing.T) {
+	src := `package a
+
+import "sync/atomic"
+
+type counter struct{ n int64 }
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) read() int64 { return c.n } // line 9: plain read of atomic field
+
+func pure() int64 { var x int64; x++; return x }
+`
+	p := singleFixture(t, src)
+	fs := runRule(t, &AtomicMix{}, p)
+	expectLines(t, fs, 9)
+	if !strings.Contains(fs[0].Message, "n is accessed atomically") {
+		t.Fatalf("message should name the mixed location: %s", fs[0].Message)
+	}
+}
+
+func TestAtomicMixElementViaWrapperChain(t *testing.T) {
+	// par.Relax forwards addr into MinInt64 which forwards it into
+	// sync/atomic: the fixpoint must mark both wrappers so &s.dist[v] at the
+	// call site counts as an element-wise atomic access.
+	wrapper := map[string]string{"par.go": `package par
+
+import "sync/atomic"
+
+func MinInt64(addr *int64, v int64) {
+	for {
+		old := atomic.LoadInt64(addr)
+		if v >= old || atomic.CompareAndSwapInt64(addr, old, v) {
+			return
+		}
+	}
+}
+
+func Relax(addr *int64, v int64) { MinInt64(addr, v) }
+`}
+	src := `package a
+
+import "example.com/fix/par"
+
+type state struct{ dist []int64 }
+
+func (s *state) relax(v int, d int64) {
+	par.Relax(&s.dist[v], d)
+}
+
+func (s *state) scan() int64 { // one finding per function, at the first use
+	best := s.dist[0] // line 12: plain element read of atomically-updated slice
+	for _, d := range s.dist {
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func (s *state) size() int { return len(s.dist) } // len does not touch elements
+
+func (s *state) indices() []int {
+	var out []int
+	for i := range s.dist { // index-only range: no element access
+		out = append(out, i)
+	}
+	return out
+}
+`
+	path := fixtureMod + "/a"
+	p := checkFixture(t, map[string]map[string]string{
+		fixtureMod + "/par": wrapper,
+		path:                {"a.go": src},
+	}, path)
+	fs := runRule(t, &AtomicMix{}, p)
+	expectLines(t, fs, 12)
+}
+
+func TestAtomicMixDisjointAccessPatternsAllowed(t *testing.T) {
+	src := `package a
+
+import "sync/atomic"
+
+var hits int64
+var misses int64
+
+func bump() { atomic.AddInt64(&hits, 1) }
+
+func countMisses() { misses++ } // plain-only variable: fine
+
+func snapshot() int64 { return atomic.LoadInt64(&hits) }
+`
+	p := singleFixture(t, src)
+	expectLines(t, runRule(t, &AtomicMix{}, p))
+}
+
+func TestAtomicMixIgnoreDirective(t *testing.T) {
+	src := `package a
+
+import "sync/atomic"
+
+var phase int64
+
+func worker() { atomic.AddInt64(&phase, 1) }
+
+func reset() {
+	//lint:ignore atomicmix workers are joined before reset runs
+	phase = 0
+}
+
+func peek() int64 { return phase } // line 14: unsuppressed mix still fires
+`
+	p := singleFixture(t, src)
+	fs := runRule(t, &AtomicMix{}, p)
+	expectLines(t, fs, 14)
+}

@@ -1,0 +1,503 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements the module-wide call graph the cross-procedural
+// rules (walltime's transitive mode, determinism) are built on.
+//
+// Nodes are the functions and methods declared in the module. Edges are
+// added for:
+//
+//   - direct calls to module functions and methods;
+//   - calls through interface methods, expanded by class-hierarchy
+//     analysis: an edge to every module type's implementation of the
+//     called interface method;
+//   - bare references to module functions (a function passed as a value
+//     is assumed callable — conservative, which is the right direction
+//     for "does this reach the wall clock" questions).
+//
+// Function literals are flattened into their enclosing declaration: a
+// closure's calls are attributed to the function that defines it. Calls
+// through plain function-typed variables are not resolved (no data-flow
+// analysis), but because taking a function's value already adds an edge at
+// the reference site, the common store-then-call pattern stays covered.
+//
+// Besides module edges, each node records its direct nondeterminism
+// sources: wall-clock reads (the time functions in wallClockFuncs) and
+// global pseudo-random/entropy reads (package-level math/rand, math/rand/v2
+// and crypto/rand functions — methods on a seeded *rand.Rand are
+// deterministic and are deliberately not recorded).
+
+// CGNode is one declared function or method in the module.
+type CGNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pass *Pass
+	// Calls holds the outgoing edges in source order.
+	Calls []CGEdge
+	// Wall holds the node's direct wall-clock and global-rand uses.
+	Wall []WallUse
+}
+
+// CGEdge is one call (or function-value reference) site.
+type CGEdge struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// WallUse is one direct use of a wall-clock or global randomness source.
+type WallUse struct {
+	Name string // rendered callee, e.g. "time.Now" or "math/rand.Int"
+	Pos  token.Pos
+}
+
+// CallGraph is the module-wide call graph. Build once per Module via
+// Module.CallGraph; checkers share the cached instance.
+type CallGraph struct {
+	mod   *Module
+	nodes map[*types.Func]*CGNode
+	// namedTypes lists the module's named (non-interface) types for CHA.
+	namedTypes []types.Type
+	// implCache memoizes CHA expansion per interface method.
+	implCache map[*types.Func][]*types.Func
+	// wallNext maps a function to the edge or use leading toward the
+	// nearest reachable wall-clock/rand source (computed by reverse BFS).
+	wallNext map[*types.Func]CGEdge
+	wallUse  map[*types.Func]*WallUse
+	// atomicParams maps module functions to which parameters they forward
+	// into sync/atomic address arguments (lazily computed fixpoint).
+	atomicParams map[*types.Func][]bool
+}
+
+// CallGraph returns the module's call graph, building it on first use.
+func (m *Module) CallGraph() *CallGraph {
+	if m.cg != nil {
+		return m.cg
+	}
+	g := &CallGraph{
+		mod:       m,
+		nodes:     make(map[*types.Func]*CGNode),
+		implCache: make(map[*types.Func][]*types.Func),
+	}
+	for _, p := range m.Pkgs {
+		g.collectNamedTypes(p)
+	}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &CGNode{Fn: fn, Decl: fd, Pass: p}
+			}
+		}
+	}
+	for _, n := range g.nodes {
+		if n.Decl.Body != nil {
+			g.scanBody(n)
+		}
+	}
+	g.computeWallReach()
+	m.cg = g
+	return g
+}
+
+// Node returns the graph node for fn (normalized through Origin for
+// instantiated generics), or nil for functions outside the module.
+func (g *CallGraph) Node(fn *types.Func) *CGNode {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[fn.Origin()]
+}
+
+// collectNamedTypes gathers the package's named non-interface types, the
+// candidate implementations for CHA.
+func (g *CallGraph) collectNamedTypes(p *Pass) {
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		g.namedTypes = append(g.namedTypes, t)
+	}
+}
+
+// scanBody records the node's call edges and wall uses. The whole body is
+// inspected including nested function literals (closures are attributed to
+// the enclosing declaration).
+func (g *CallGraph) scanBody(n *CGNode) {
+	p := n.Pass
+	seen := make(map[edgeKey]bool)
+	addEdge := func(callee *types.Func, pos token.Pos) {
+		callee = callee.Origin()
+		if _, inModule := g.nodes[callee]; !inModule {
+			return
+		}
+		k := edgeKey{callee, pos}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		n.Calls = append(n.Calls, CGEdge{Callee: callee, Pos: pos})
+	}
+	// Selector identifiers are handled at their SelectorExpr (which has
+	// the type information for interface dispatch); the set below keeps
+	// the later bare-Ident visit from double-recording them.
+	viaSelector := make(map[*ast.Ident]bool)
+	ast.Inspect(n.Decl, func(node ast.Node) bool {
+		var id *ast.Ident
+		var sel *ast.SelectorExpr
+		switch e := node.(type) {
+		case *ast.SelectorExpr:
+			id, sel = e.Sel, e
+			viaSelector[e.Sel] = true
+		case *ast.Ident:
+			if viaSelector[e] {
+				return true
+			}
+			id = e
+		default:
+			return true
+		}
+		fn, ok := p.Info.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		if use, ok := wallSource(fn); ok {
+			use.Pos = id.Pos()
+			n.Wall = append(n.Wall, use)
+			return true
+		}
+		if sel != nil && g.isInterfaceMethod(p, sel) {
+			for _, impl := range g.implementations(fn, p) {
+				addEdge(impl, id.Pos())
+			}
+			return true
+		}
+		addEdge(fn, id.Pos())
+		return true
+	})
+}
+
+type edgeKey struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+// isInterfaceMethod reports whether the selector resolves to a method
+// called through an interface value.
+func (g *CallGraph) isInterfaceMethod(p *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	_, isIface := s.Recv().Underlying().(*types.Interface)
+	return isIface
+}
+
+// implementations expands an interface method to the module methods that
+// can stand behind it (class-hierarchy analysis over the module's named
+// types).
+func (g *CallGraph) implementations(m *types.Func, p *Pass) []*types.Func {
+	m = m.Origin()
+	if impls, ok := g.implCache[m]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	recv := m.Type().(*types.Signature).Recv()
+	if recv == nil {
+		g.implCache[m] = nil
+		return nil
+	}
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if ok {
+		for _, t := range g.namedTypes {
+			pt := types.NewPointer(t)
+			if !types.Implements(t, iface) && !types.Implements(pt, iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(pt, true, m.Pkg(), m.Name())
+			if impl, ok := obj.(*types.Func); ok {
+				if _, inModule := g.nodes[impl.Origin()]; inModule {
+					impls = append(impls, impl.Origin())
+				}
+			}
+		}
+	}
+	sort.Slice(impls, func(i, j int) bool { return impls[i].FullName() < impls[j].FullName() })
+	g.implCache[m] = impls
+	return impls
+}
+
+// wallSource classifies a used function as a wall-clock or global-rand
+// nondeterminism source.
+func wallSource(fn *types.Func) (WallUse, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return WallUse{}, false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		// Methods are not sources: (*rand.Rand) with a fixed seed is
+		// deterministic, and (time.Time)/(time.Duration) methods only
+		// transform values already obtained.
+		return WallUse{}, false
+	}
+	switch pkg.Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			return WallUse{Name: "time." + fn.Name()}, true
+		}
+	case "math/rand", "math/rand/v2", "crypto/rand":
+		// Package-level functions draw from the global (seeded-by-time or
+		// OS-entropy) source. Constructors building local sources are
+		// fine: what they return is only nondeterministic if seeded from
+		// one of the sources flagged here anyway.
+		switch fn.Name() {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			return WallUse{}, false
+		}
+		return WallUse{Name: pkg.Path() + "." + fn.Name()}, true
+	}
+	return WallUse{}, false
+}
+
+// computeWallReach marks every node that can reach a wall-clock/rand use
+// and records, per node, the next hop toward the nearest one (reverse BFS
+// from the direct users, so path lengths are minimal and lookups are O(1)).
+func (g *CallGraph) computeWallReach() {
+	g.wallNext = make(map[*types.Func]CGEdge)
+	g.wallUse = make(map[*types.Func]*WallUse)
+
+	callers := make(map[*types.Func][]CGEdgeFrom)
+	var frontier []*types.Func
+	for fn, n := range g.nodes {
+		for _, e := range n.Calls {
+			callers[e.Callee] = append(callers[e.Callee], CGEdgeFrom{From: fn, Pos: e.Pos})
+		}
+		if len(n.Wall) > 0 {
+			g.wallUse[fn] = &n.Wall[0]
+			frontier = append(frontier, fn)
+		}
+	}
+	for len(frontier) > 0 {
+		fn := frontier[0]
+		frontier = frontier[1:]
+		for _, c := range callers[fn] {
+			if _, done := g.wallUse[c.From]; done {
+				continue
+			}
+			g.wallNext[c.From] = CGEdge{Callee: fn, Pos: c.Pos}
+			g.wallUse[c.From] = g.wallUse[fn]
+			frontier = append(frontier, c.From)
+		}
+	}
+}
+
+// CGEdgeFrom is a reversed edge used during reachability computation.
+type CGEdgeFrom struct {
+	From *types.Func
+	Pos  token.Pos
+}
+
+// WallReach reports whether fn can reach a wall-clock/global-rand source,
+// and if so returns the source plus the call path from fn to it, rendered
+// as function names ("a → b → time.Now").
+func (g *CallGraph) WallReach(fn *types.Func) (*WallUse, string) {
+	fn = fn.Origin()
+	use, ok := g.wallUse[fn]
+	if !ok {
+		return nil, ""
+	}
+	var hops []string
+	for cur := fn; ; {
+		hops = append(hops, cur.Name())
+		next, ok := g.wallNext[cur]
+		if !ok {
+			break
+		}
+		cur = next.Callee
+	}
+	hops = append(hops, use.Name)
+	return use, strings.Join(hops, " → ")
+}
+
+// CalleesOf resolves a call expression to the module functions it can
+// invoke: the static callee, or every CHA implementation for a call
+// through an interface method. Calls to non-module functions resolve to
+// nil.
+func (g *CallGraph) CalleesOf(p *Pass, call *ast.CallExpr) []*types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			if _, inModule := g.nodes[fn.Origin()]; inModule {
+				return []*types.Func{fn.Origin()}
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := p.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		if g.isInterfaceMethod(p, fun) {
+			return g.implementations(fn, p)
+		}
+		if _, inModule := g.nodes[fn.Origin()]; inModule {
+			return []*types.Func{fn.Origin()}
+		}
+	}
+	return nil
+}
+
+// Reachable computes the set of functions reachable from the given roots,
+// mapping each reached function to its BFS parent (roots map to nil).
+func (g *CallGraph) Reachable(roots []*types.Func) map[*types.Func]*types.Func {
+	parent := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	for _, r := range roots {
+		r = r.Origin()
+		if _, ok := g.nodes[r]; !ok {
+			continue
+		}
+		if _, seen := parent[r]; seen {
+			continue
+		}
+		parent[r] = nil
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, e := range g.nodes[fn].Calls {
+			if _, seen := parent[e.Callee]; seen {
+				continue
+			}
+			parent[e.Callee] = fn
+			queue = append(queue, e.Callee)
+		}
+	}
+	return parent
+}
+
+// AtomicParams reports which parameters of fn are forwarded — directly or
+// through further module wrappers — into sync/atomic address arguments.
+// parallel.MinInt64(addr *int64, v int64) yields [true, false]: its callers
+// access *addr atomically. Nil for functions outside the module or with no
+// atomic forwarding.
+func (g *CallGraph) AtomicParams(fn *types.Func) []bool {
+	if g.atomicParams == nil {
+		g.computeAtomicParams()
+	}
+	return g.atomicParams[fn.Origin()]
+}
+
+func (g *CallGraph) computeAtomicParams() {
+	g.atomicParams = make(map[*types.Func][]bool)
+	params := make(map[*types.Func][]types.Object)
+	paramIndex := make(map[types.Object]int)
+	for fn, n := range g.nodes {
+		if n.Decl.Type.Params == nil {
+			continue
+		}
+		var objs []types.Object
+		for _, field := range n.Decl.Type.Params.List {
+			for _, name := range field.Names {
+				obj := n.Pass.Info.Defs[name]
+				paramIndex[obj] = len(objs)
+				objs = append(objs, obj)
+			}
+		}
+		params[fn] = objs
+	}
+	// Fixpoint: a pass marks parameters forwarded into sync/atomic or into
+	// an already-marked wrapper parameter; repeat until no new marks (the
+	// chain length is bounded by wrapper nesting depth).
+	for changed := true; changed; {
+		changed = false
+		for fn, n := range g.nodes {
+			p := n.Pass
+			ast.Inspect(n.Decl, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(p, call)
+				if callee == nil {
+					return true
+				}
+				var idxs []int
+				if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "sync/atomic" && isAtomicOpName(callee.Name()) {
+					idxs = []int{0}
+				} else {
+					for i, on := range g.atomicParams[callee.Origin()] {
+						if on {
+							idxs = append(idxs, i)
+						}
+					}
+				}
+				for _, i := range idxs {
+					if i >= len(call.Args) {
+						continue
+					}
+					id, ok := ast.Unparen(call.Args[i]).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := p.Info.Uses[id]
+					pi, isParam := paramIndex[obj]
+					if !isParam {
+						continue
+					}
+					// The parameter must belong to the enclosing function.
+					own := params[fn]
+					if pi >= len(own) || own[pi] != obj {
+						continue
+					}
+					flags := g.atomicParams[fn]
+					if flags == nil {
+						flags = make([]bool, len(own))
+						g.atomicParams[fn] = flags
+					}
+					if !flags[pi] {
+						flags[pi] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// PathFromRoot renders the call chain from a reachability root down to fn
+// ("ReplayFlight → replaySelfTuning → Observe") using the parent map
+// produced by Reachable.
+func PathFromRoot(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var rev []string
+	for cur := fn.Origin(); cur != nil; cur = parent[cur] {
+		rev = append(rev, cur.Name())
+		if parent[cur] == nil {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return strings.Join(rev, " → ")
+}

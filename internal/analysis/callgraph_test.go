@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// fnByName finds a declared function node by bare name in the module call
+// graph.
+func fnByName(t *testing.T, g *CallGraph, name string) *types.Func {
+	t.Helper()
+	var found *types.Func
+	for fn := range g.nodes {
+		if fn.Name() == name {
+			if found != nil {
+				t.Fatalf("ambiguous function name %q in fixture", name)
+			}
+			found = fn
+		}
+	}
+	if found == nil {
+		t.Fatalf("function %q not in call graph", name)
+	}
+	return found
+}
+
+func TestCallGraphDirectAndTransitiveWall(t *testing.T) {
+	p := singleFixture(t, `package a
+
+import "time"
+
+func leaf() time.Time { return time.Now() }
+
+func mid() time.Time { return leaf() }
+
+func top() time.Time { return mid() }
+
+func clean(x int) int { return x + 1 }
+`)
+	g := p.Mod.CallGraph()
+
+	use, path := g.WallReach(fnByName(t, g, "top"))
+	if use == nil {
+		t.Fatal("top must reach time.Now transitively")
+	}
+	if use.Name != "time.Now" {
+		t.Fatalf("wall source = %q, want time.Now", use.Name)
+	}
+	if want := "top → mid → leaf → time.Now"; path != want {
+		t.Fatalf("path = %q, want %q", path, want)
+	}
+	if use, _ := g.WallReach(fnByName(t, g, "clean")); use != nil {
+		t.Fatalf("clean must not reach the wall clock, got %v", use)
+	}
+}
+
+func TestCallGraphGlobalRandButNotSeededRand(t *testing.T) {
+	p := singleFixture(t, `package a
+
+import "math/rand"
+
+func global() int { return rand.Int() }
+
+func seeded(r *rand.Rand) int { return r.Int() }
+
+func construct() *rand.Rand { return rand.New(rand.NewSource(42)) }
+`)
+	g := p.Mod.CallGraph()
+	if use, _ := g.WallReach(fnByName(t, g, "global")); use == nil || use.Name != "math/rand.Int" {
+		t.Fatalf("global rand use = %v, want math/rand.Int", use)
+	}
+	if use, _ := g.WallReach(fnByName(t, g, "seeded")); use != nil {
+		t.Fatalf("seeded *rand.Rand method flagged as nondeterministic: %v", use)
+	}
+	if use, _ := g.WallReach(fnByName(t, g, "construct")); use != nil {
+		t.Fatalf("rand.New/NewSource constructors flagged: %v", use)
+	}
+}
+
+func TestCallGraphInterfaceDispatchCHA(t *testing.T) {
+	p := singleFixture(t, `package a
+
+import "time"
+
+type policy interface{ decide() float64 }
+
+type clockPolicy struct{}
+
+func (clockPolicy) decide() float64 { return float64(time.Now().Unix()) }
+
+type purePolicy struct{}
+
+func (purePolicy) decide() float64 { return 1.0 }
+
+func drive(p policy) float64 { return p.decide() }
+`)
+	g := p.Mod.CallGraph()
+	use, path := g.WallReach(fnByName(t, g, "drive"))
+	if use == nil {
+		t.Fatal("interface call must expand to implementations (CHA), reaching time.Now via clockPolicy")
+	}
+	if !strings.Contains(path, "decide") {
+		t.Fatalf("path %q should route through a decide implementation", path)
+	}
+}
+
+func TestCallGraphFunctionValueReference(t *testing.T) {
+	p := singleFixture(t, `package a
+
+import "time"
+
+func stamp() int64 { return time.Now().Unix() }
+
+func install() func() int64 {
+	f := stamp // reference, not a call: still an edge (conservative)
+	return f
+}
+`)
+	g := p.Mod.CallGraph()
+	if use, _ := g.WallReach(fnByName(t, g, "install")); use == nil {
+		t.Fatal("taking a wall-clock function's value must count as reaching it")
+	}
+}
+
+func TestCallGraphReachableAndPath(t *testing.T) {
+	p := singleFixture(t, `package a
+
+func root() { a() }
+func a()    { b() }
+func b()    {}
+func other() {}
+`)
+	g := p.Mod.CallGraph()
+	parent := g.Reachable([]*types.Func{fnByName(t, g, "root")})
+	for _, name := range []string{"root", "a", "b"} {
+		if _, ok := parent[fnByName(t, g, name)]; !ok {
+			t.Fatalf("%s must be reachable from root", name)
+		}
+	}
+	if _, ok := parent[fnByName(t, g, "other")]; ok {
+		t.Fatal("other must not be reachable from root")
+	}
+	if got, want := PathFromRoot(parent, fnByName(t, g, "b")), "root → a → b"; got != want {
+		t.Fatalf("path = %q, want %q", got, want)
+	}
+}
+
+func TestCallGraphGenericsNormalizeToOrigin(t *testing.T) {
+	p := singleFixture(t, `package a
+
+import "time"
+
+func tick[T any](v T) T {
+	_ = time.Now()
+	return v
+}
+
+func use() int { return tick(1) }
+`)
+	g := p.Mod.CallGraph()
+	if use, _ := g.WallReach(fnByName(t, g, "use")); use == nil {
+		t.Fatal("instantiated generic call must resolve to its origin's wall use")
+	}
+}

@@ -1,0 +1,390 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file implements the intra-procedural control-flow graph the
+// flow-aware rules (leakspawn, hotescape) are built on. The CFG is
+// structural: it is derived from the statement syntax in one pass, so it is
+// cheap (no fixed-point iteration), deterministic, and precise enough for
+// the path questions the rules ask — "is this statement executed repeatedly
+// (loop depth)?", "does a guard statement reach this spawn?". Panics and
+// runtime aborts are deliberately not modeled: every rule using the CFG
+// treats them as program exit, which only ever makes the rules more
+// conservative.
+
+// Block is one basic block: a maximal sequence of statements with a single
+// entry and single exit. Nodes holds the statements (and the controlling
+// expressions of branches) in execution order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// LoopDepth counts the enclosing for/range statements at the block's
+	// position: 0 for straight-line function code, 1 inside a loop body,
+	// 2 inside a nested loop, and so on.
+	LoopDepth int
+}
+
+// CFG is the control-flow graph of one function body. Entry starts the
+// body; Exit is the single synthetic join for every return path.
+type CFG struct {
+	Entry, Exit *Block
+	Blocks      []*Block
+
+	// stmtBlock maps each statement (and branch condition expression) to
+	// the block that executes it.
+	stmtBlock map[ast.Node]*Block
+}
+
+// cfgBuilder carries the construction state: the current insertion block
+// and the branch-target stack for break/continue/goto resolution.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// breaks is the unified stack of enclosing breakable constructs in
+	// nesting order: loops carry a continue target, switches and selects
+	// do not.
+	breaks []breakable
+	// labels and gotos pair up goto statements with their label blocks in
+	// a final resolution pass.
+	labels map[string]*Block
+	gotos  []cfgGoto
+	// pendingLabel carries a label name from a LabeledStmt to the loop or
+	// switch it wraps, so labeled break/continue resolve.
+	pendingLabel string
+	depth        int
+}
+
+type breakable struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select
+}
+
+type cfgGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the control-flow graph of a function body. Nested
+// function literals are NOT inlined: a FuncLit appears as an ordinary node
+// in its defining block (callers build a separate CFG for the literal's own
+// body when they need one).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{stmtBlock: make(map[ast.Node]*Block)}
+	b := &cfgBuilder{cfg: c, labels: make(map[string]*Block)}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	b.cur = c.Entry
+	b.stmtList(body.List)
+	// Fall-through from the last statement reaches the exit.
+	b.link(b.cur, c.Exit)
+	for _, g := range b.gotos {
+		if dst := b.labels[g.label]; dst != nil {
+			b.link(g.from, dst)
+		}
+	}
+	return c
+}
+
+// BlockFor returns the block executing the innermost statement that
+// contains pos, or nil if pos is outside every recorded statement. The
+// lookup is by source interval, so expressions inside a statement resolve
+// to that statement's block.
+func (c *CFG) BlockFor(pos token.Pos) *Block {
+	var best *Block
+	var bestSpan token.Pos = 1 << 60
+	for n, blk := range c.stmtBlock {
+		if n.Pos() <= pos && pos <= n.End() {
+			if span := n.End() - n.Pos(); span < bestSpan {
+				best, bestSpan = blk, span
+			}
+		}
+	}
+	return best
+}
+
+// LoopDepth reports the loop depth of the innermost statement containing
+// pos (0 when pos maps to no recorded statement).
+func (c *CFG) LoopDepth(pos token.Pos) int {
+	if b := c.BlockFor(pos); b != nil {
+		return b.LoopDepth
+	}
+	return 0
+}
+
+// Reaches reports whether control can flow from block `from` to block `to`
+// along CFG edges (true when from == to).
+func (c *CFG) Reaches(from, to *Block) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	seen := make([]bool, len(c.Blocks))
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), LoopDepth: b.depth}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add records a node in the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil || n == nil {
+		return
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+	b.cfg.stmtBlock[n] = b.cur
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being entered.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// stmt threads one statement through the graph. After a terminating
+// statement (return, break, …) b.cur becomes nil: subsequent statements are
+// unreachable and get fresh predecessor-less blocks.
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		b.add(st.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		b.cur = b.newBlock()
+		b.link(cond, b.cur)
+		b.stmt(st.Body)
+		b.link(b.cur, after)
+		if st.Else != nil {
+			b.cur = b.newBlock()
+			b.link(cond, b.cur)
+			b.stmt(st.Else)
+			b.link(b.cur, after)
+		} else {
+			b.link(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		head := b.newBlock()
+		b.link(b.cur, head)
+		after := b.newBlock()
+		b.cur = head
+		if st.Cond != nil {
+			b.add(st.Cond)
+			b.link(head, after)
+		}
+		b.depth++
+		body := b.newBlock()
+		post := b.newBlock()
+		b.link(head, body)
+		b.breaks = append(b.breaks, breakable{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmt(st.Body)
+		b.link(b.cur, post)
+		b.cur = post
+		if st.Post != nil {
+			b.add(st.Post)
+		}
+		b.depth--
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.link(post, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(st.X)
+		head := b.newBlock()
+		b.link(b.cur, head)
+		after := b.newBlock()
+		b.link(head, after) // empty collection
+		b.depth++
+		body := b.newBlock()
+		b.link(head, body)
+		b.breaks = append(b.breaks, breakable{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(st.Body)
+		b.link(b.cur, head)
+		b.depth--
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		var init ast.Stmt
+		var tag ast.Node
+		var body *ast.BlockStmt
+		if sw, ok := st.(*ast.SwitchStmt); ok {
+			init, body = sw.Init, sw.Body
+			if sw.Tag != nil {
+				tag = sw.Tag
+			}
+		} else {
+			tsw := st.(*ast.TypeSwitchStmt)
+			init, tag, body = tsw.Init, tsw.Assign, tsw.Body
+		}
+		if init != nil {
+			b.add(init)
+		}
+		if tag != nil {
+			b.add(tag)
+		}
+		head := b.cur
+		after := b.newBlock()
+		b.breaks = append(b.breaks, breakable{label: label, brk: after})
+		var prevBody *Block // for fallthrough linking
+		hasDefault := false
+		for _, cl := range body.List {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			caseBlk := b.newBlock()
+			b.link(head, caseBlk)
+			if prevBody != nil {
+				b.link(prevBody, caseBlk) // fallthrough edge (conservative)
+			}
+			b.cur = caseBlk
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			b.stmtList(cc.Body)
+			prevBody = b.cur
+			b.link(b.cur, after)
+		}
+		if !hasDefault {
+			b.link(head, after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = after
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		b.add(st) // the select itself is a node (rules inspect it)
+		after := b.newBlock()
+		b.breaks = append(b.breaks, breakable{label: label, brk: after})
+		any := false
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CommClause)
+			caseBlk := b.newBlock()
+			b.link(head, caseBlk)
+			b.cur = caseBlk
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.link(b.cur, after)
+			any = true
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if any {
+			b.cur = after
+		} else {
+			b.cur = nil // empty select blocks forever
+		}
+
+	case *ast.LabeledStmt:
+		lbl := b.newBlock()
+		b.link(b.cur, lbl)
+		b.cur = lbl
+		b.labels[st.Label.Name] = lbl
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.add(st)
+		switch st.Tok {
+		case token.BREAK:
+			b.link(b.cur, b.breakTarget(st.Label))
+			b.cur = nil
+		case token.CONTINUE:
+			b.link(b.cur, b.continueTarget(st.Label))
+			b.cur = nil
+		case token.GOTO:
+			b.gotos = append(b.gotos, cfgGoto{from: b.cur, label: st.Label.Name})
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// handled structurally by the prevBody link in switch
+		}
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	default:
+		// Straight-line statements: decl, assign, expr, send, go, defer,
+		// inc/dec, empty.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) breakTarget(label *ast.Ident) *Block {
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if label == nil || b.breaks[i].label == label.Name {
+			return b.breaks[i].brk
+		}
+	}
+	return b.cfg.Exit // unresolvable label: conservative
+}
+
+func (b *cfgBuilder) continueTarget(label *ast.Ident) *Block {
+	for i := len(b.breaks) - 1; i >= 0; i-- {
+		if b.breaks[i].cont == nil {
+			continue // switch/select: continue skips past it
+		}
+		if label == nil || b.breaks[i].label == label.Name {
+			return b.breaks[i].cont
+		}
+	}
+	return b.cfg.Exit
+}

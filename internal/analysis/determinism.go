@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Determinism guards the flight recorder's bit-exact replay contract
+// (core.ReplayFlight, DESIGN.md §9): every controller decision must be a
+// pure function of recorded state, so a recorded run re-executes through
+// the live controller code bit-identically. The rule computes the set of
+// functions reachable — over the module call graph — from the replay
+// roots, and flags the three nondeterminism sources that historically break
+// replay guarantees as concurrency grows:
+//
+//   - ranging over a map (iteration order is randomized per run);
+//   - a select with two or more ready communication cases (the runtime
+//     picks uniformly at random);
+//   - reading the wall clock or the global rand source, directly or
+//     through any chain of module calls (methods on a seeded *rand.Rand
+//     are deterministic and allowed).
+//
+// Replay roots are functions named ReplayFlight plus any function whose
+// doc comment carries a //flight:replayed marker line (the hook for
+// replay-critical code the call graph cannot see into a root from, e.g.
+// record-side twins of replay-side logic).
+type Determinism struct{}
+
+func (*Determinism) ID() string { return "determinism" }
+
+func (*Determinism) Doc() string {
+	return "no map ranges, multi-case selects, or transitive wall-clock/rand reads in flight-replayed code"
+}
+
+// flightMarked reports whether the doc comment contains the
+// //flight:replayed marker line.
+func flightMarked(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == "//flight:replayed" {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplayReachable returns the functions reachable from the module's replay
+// roots, mapped to their BFS parents (cached per module).
+func (m *Module) ReplayReachable() map[*types.Func]*types.Func {
+	if m.replayDone {
+		return m.replay
+	}
+	g := m.CallGraph()
+	var roots []*types.Func
+	for fn, n := range g.nodes {
+		if fn.Name() == "ReplayFlight" || flightMarked(n.Decl.Doc) {
+			roots = append(roots, fn)
+		}
+	}
+	m.replay = g.Reachable(roots)
+	m.replayDone = true
+	return m.replay
+}
+
+func (r *Determinism) Check(p *Pass) []Finding {
+	if p.Mod == nil {
+		return nil
+	}
+	reach := p.Mod.ReplayReachable()
+	if len(reach) == 0 {
+		return nil
+	}
+	g := p.Mod.CallGraph()
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if _, replayed := reach[fn]; !replayed {
+				continue
+			}
+			via := PathFromRoot(reach, fn)
+			out = append(out, r.checkBody(p, g, fn, fd, via)...)
+		}
+	}
+	return out
+}
+
+// checkBody scans one flight-replayed function for nondeterminism sources.
+func (r *Determinism) checkBody(p *Pass, g *CallGraph, fn *types.Func, fd *ast.FuncDecl, via string) []Finding {
+	var out []Finding
+	flag := func(pos ast.Node, msg string) {
+		out = append(out, Finding{
+			Pos:      p.Position(pos.Pos()),
+			Rule:     r.ID(),
+			Severity: Error,
+			Message:  fmt.Sprintf("%s in flight-replayed code (%s)", msg, via),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			if t := p.Info.Types[st.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					flag(st, "map range (iteration order is randomized per run; iterate sorted keys instead)")
+				}
+			}
+		case *ast.SelectStmt:
+			comm := 0
+			for _, cl := range st.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					comm++
+				}
+			}
+			if comm >= 2 {
+				flag(st, fmt.Sprintf("select with %d communication cases (the runtime picks among ready cases pseudo-randomly)", comm))
+			}
+		}
+		return true
+	})
+	// Direct wall-clock/rand uses inside this function (the call graph
+	// attributes closure bodies to the declaration, matching the scan
+	// above which descends into FuncLits too).
+	if n := g.Node(fn); n != nil {
+		for i := range n.Wall {
+			use := &n.Wall[i]
+			out = append(out, Finding{
+				Pos:      p.Position(use.Pos),
+				Rule:     r.ID(),
+				Severity: Error,
+				Message: fmt.Sprintf("%s read in flight-replayed code (%s): replayed decisions must derive only from recorded state",
+					use.Name, via),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterminismFlagsSourcesReachableFromReplay(t *testing.T) {
+	src := `package a
+
+import "time"
+
+type report struct{ n int }
+
+func ReplayFlight(state map[string]float64) *report {
+	rep := &report{}
+	replayStep(state, rep)
+	return rep
+}
+
+func replayStep(state map[string]float64, rep *report) {
+	for k, v := range state { // line 14: map range in replayed code
+		_ = k
+		_ = v
+	}
+	rep.n = stamp() // reaches time.Now two hops down
+}
+
+func stamp() int { return clock() }
+
+func clock() int { return int(time.Now().Unix()) } // line 23: wall read
+
+func unrelated(m map[int]int) int {
+	s := 0
+	for _, v := range m { // not replay-reachable: allowed
+		s += v
+	}
+	return s
+}
+`
+	p := singleFixture(t, src)
+	fs := runRule(t, &Determinism{}, p)
+	expectLines(t, fs, 14, 23)
+	// The findings carry the root path for triage.
+	for _, f := range fs {
+		if !strings.Contains(f.Message, "ReplayFlight") {
+			t.Fatalf("finding lacks replay-root path: %s", f.Message)
+		}
+	}
+}
+
+func TestDeterminismMultiCaseSelect(t *testing.T) {
+	src := `package a
+
+func ReplayFlight(a, b chan int) int {
+	select { // line 4: two ready cases race
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func oneCase(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+`
+	p := singleFixture(t, src)
+	fs := runRule(t, &Determinism{}, p)
+	expectLines(t, fs, 4)
+}
+
+func TestDeterminismFlightReplayedMarker(t *testing.T) {
+	src := `package a
+
+import "math/rand"
+
+// recordStep is the record-side twin of the replay logic.
+//
+//flight:replayed
+func recordStep() float64 {
+	return rand.Float64() // line 9: global rand in marked code
+}
+
+func freeAgent() float64 { return rand.Float64() } // unmarked, unreachable: allowed
+`
+	p := singleFixture(t, src)
+	fs := runRule(t, &Determinism{}, p)
+	expectLines(t, fs, 9)
+}
+
+func TestDeterminismSeededRandAllowed(t *testing.T) {
+	src := `package a
+
+import "math/rand"
+
+func ReplayFlight(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64() // seeded source: deterministic, allowed
+}
+`
+	p := singleFixture(t, src)
+	expectLines(t, runRule(t, &Determinism{}, p))
+}

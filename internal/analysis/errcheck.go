@@ -16,13 +16,21 @@ import (
 // A small allowlist covers calls whose error is unreachable or definitional
 // noise: fmt printing to stdout/stderr, and writes into in-memory sinks
 // (strings.Builder, bytes.Buffer) that are documented never to fail.
-// Deferred calls (`defer f.Close()`) are outside this rule's scope.
+//
+// Deferred calls are covered too: `defer f.Close()` on a writable file is
+// the classic shape that loses a flush failure. The fix is the closeFile
+// pattern (a helper folding the Close error into a named return), used by
+// cmd/flight. One deferred idiom is allowlisted: `defer w.Flush()` on a
+// sticky-error writer (bufio.Writer, tabwriter.Writer) is sound when the
+// function also checks the writer's error state on the main path, because
+// the first failure latches — the deferred Flush is a best-effort drain,
+// not the error's only exit.
 type ErrCheck struct{}
 
 func (*ErrCheck) ID() string { return "errcheck" }
 
 func (*ErrCheck) Doc() string {
-	return "no discarded error returns (`_ = f()` or bare calls) in non-test code"
+	return "no discarded error returns (`_ = f()`, bare calls, or deferred calls) in non-test code"
 }
 
 func (r *ErrCheck) Check(p *Pass) []Finding {
@@ -42,6 +50,10 @@ func (r *ErrCheck) Check(p *Pass) []Finding {
 				call, ok := st.X.(*ast.CallExpr)
 				if ok && returnsError(p, call) && !allowedDiscard(p, call) {
 					flag(call, "bare call")
+				}
+			case *ast.DeferStmt:
+				if returnsError(p, st.Call) && !deferredAllowed(p, st.Call) {
+					flag(st.Call, "deferred call")
 				}
 			case *ast.AssignStmt:
 				for i, lhs := range st.Lhs {
@@ -138,6 +150,27 @@ func allowedDiscard(p *Pass, call *ast.CallExpr) bool {
 		}
 	}
 	return false
+}
+
+// deferredAllowed reports whether a deferred call's error may be dropped:
+// everything allowedDiscard accepts, plus Flush on a sticky-error writer
+// (bufio.Writer, tabwriter.Writer) — the first write failure latches in the
+// writer, so the main path's error check already observes anything the
+// deferred drain would report.
+func deferredAllowed(p *Pass, call *ast.CallExpr) bool {
+	if allowedDiscard(p, call) {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Flush" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && isSinkType(recv.Type())
 }
 
 // inMemoryOrStdSink reports whether the writer expression is os.Stdout,

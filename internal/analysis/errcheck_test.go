@@ -94,7 +94,7 @@ func f(w io.Writer) error {
 `,
 		},
 		{
-			name: "deferred calls are out of scope",
+			name: "deferred Close discards the flush-time error",
 			src: `package a
 import "os"
 func f() {
@@ -102,9 +102,37 @@ func f() {
 	if err != nil {
 		return
 	}
-	defer g.Close()
+	defer g.Close() // line 8: a write error surfacing at Close is lost
 }
 `,
+			want: []int{8},
+		},
+		{
+			name: "deferred Flush on a sticky-error writer is allowlisted",
+			src: `package a
+import (
+	"bufio"
+	"os"
+)
+func f() error {
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush() // sticky error: the main-path Flush check sees it
+	if _, err := w.WriteString("x"); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+`,
+		},
+		{
+			name: "deferred helper returning error is still flagged",
+			src: `package a
+func teardown() error { return nil }
+func f() {
+	defer teardown() // line 4: error dropped at function exit
+}
+`,
+			want: []int{4},
 		},
 		{
 			name: "discarding an error variable is not flagged",

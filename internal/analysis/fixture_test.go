@@ -70,18 +70,40 @@ func checkFixture(t *testing.T, pkgs map[string]map[string]string, target string
 		infos[path] = info
 		return pkg, nil
 	}
-	if _, err := load(target); err != nil {
-		t.Fatalf("type-check %s: %v", target, err)
+	// Load every fixture package (not just the target) so the Module below
+	// carries the full call graph the cross-procedural rules expect.
+	paths := make([]string, 0, len(parsed))
+	for path := range parsed {
+		paths = append(paths, path)
 	}
-	return &Pass{
-		Fset:    testFset,
-		ModPath: fixtureMod,
-		Path:    target,
-		Files:   parsed[target],
-		Pkg:     checked[target],
-		Info:    infos[target],
-		ignores: collectIgnores(testFset, parsed[target]),
+	sort.Strings(paths)
+	for _, path := range paths {
+		if _, err := load(path); err != nil {
+			t.Fatalf("type-check %s: %v", path, err)
+		}
 	}
+	mod := &Module{Fset: testFset, Path: fixtureMod}
+	var targetPass *Pass
+	for _, path := range paths {
+		p := &Pass{
+			Fset:    testFset,
+			ModPath: fixtureMod,
+			Path:    path,
+			Files:   parsed[path],
+			Pkg:     checked[path],
+			Info:    infos[path],
+			Mod:     mod,
+			ignores: collectIgnores(testFset, parsed[path]),
+		}
+		mod.Pkgs = append(mod.Pkgs, p)
+		if path == target {
+			targetPass = p
+		}
+	}
+	if targetPass == nil {
+		t.Fatalf("target package %s not among fixtures", target)
+	}
+	return targetPass
 }
 
 // singleFixture wraps checkFixture for the common one-package case.

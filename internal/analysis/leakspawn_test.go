@@ -1,0 +1,135 @@
+package analysis
+
+import "testing"
+
+func TestLeakSpawnUnguardedSpawn(t *testing.T) {
+	src := `package a
+
+func launch(f func()) {
+	go f() // line 4: nothing bounds this goroutine
+}
+
+func launchClosure(f func()) {
+	go func() { f() }() // line 8: closure with no join either
+}
+`
+	p := singleFixture(t, src)
+	fs := runRule(t, &LeakSpawn{}, p)
+	expectLines(t, fs, 4, 8)
+}
+
+func TestLeakSpawnWaitGroupAndSemaphoreGuards(t *testing.T) {
+	src := `package a
+
+import "sync"
+
+func joined(fs []func()) {
+	var wg sync.WaitGroup
+	for _, f := range fs {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+func bounded(fs []func()) {
+	sem := make(chan struct{}, 4)
+	for _, f := range fs {
+		sem <- struct{}{}
+		go func(f func()) {
+			defer func() { <-sem }()
+			f()
+		}(f)
+	}
+}
+`
+	p := singleFixture(t, src)
+	expectLines(t, runRule(t, &LeakSpawn{}, p))
+}
+
+func TestLeakSpawnBlockingChannelOps(t *testing.T) {
+	src := `package a
+
+func pump(ch chan int) {
+	ch <- 1 // line 4: unbuffered send, nothing closes chan int here
+}
+
+func wait(ch chan int) int {
+	return <-ch // line 8: blocking receive, no escape
+}
+
+func forever(ch chan int) int {
+	s := 0
+	for v := range ch { // line 13: ranged channel never closed
+		s += v
+	}
+	return s
+}
+`
+	p := singleFixture(t, src)
+	fs := runRule(t, &LeakSpawn{}, p)
+	expectLines(t, fs, 4, 8, 13)
+}
+
+func TestLeakSpawnEscapes(t *testing.T) {
+	src := `package a
+
+import "time"
+
+func buffered() {
+	done := make(chan error, 1)
+	done <- nil // buffered: the send cannot park
+	_ = <-done
+}
+
+func trySend(ch chan int) bool {
+	select {
+	case ch <- 1: // default case: never blocks
+		return true
+	default:
+		return false
+	}
+}
+
+func waitCancel(ch chan int) int {
+	select {
+	case v := <-ch: // time.After provides the unblock path
+		return v
+	case <-time.After(time.Second):
+		return 0
+	}
+}
+
+func emit(ch chan int, n int) {
+	for i := 0; i < n; i++ {
+		ch <- i // close below: managed lifecycle
+	}
+	close(ch)
+}
+
+func sum(ch chan int) int {
+	s := 0
+	for v := range ch { // emit closes a chan int: termination exists
+		s += v
+	}
+	return s
+}
+`
+	p := singleFixture(t, src)
+	expectLines(t, runRule(t, &LeakSpawn{}, p))
+}
+
+func TestLeakSpawnIgnoreDirective(t *testing.T) {
+	src := `package a
+
+func serve(loop func()) {
+	//lint:ignore leakspawn one-off server goroutine, joined in Close
+	go loop()
+}
+`
+	p := singleFixture(t, src)
+	expectLines(t, runRule(t, &LeakSpawn{}, p))
+}

@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -27,8 +29,15 @@ type Pass struct {
 	Pkg   *types.Package
 	Info  *types.Info
 
-	// ignores maps filename -> line -> rule IDs suppressed on that line.
-	ignores map[string]map[int]map[string]bool
+	// Mod points back to the loaded module, giving checkers access to
+	// module-wide structures (the call graph). Nil only for hand-built
+	// passes that never ask cross-package questions.
+	Mod *Module
+
+	// ignores maps filename -> line -> the lint:ignore directive registered
+	// there. Directives track which of their listed rules actually
+	// suppressed a finding, so Run can report the stale ones.
+	ignores map[string]map[int]*ignoreDirective
 
 	// storedKernel caches the variables and fields that are passed to
 	// parallel.Pool kernel methods somewhere in the package, so function
@@ -57,11 +66,27 @@ func (p *Pass) ignored(pos token.Position, rule string) bool {
 		return false
 	}
 	for _, line := range [2]int{pos.Line, pos.Line - 1} {
-		if rules := lines[line]; rules != nil && (rules[rule] || rules["all"]) {
-			return true
+		d := lines[line]
+		if d == nil {
+			continue
+		}
+		for _, r := range [2]string{rule, "all"} {
+			if d.rules[r] {
+				d.used[r] = true
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// ignoreDirective is one parsed "//lint:ignore rule1,rule2 reason" comment.
+type ignoreDirective struct {
+	pos   token.Position
+	rules map[string]bool
+	// used records which listed rules actually suppressed a finding during
+	// a Run, feeding the staleignore report.
+	used map[string]bool
 }
 
 // Module is a loaded, fully type-checked module.
@@ -70,7 +95,17 @@ type Module struct {
 	Path string // module path
 	Dir  string // module root directory
 	Pkgs []*Pass
+
+	// cg caches the module call graph (built lazily by CallGraph).
+	cg *CallGraph
+	// replay caches the flight-replay reachability set (see determinism.go).
+	replay     map[*types.Func]*types.Func
+	replayDone bool
 }
+
+// errNoGoFiles marks a directory with no files buildable under the host's
+// build constraints. Load skips such directories; imports of them still fail.
+var errNoGoFiles = errors.New("no buildable Go files")
 
 type loader struct {
 	fset    *token.FileSet
@@ -115,11 +150,18 @@ func Load(dir string) (*Module, error) {
 			path = modPath + "/" + filepath.ToSlash(rel)
 		}
 		if _, err := l.load(path); err != nil {
+			// A directory whose every file is excluded by build constraints
+			// is not a package on this platform; an *import* of such a
+			// directory still fails below, through importPkg.
+			if errors.Is(err, errNoGoFiles) {
+				continue
+			}
 			return nil, fmt.Errorf("analysis: loading %s: %w", path, err)
 		}
 	}
 	mod := &Module{Fset: fset, Path: modPath, Dir: modDir}
 	for _, p := range l.pkgs {
+		p.Mod = mod
 		mod.Pkgs = append(mod.Pkgs, p)
 	}
 	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].Path < mod.Pkgs[j].Path })
@@ -211,7 +253,7 @@ func (l *loader) load(path string) (*Pass, error) {
 		return nil, err
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+		return nil, fmt.Errorf("%w in %s", errNoGoFiles, dir)
 	}
 	pkg, info, err := checkFiles(l.fset, path, files, importerFunc(l.importPkg))
 	if err != nil {
@@ -251,7 +293,11 @@ type importerFunc func(path string) (*types.Package, error)
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
 // parseDir parses every non-test .go file in dir with comments (needed for
-// lint:ignore directives), skipping files excluded by a build-ignore tag.
+// lint:ignore directives). Files are filtered through go/build's constraint
+// evaluation for the host context, so //go:build lines (including "ignore"
+// sentinels and unsatisfied platform tags) and GOOS/GOARCH filename suffixes
+// exclude files exactly as `go build` would — loading both halves of a
+// per-platform pair would otherwise fail type-checking on duplicate symbols.
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -264,33 +310,16 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
+			continue
+		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
-		if buildIgnored(f) {
-			continue
-		}
 		files = append(files, f)
 	}
 	return files, nil
-}
-
-// buildIgnored reports whether the file carries a "//go:build ignore"
-// constraint (the only constraint form this repo uses).
-func buildIgnored(f *ast.File) bool {
-	for _, cg := range f.Comments {
-		if cg.Pos() > f.Package {
-			break
-		}
-		for _, c := range cg.List {
-			tag := strings.TrimSpace(strings.TrimPrefix(c.Text, "//go:build"))
-			if strings.HasPrefix(c.Text, "//go:build") && tag == "ignore" {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // checkFiles type-checks one package's files. Exposed within the package so
@@ -314,8 +343,8 @@ func checkFiles(fset *token.FileSet, path string, files []*ast.File, imp types.I
 // collectIgnores scans file comments for "//lint:ignore rule1,rule2 reason"
 // directives. A directive suppresses the listed rules (or "all") on its own
 // line and on the line immediately after it.
-func collectIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
-	out := make(map[string]map[int]map[string]bool)
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int]*ignoreDirective {
+	out := make(map[string]map[int]*ignoreDirective)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -330,16 +359,16 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) map[string]map[int]m
 				pos := fset.Position(c.Pos())
 				lines := out[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int]*ignoreDirective)
 					out[pos.Filename] = lines
 				}
-				rules := lines[pos.Line]
-				if rules == nil {
-					rules = make(map[string]bool)
-					lines[pos.Line] = rules
+				d := lines[pos.Line]
+				if d == nil {
+					d = &ignoreDirective{pos: pos, rules: map[string]bool{}, used: map[string]bool{}}
+					lines[pos.Line] = d
 				}
 				for _, r := range strings.Split(fields[0], ",") {
-					rules[r] = true
+					d.rules[r] = true
 				}
 			}
 		}

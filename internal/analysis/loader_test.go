@@ -3,6 +3,8 @@ package analysis
 import (
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -94,6 +96,137 @@ func ok(x, y float64) bool {
 	}
 	if !strings.Contains(f.String(), "[floatcmp]") {
 		t.Fatalf("rendered finding missing rule tag: %s", f.String())
+	}
+}
+
+func TestLoadGenerics(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module example.com/tmp\n\ngo 1.22\n",
+		"gen/gen.go": `package gen
+
+import "time"
+
+type Pair[T any] struct{ A, B T }
+
+func (p Pair[T]) First() T { return p.A }
+
+func Stamp[T any](v T) (T, time.Time) { return v, time.Now() }
+`,
+		"use/use.go": `package use
+
+import "example.com/tmp/gen"
+
+func Use() int {
+	p := gen.Pair[int]{A: 1, B: 2}
+	v, _ := gen.Stamp(p.First())
+	return v
+}
+`,
+	})
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mod.CallGraph()
+	var use *CGNode
+	for fn, n := range g.nodes {
+		if fn.Name() == "Use" {
+			use = n
+		}
+	}
+	if use == nil {
+		t.Fatal("Use not in call graph")
+	}
+	// Edges through instantiated generics must normalize to the Origin
+	// declaration — both the generic function and the generic method.
+	var callees []string
+	for _, e := range use.Calls {
+		callees = append(callees, e.Callee.Name())
+	}
+	sort.Strings(callees)
+	if got := strings.Join(callees, " "); got != "First Stamp" {
+		t.Fatalf("Use callees = %q, want \"First Stamp\"", got)
+	}
+	// Wall reachability flows through the instantiation to the generic body.
+	use2, path := g.WallReach(use.Fn)
+	if use2 == nil || !strings.Contains(path, "Stamp") || !strings.HasSuffix(path, "time.Now") {
+		t.Fatalf("WallReach(Use) = %v, %q; want a path through Stamp to time.Now", use2, path)
+	}
+}
+
+func TestLoadBuildTaggedFiles(t *testing.T) {
+	// The unsatisfied-tag file and the foreign-GOOS file both declare V;
+	// loading either alongside real.go would fail type-checking with a
+	// duplicate declaration, so this passes only if constraint evaluation
+	// excludes them the way `go build` does.
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod":                  "module example.com/tmp\n\ngo 1.22\n",
+		"a/real.go":               "package a\n\nconst V = 1\n",
+		"a/tagged.go":             "//go:build someunsatisfiedtag\n\npackage a\n\nconst V = 2\n",
+		"a/os_" + otherOS + ".go": "package a\n\nconst V = 3\n",
+		// A directory that exists only on the other platform disappears
+		// entirely instead of failing the module load.
+		"ghost/ghost.go": "//go:build " + otherOS + "\n\npackage ghost\n\nconst G = 1\n",
+	})
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Pkgs) != 1 || mod.Pkgs[0].Path != "example.com/tmp/a" {
+		t.Fatalf("packages = %+v, want only example.com/tmp/a", mod.Pkgs)
+	}
+	if n := len(mod.Pkgs[0].Files); n != 1 {
+		t.Fatalf("loaded %d files in a, want only real.go", n)
+	}
+}
+
+func TestCallGraphMethodValueSites(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module example.com/tmp\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import "time"
+
+type Clock struct{}
+
+func (Clock) Stamp() time.Time { return time.Now() }
+
+// Grab never calls Stamp syntactically — it only takes the method value.
+func Grab() func() time.Time {
+	var c Clock
+	f := c.Stamp
+	return f
+}
+`,
+	})
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mod.CallGraph()
+	var grab *CGNode
+	for fn, n := range g.nodes {
+		if fn.Name() == "Grab" {
+			grab = n
+		}
+	}
+	if grab == nil {
+		t.Fatal("Grab not in call graph")
+	}
+	// A method value escapes Grab and can be invoked anywhere, so the
+	// reference site must contribute a conservative call edge.
+	if len(grab.Calls) != 1 || grab.Calls[0].Callee.Name() != "Stamp" {
+		t.Fatalf("Grab edges = %+v, want one edge to Stamp", grab.Calls)
+	}
+	if use, path := g.WallReach(grab.Fn); use == nil || !strings.Contains(path, "Stamp") {
+		t.Fatalf("WallReach(Grab) = %v, %q; want reach through the method value", use, path)
 	}
 }
 

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaleIgnoreReportsUnusedAndUnknown(t *testing.T) {
+	src := `package a
+
+import "os"
+
+func used() {
+	//lint:ignore errcheck best-effort cleanup
+	os.Remove("x")
+}
+
+func stale() {
+	//lint:ignore errcheck nothing here discards an error
+	x := 1
+	_ = x
+}
+
+func typo() {
+	//lint:ignore errchk misspelled rule id
+	os.Remove("y")
+}
+`
+	p := singleFixture(t, src)
+	// The errcheck run marks directives used; the typo'd one suppresses
+	// nothing, so the discard it meant to cover still fires.
+	expectLines(t, runRule(t, &ErrCheck{}, p), 18)
+
+	fs := staleIgnoreFindings(p, []Checker{&ErrCheck{}})
+	expectLines(t, fs, 11, 17)
+	for _, f := range fs {
+		if f.Rule != StaleIgnoreRule {
+			t.Fatalf("stale report under rule %q, want %q", f.Rule, StaleIgnoreRule)
+		}
+	}
+	if !strings.Contains(fs[0].Message, "suppresses no errcheck findings") {
+		t.Fatalf("stale message: %s", fs[0].Message)
+	}
+	if !strings.Contains(fs[1].Message, `unknown rule "errchk"`) {
+		t.Fatalf("unknown-rule message: %s", fs[1].Message)
+	}
+}
+
+func TestStaleIgnoreAllNeedsFullRuleSet(t *testing.T) {
+	src := `package a
+
+import "os"
+
+func busy() {
+	//lint:ignore all best-effort cleanup
+	os.Remove("x")
+}
+
+func clean() int {
+	//lint:ignore all overly defensive
+	return 1
+}
+`
+	full := DefaultCheckers()
+	p := singleFixture(t, src)
+	for _, c := range full {
+		runRule(t, c, p)
+	}
+	// Under the full set, only the directive that suppressed nothing is
+	// stale (line 11); the one covering the os.Remove discard is earning
+	// its keep.
+	expectLines(t, staleIgnoreFindings(p, full), 11)
+
+	// Under a subset, "all" cannot be judged: any inactive rule might be
+	// the one it suppresses.
+	p2 := singleFixture(t, src)
+	runRule(t, &ErrCheck{}, p2)
+	expectLines(t, staleIgnoreFindings(p2, []Checker{&ErrCheck{}}))
+}

@@ -6,12 +6,18 @@ import (
 	"go/types"
 )
 
-// WallTime flags wall-clock calls inside parallel.Pool kernel callbacks.
+// WallTime flags wall-clock reads inside parallel.Pool kernel callbacks.
 // Kernel cost is charged to the simulated machine (internal/sim) from the
 // work-item counts the solver reports; reading the host clock inside a
 // kernel body either leaks nondeterministic wall time into simulated
 // results or signals that a solver is timing the wrong layer. Wall-clock
 // measurement belongs at the solver entry point, outside the kernels.
+//
+// The check is transitive over the module call graph: a kernel that calls a
+// module helper which reaches time.Now three frames down is as wrong as one
+// calling it directly, and the finding spells out the chain
+// (helper → record → time.Now) so the report is actionable without a
+// manual dig.
 type WallTime struct{}
 
 // wallClockFuncs are the package time functions that observe or depend on
@@ -30,11 +36,15 @@ var wallClockFuncs = map[string]bool{
 func (*WallTime) ID() string { return "walltime" }
 
 func (*WallTime) Doc() string {
-	return "no time.Now/wall-clock calls inside sim-charged parallel.Pool kernel callbacks"
+	return "no direct or transitive time.Now/wall-clock reads inside sim-charged parallel.Pool kernel callbacks"
 }
 
 func (r *WallTime) Check(p *Pass) []Finding {
 	var out []Finding
+	var g *CallGraph
+	if p.Mod != nil {
+		g = p.Mod.CallGraph()
+	}
 	for _, f := range p.Files {
 		kernelCallbacks(p, f, func(_ *ast.CallExpr, lit *ast.FuncLit) {
 			ast.Inspect(lit.Body, func(n ast.Node) bool {
@@ -42,21 +52,38 @@ func (r *WallTime) Check(p *Pass) []Finding {
 				if !ok {
 					return true
 				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+					if ok && obj.Pkg() != nil && obj.Pkg().Path() == "time" && wallClockFuncs[obj.Name()] {
+						out = append(out, Finding{
+							Pos:      p.Position(call.Pos()),
+							Rule:     r.ID(),
+							Severity: Error,
+							Message: fmt.Sprintf("time.%s inside a parallel.Pool kernel callback; kernel cost is simulated — measure wall time at the solver level",
+								obj.Name()),
+						})
+						return true
+					}
+				}
+				// Transitive: a module callee that reaches a wall-clock or
+				// global rand source somewhere down its call chain.
+				if g == nil {
 					return true
 				}
-				obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
-				if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" || !wallClockFuncs[obj.Name()] {
-					return true
+				for _, callee := range g.CalleesOf(p, call) {
+					use, path := g.WallReach(callee)
+					if use == nil {
+						continue
+					}
+					out = append(out, Finding{
+						Pos:      p.Position(call.Pos()),
+						Rule:     r.ID(),
+						Severity: Error,
+						Message: fmt.Sprintf("call inside a parallel.Pool kernel callback reaches %s (%s); kernel cost is simulated — measure wall time at the solver level",
+							use.Name, path),
+					})
+					break
 				}
-				out = append(out, Finding{
-					Pos:      p.Position(call.Pos()),
-					Rule:     r.ID(),
-					Severity: Error,
-					Message: fmt.Sprintf("time.%s inside a parallel.Pool kernel callback; kernel cost is simulated — measure wall time at the solver level",
-						obj.Name()),
-				})
 				return true
 			})
 		})

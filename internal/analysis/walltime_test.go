@@ -69,6 +69,33 @@ func f(p *parallel.Pool) time.Duration {
 `,
 		},
 		{
+			name: "flags module helpers that reach the wall clock transitively",
+			src: `package a
+
+import (
+	"time"
+
+	"example.com/fix/internal/parallel"
+)
+
+func stamp() int64 { return mark() }
+
+func mark() int64 { return time.Now().UnixNano() }
+
+func pure(x int) int { return x * 2 }
+
+func f(p *parallel.Pool, out []int64) {
+	p.For(10, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = stamp() // line 18: reaches time.Now via stamp -> mark
+			_ = pure(i)      // clean helper: allowed
+		}
+	})
+}
+`,
+			want: []int{18},
+		},
+		{
 			name: "ignores same-named methods on non-parallel types",
 			src: `package a
 

@@ -52,12 +52,14 @@ func (b *Bitmap) Get(i int) bool {
 // Clear clears bit i (not atomic with respect to concurrent TrySet on the
 // same word; callers clear only between parallel phases).
 func (b *Bitmap) Clear(i int) {
+	//lint:ignore atomicmix callers clear only between parallel phases, after the workers have joined
 	b.words[i/wordBits] &^= uint64(1) << uint(i%wordBits)
 }
 
 // Reset clears every bit. O(n/64); used between iterations.
 func (b *Bitmap) Reset() {
 	for i := range b.words {
+		//lint:ignore atomicmix reset runs between parallel phases; no kernel goroutine is live
 		b.words[i] = 0
 	}
 }
@@ -73,6 +75,7 @@ func (b *Bitmap) ClearAll(idx []int32) {
 // Count returns the number of set bits.
 func (b *Bitmap) Count() int {
 	c := 0
+	//lint:ignore atomicmix count is taken after the phase barrier, when no writer is live
 	for _, w := range b.words {
 		c += bits.OnesCount64(w)
 	}

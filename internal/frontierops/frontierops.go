@@ -138,6 +138,7 @@ func BFS(g *graph.Graph, src graph.VID, pool *parallel.Pool, mach *sim.Machine) 
 	n := g.NumVertices()
 	level := make([]int32, n)
 	for i := range level {
+		//lint:ignore atomicmix sequential init before the kernel workers start; happens-before via Pool.Run
 		level[i] = -1
 	}
 	if n == 0 || int(src) >= n || src < 0 {
@@ -177,6 +178,7 @@ func WeakCC(g *graph.Graph, pool *parallel.Pool, mach *sim.Machine) ([]int64, in
 	label := make([]int64, n)
 	front := make([]graph.VID, n)
 	for i := range label {
+		//lint:ignore atomicmix sequential init before the kernel workers start; happens-before via Pool.Run
 		label[i] = int64(i)
 		front[i] = graph.VID(i)
 	}

@@ -248,6 +248,7 @@ func LoadFile(path string) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore errcheck read-only file: a close error after a successful read carries no signal
 	defer f.Close()
 	var g *Graph
 	switch {
@@ -269,12 +270,12 @@ func LoadFile(path string) (*Graph, error) {
 
 // SaveFile writes g to path, selecting the format by extension (".gr" or
 // ".tsv").
-func SaveFile(path string, g *Graph) error {
+func SaveFile(path string, g *Graph) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer closeFile(f, &err)
 	switch {
 	case strings.HasSuffix(path, ".gr"):
 		err = WriteDIMACS(f, g)
@@ -283,8 +284,13 @@ func SaveFile(path string, g *Graph) error {
 	default:
 		return fmt.Errorf("graph: unknown file extension in %q (want .gr or .tsv)", path)
 	}
-	if err != nil {
-		return err
+	return err
+}
+
+// closeFile folds a Close error into the caller's named return, so a write
+// failure surfacing only at close (NFS, full disk) is not lost.
+func closeFile(f *os.File, err *error) {
+	if cerr := f.Close(); cerr != nil && *err == nil {
+		*err = cerr
 	}
-	return f.Close()
 }

@@ -75,6 +75,7 @@ func Decompose(g *graph.Graph, opt *Options) Result {
 
 	deg := make([]int32, n)
 	for v := 0; v < n; v++ {
+		//lint:ignore atomicmix sequential init before the peel workers start; happens-before via Pool.Run
 		deg[v] = int32(und.OutDegree(graph.VID(v)))
 	}
 	peeled := make([]bool, n)

@@ -67,6 +67,7 @@ func Serve(addr string, o *Observer) (*Server, error) {
 		srv:      &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 		serveErr: make(chan error, 1),
 	}
+	//lint:ignore leakspawn one-off accept-loop goroutine; joined at Close through the buffered serveErr channel
 	go func() { s.serveErr <- s.srv.Serve(ln) }()
 	return s, nil
 }

@@ -223,6 +223,7 @@ func run(g *graph.Graph, o *Options, policy thetaPolicy) (Result, error) {
 	active := make([]graph.VID, 0, n)
 	init := math.Float64bits(1 / float64(n))
 	for i := range r {
+		//lint:ignore atomicmix sequential init before the rank workers start; happens-before via Pool.Run
 		r[i] = init
 		active = append(active, graph.VID(i))
 	}

@@ -151,7 +151,7 @@ func TestParsePhaseProfileReal(t *testing.T) {
 	sink := 0
 	deadline := time.Now().Add(400 * time.Millisecond)
 	for time.Now().Before(deadline) {
-		for i := 0; i < 1 << 16; i++ {
+		for i := 0; i < 1<<16; i++ {
 			sink += i * i
 		}
 	}

@@ -88,6 +88,7 @@ func ReadTrajectory(path string) ([]Snapshot, error) {
 		}
 		return nil, fmt.Errorf("perf: open trajectory: %w", err)
 	}
+	//lint:ignore errcheck read-only file: a close error after a successful read carries no signal
 	defer f.Close()
 
 	var out []Snapshot
@@ -116,7 +117,7 @@ func ReadTrajectory(path string) ([]Snapshot, error) {
 // path, creating the file (and its directory) on first use. Append-only by
 // construction: existing lines are never rewritten, so concurrent readers
 // and `git diff` both see a pure addition.
-func AppendTrajectory(path string, s *Snapshot) error {
+func AppendTrajectory(path string, s *Snapshot) (err error) {
 	if dir := filepath.Dir(path); dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("perf: create trajectory dir: %w", err)
@@ -130,11 +131,19 @@ func AppendTrajectory(path string, s *Snapshot) error {
 	if err != nil {
 		return fmt.Errorf("perf: open trajectory: %w", err)
 	}
-	defer f.Close()
+	defer closeTrajectory(f, &err)
 	if _, err := f.Write(append(data, '\n')); err != nil {
 		return fmt.Errorf("perf: append trajectory: %w", err)
 	}
-	return f.Close()
+	return nil
+}
+
+// closeTrajectory folds a Close error into the caller's named return: an
+// append that only fails at close (full disk) must not report success.
+func closeTrajectory(f *os.File, err *error) {
+	if cerr := f.Close(); cerr != nil && *err == nil {
+		*err = fmt.Errorf("perf: close trajectory: %w", cerr)
+	}
 }
 
 // Latest returns the newest entry (the gate's candidate), or nil for an

@@ -184,18 +184,23 @@ func (t *Table) WriteMarkdown(w io.Writer) error {
 }
 
 // SaveCSV writes the table to dir/<name>.csv, creating dir if needed.
-func (t *Table) SaveCSV(dir string) (string, error) {
+func (t *Table) SaveCSV(dir string) (path string, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, t.Name+".csv")
+	path = filepath.Join(dir, t.Name+".csv")
 	f, err := os.Create(path)
 	if err != nil {
 		return "", err
 	}
-	defer f.Close()
+	defer func() {
+		// A write error surfacing only at close must not report success.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if err := t.WriteCSV(f); err != nil {
 		return "", err
 	}
-	return path, f.Close()
+	return path, nil
 }

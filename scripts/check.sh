@@ -2,9 +2,12 @@
 # Tier-2 verification gate: static analysis plus race-detector runs on the
 # concurrent packages. Tier-1 (go build && go test ./...) checks behavior;
 # this script checks the invariants behavior tests can miss — float equality
-# on controller state, wall-clock leaks into simulated kernels, layering
-# violations, unguarded captures in Pool callbacks, and discarded errors —
-# then hammers the concurrent hot paths under -race.
+# on controller state, wall-clock leaks into simulated kernels (direct or
+# transitive through the call graph), layering violations, unguarded captures
+# in Pool callbacks, discarded errors (including deferred calls),
+# nondeterminism in flight-replayed code, atomic/plain access mixes, unbounded
+# goroutine spawns, and allocation growth on hot paths — then hammers the
+# concurrent hot paths under -race.
 #
 # Usage: scripts/check.sh            (from anywhere inside the repo)
 set -euo pipefail
@@ -16,8 +19,17 @@ go vet ./...
 echo "==> go run ./cmd/lint ./..."
 go run ./cmd/lint ./...
 
+echo "==> lint self-check: rule filtering and JSON output on internal/analysis"
+# The linter's own package must stay clean under its full rule set, and the
+# -rule / -json plumbing must keep producing exit 0 + a JSON array — these
+# are the interfaces CI annotations consume.
+go run ./cmd/lint -rule determinism,atomicmix,leakspawn,hotescape ./internal/analysis/...
+lint_json="$(go run ./cmd/lint -json ./internal/analysis/...)"
+[[ "$lint_json" == "["* ]] || { echo "lint -json did not emit a JSON array" >&2; exit 1; }
+
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/parallel/... ./internal/sssp/... ./internal/obs/...
+go test -race ./internal/parallel/... ./internal/sssp/... ./internal/obs/... \
+    ./internal/flight/... ./internal/core/...
 
 echo "==> zero-allocation steady-state gates (obs off, obs on, flight on)"
 go test -run 'TestAdvanceSteadyStateAllocs|TestObsSteadyStateAllocs' -count=1 ./internal/sssp/
