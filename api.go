@@ -199,6 +199,19 @@ type RunConfig struct {
 	// Workers sizes the goroutine pool (0 = single-threaded, -1 = all
 	// CPUs).
 	Workers int
+	// Relabel applies vertex-relabeling preprocessing before solving:
+	// "degree" renumbers hub-first by descending out-degree (scale-free
+	// graphs), "bfs" renumbers in BFS discovery order from src (road
+	// networks), "" or "none" solves on the graph as given. The solver
+	// runs on the relabeled CSR — the cache-locality win — and every
+	// per-vertex output (Dist, Parents) is mapped back to the caller's
+	// original vertex ids, so relabeling is invisible in the results.
+	Relabel string
+	// FarQueue pins the far-queue structure for NearFar and DeltaStepping:
+	// "flat" (the paper baseline's rescanning queue), "lazy" (bucketed,
+	// same phase schedule), "rho" (lazy-batched fine buckets), or
+	// ""/"auto" (per-solver fastest default). Exact distances either way.
+	FarQueue string
 	// Device attaches a simulated board ("TK1" or "TX1"; empty disables
 	// simulation).
 	Device string
@@ -335,6 +348,37 @@ func Run(g *Graph, src VID, cfg RunConfig) (*RunOutput, error) {
 	if cfg.FlightLog != nil {
 		cfg.Obs.SetFlight(cfg.FlightLog) // nil-safe when no observer is attached
 	}
+	fq, err := sssp.ParseFarQueue(cfg.FarQueue)
+	if err != nil {
+		return nil, err
+	}
+	opt.FarQueue = fq
+
+	// Relabeling preprocessing: solve on the cache-friendly renumbered CSR,
+	// map every per-vertex output back to original ids afterwards.
+	runG, runSrc := g, src
+	var inv []VID
+	switch strings.ToLower(cfg.Relabel) {
+	case "", "none":
+	case "degree", "bfs":
+		if src < 0 || int(src) >= g.NumVertices() {
+			return nil, fmt.Errorf("energysssp: source %d out of range for relabeling", src)
+		}
+		var perm []VID
+		if strings.ToLower(cfg.Relabel) == "degree" {
+			perm = g.DegreeOrder()
+		} else {
+			perm = g.BFSOrder(src)
+		}
+		rg, err := g.Relabel(perm)
+		if err != nil {
+			return nil, err
+		}
+		runG, runSrc = rg, perm[src]
+		inv = graph.InversePerm(perm)
+	default:
+		return nil, fmt.Errorf("energysssp: unknown relabel order %q (want none, degree, or bfs)", cfg.Relabel)
+	}
 	var pool *parallel.Pool
 	switch {
 	case cfg.Workers < 0:
@@ -389,23 +433,27 @@ func Run(g *Graph, src VID, cfg RunConfig) (*RunOutput, error) {
 	}
 
 	var res sssp.Result
-	var err error
 	switch cfg.Algorithm {
 	case Dijkstra:
-		res, err = sssp.Dijkstra(g, src, opt)
+		res, err = sssp.Dijkstra(runG, runSrc, opt)
 	case BellmanFord:
-		res, err = sssp.BellmanFord(g, src, opt)
+		res, err = sssp.BellmanFord(runG, runSrc, opt)
 	case DeltaStepping:
-		res, err = sssp.DeltaStepping(g, src, delta, opt)
+		res, err = sssp.DeltaStepping(runG, runSrc, delta, opt)
 	case NearFar:
-		res, err = sssp.NearFar(g, src, delta, opt)
+		res, err = sssp.NearFar(runG, runSrc, delta, opt)
 	case SelfTuning:
-		res, err = core.Solve(g, src, core.Config{P: cfg.SetPoint}, opt)
+		res, err = core.Solve(runG, runSrc, core.Config{P: cfg.SetPoint}, opt)
 	default:
 		return nil, fmt.Errorf("energysssp: unknown algorithm %v", cfg.Algorithm)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if inv != nil {
+		// Back to original vertex ids; Parents below then derives from the
+		// original graph, so relabeling never leaks into the output.
+		res.Dist = graph.ApplyPerm(res.Dist, inv)
 	}
 
 	out := &RunOutput{Result: res, Profile: prof}
@@ -511,7 +559,10 @@ func TuneDelta(g *Graph, src VID, device string, workers int) (Dist, error) {
 		}
 		mach := sim.NewMachine(dev)
 		mach.SetGovernor(dvfs.NewOndemand())
-		res, err := sssp.NearFar(g, src, delta, &sssp.Options{Pool: pool, Machine: mach})
+		// The sweep pins the paper baseline's flat queue: δ* is the paper's
+		// per-input tuning knob, so it must be chosen on the paper's
+		// algorithm shape regardless of the session default strategy.
+		res, err := sssp.NearFar(g, src, delta, &sssp.Options{Pool: pool, Machine: mach, FarQueue: sssp.FarFlat})
 		if err != nil {
 			return 0, err
 		}

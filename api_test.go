@@ -324,3 +324,82 @@ func TestExperimentsSmoke(t *testing.T) {
 		t.Fatalf("tables = %d", len(tabs))
 	}
 }
+
+// Relabeled runs must return results keyed by the caller's original vertex
+// ids: identical distance vectors to an un-relabeled oracle run, and a
+// parent tree that walks the original graph.
+func TestRunRelabelOriginalIDs(t *testing.T) {
+	g := WikiLike(0.003, 7)
+	src := VID(3)
+	ref, err := Run(g, src, RunConfig{Algorithm: Dijkstra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range []string{"degree", "bfs"} {
+		for _, algo := range []Algorithm{Dijkstra, DeltaStepping, NearFar, SelfTuning} {
+			out, err := Run(g, src, RunConfig{Algorithm: algo, Workers: 2, SetPoint: 64, Relabel: order})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", order, algo, err)
+			}
+			for v := range out.Dist {
+				if out.Dist[v] != ref.Dist[v] {
+					t.Fatalf("%s/%v: dist[%d] = %d, want %d (results must map back to original ids)",
+						order, algo, v, out.Dist[v], ref.Dist[v])
+				}
+			}
+		}
+	}
+	// Paths ride on the mapped-back distances, so the tree is original-id.
+	out, err := Run(g, src, RunConfig{Algorithm: NearFar, Relabel: "degree", Paths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := VID(-1)
+	for v := range out.Dist {
+		if VID(v) != src && out.Dist[v] < Inf {
+			target = VID(v)
+		}
+	}
+	if target < 0 {
+		t.Fatal("no reachable target")
+	}
+	path, err := ShortestPath(out, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 2 || path[0] != src || path[len(path)-1] != target {
+		t.Fatalf("path: %v", path)
+	}
+	if _, err := Run(g, src, RunConfig{Relabel: "zigzag"}); err == nil {
+		t.Fatal("unknown relabel order accepted")
+	}
+	if _, err := Run(g, VID(-4), RunConfig{Relabel: "degree"}); err == nil {
+		t.Fatal("out-of-range source accepted for relabeling")
+	}
+}
+
+// The FarQueue knob is plumbed through RunConfig; every strategy agrees
+// with the oracle, and unknown names are rejected.
+func TestRunFarQueueConfig(t *testing.T) {
+	g := Grid(13, 13, 1, 30, 5)
+	ref, err := Run(g, 0, RunConfig{Algorithm: Dijkstra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fq := range []string{"auto", "flat", "lazy", "rho"} {
+		for _, algo := range []Algorithm{DeltaStepping, NearFar} {
+			out, err := Run(g, 0, RunConfig{Algorithm: algo, Workers: 2, FarQueue: fq})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", fq, algo, err)
+			}
+			for v := range out.Dist {
+				if out.Dist[v] != ref.Dist[v] {
+					t.Fatalf("%s/%v: dist[%d] = %d, want %d", fq, algo, v, out.Dist[v], ref.Dist[v])
+				}
+			}
+		}
+	}
+	if _, err := Run(g, 0, RunConfig{FarQueue: "bogus"}); err == nil {
+		t.Fatal("unknown far-queue strategy accepted")
+	}
+}

@@ -252,6 +252,64 @@ func BenchmarkSelfTuningCal(b *testing.B)    { benchSolver(b, SelfTuning, gen.Ca
 func BenchmarkNearFarWiki(b *testing.B)      { benchSolver(b, NearFar, gen.Wiki, 0) }
 func BenchmarkSelfTuningWiki(b *testing.B)   { benchSolver(b, SelfTuning, gen.Wiki, 75000) }
 
+// BenchmarkFarQueue compares the three far-queue strategies head to head on
+// the two dataset substitutes, at each graph's tuned δ*. flat is the paper's
+// compact-and-rescan array, lazy adds bucketed lazy deletion behind the same
+// fixed-δ schedule, and rho replaces the schedule with adaptive bucket-batch
+// extraction (ρ-stepping). The flat/cal lane is the committed baseline the
+// perfgate improvement claim for BenchmarkNearFarCal is measured against.
+func BenchmarkFarQueue(b *testing.B) {
+	e := env()
+	strategies := []sssp.FarQueueStrategy{sssp.FarFlat, sssp.FarLazy, sssp.FarRho}
+	for _, d := range []gen.Dataset{gen.Cal, gen.Wiki} {
+		g := e.Graph(d)
+		src := e.Source(d)
+		delta := e.BestDelta(d, sim.TK1())
+		for _, s := range strategies {
+			b.Run(fmt.Sprintf("%s/%s", d, s), func(b *testing.B) {
+				pool := parallel.NewPool(0)
+				defer pool.Close()
+				opt := &sssp.Options{Pool: pool, FarQueue: s}
+				b.SetBytes(int64(g.NumEdges()))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sssp.NearFar(g, src, delta, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNearFarCalRelabeled is the memory-layout half of the far-queue
+// work: the identical solve as BenchmarkNearFarCal but on the degree-ordered
+// relabeling of the graph (hot hub rows first, so the advance kernel's
+// dist[] and CSR accesses concentrate in warm cache lines). Simulated
+// figures are invariant under relabeling; the delta to BenchmarkNearFarCal
+// is pure host locality.
+func BenchmarkNearFarCalRelabeled(b *testing.B) {
+	e := env()
+	g := e.Graph(gen.Cal)
+	perm := g.DegreeOrder()
+	rg, err := g.Relabel(perm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := perm[e.Source(gen.Cal)]
+	delta := e.BestDelta(gen.Cal, sim.TK1())
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	opt := &sssp.Options{Pool: pool}
+	b.SetBytes(int64(rg.NumEdges()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sssp.NearFar(rg, src, delta, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchAdvance measures one steady-state advance over the full reachable
 // frontier (distances pre-converged, so the pass scans every frontier edge
 // without mutating state — a repeatable, constant-work iteration). SetBytes

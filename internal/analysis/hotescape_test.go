@@ -82,6 +82,51 @@ func (e *eng) run(p *parallel.Pool, n int) {
 	expectLines(t, fs, 18)
 }
 
+// The lazy far queue's Push appends to a pair of parallel SoA slabs (vertex
+// ids and recorded distances) selected by bucket index, banking both back to
+// the queue — the structure-of-arrays variant of the banked-buffer idiom.
+// Both slabs must be recognized as amortized; forgetting to bank one of the
+// pair is exactly the regression the rule exists to catch.
+func TestHotEscapeKernelSoASlabPair(t *testing.T) {
+	src := `package a
+
+import "example.com/fix/internal/parallel"
+
+type lazyQ struct {
+	vids  [][]int
+	dists [][]int
+}
+
+func (q *lazyQ) drain(p *parallel.Pool, n int) {
+	p.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := i % len(q.vids)
+			vb, db := q.vids[s], q.dists[s]
+			vb = append(vb, i)
+			db = append(db, i*2)
+			q.vids[s] = vb
+			q.dists[s] = db
+		}
+	})
+	p.For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := i % len(q.vids)
+			vb, db := q.vids[s], q.dists[s]
+			vb = append(vb, i)
+			db = append(db, i*2) // line 26: db never banked back
+			q.vids[s] = vb
+		}
+	})
+}
+`
+	p := poolFixture(t, src)
+	fs := runRule(t, &HotEscape{}, p)
+	expectLines(t, fs, 26)
+	if !strings.Contains(fs[0].Message, "append to db") {
+		t.Fatalf("message should name the unbanked slab: %s", fs[0].Message)
+	}
+}
+
 func TestHotEscapeLoopClosureCapture(t *testing.T) {
 	src := `package a
 

@@ -94,9 +94,11 @@ func TestFlightReplayBitIdentical(t *testing.T) {
 	}
 }
 
-// TestFlightReplayNearFar covers the baseline's log: the fixed-delta phase
-// schedule recomputes exactly from the header delta and the recorded
-// (X⁴, farLen, jumpMin) inputs.
+// TestFlightReplayNearFar covers the baseline's log under every far-queue
+// strategy: flat and lazy recompute the fixed-delta phase schedule exactly
+// from the header delta and the recorded (X⁴, farLen, jumpMin) inputs; rho
+// validates its bucket-batch trajectory invariants. The default (auto)
+// resolves to rho and must record that in the header.
 func TestFlightReplayNearFar(t *testing.T) {
 	g := gen.CalLike(0.01, 42)
 	rec := flight.NewRecorder(1 << 16)
@@ -108,10 +110,51 @@ func TestFlightReplayNearFar(t *testing.T) {
 	if l.Header.Algorithm != "nearfar" || l.Header.FixedDelta != 32 {
 		t.Fatalf("header = %+v, want nearfar with fixedDelta 32", l.Header)
 	}
+	if l.Header.FarQueue != "rho" || l.Header.FarWidth < 1 {
+		t.Fatalf("header = %+v, want the resolved auto strategy rho with its bucket width", l.Header)
+	}
 	if len(l.Records) != res.Iterations {
 		t.Fatalf("recorded %d iterations, solver reports %d", len(l.Records), res.Iterations)
 	}
 	replayOK(t, l)
+
+	for _, s := range []sssp.FarQueueStrategy{sssp.FarFlat, sssp.FarLazy, sssp.FarRho} {
+		rec := flight.NewRecorder(1 << 16)
+		if _, err := sssp.NearFar(g, 0, 32, &sssp.Options{Flight: rec, FarQueue: s}); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		l := rec.Log()
+		if l.Header.FarQueue != s.String() {
+			t.Fatalf("header strategy %q, want %q", l.Header.FarQueue, s)
+		}
+		replayOK(t, l)
+	}
+
+	// A corrupted rho trajectory must be caught by the invariant checks.
+	rec2 := flight.NewRecorder(1 << 16)
+	if _, err := sssp.NearFar(g, 0, 32, &sssp.Options{Flight: rec2, FarQueue: sssp.FarRho}); err != nil {
+		t.Fatal(err)
+	}
+	bad := rec2.Log()
+	for i := range bad.Records {
+		if r := &bad.Records[i]; r.X4 == 0 && r.FarLen > 0 {
+			r.DeltaOut = r.DeltaIn // forge: threshold failed to advance
+			break
+		}
+	}
+	rep, err := ReplayFlight(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("forged rho trajectory replayed clean")
+	}
+
+	// An unknown strategy name must be rejected, not silently replayed.
+	bad.Header.FarQueue = "mystery"
+	if _, err := ReplayFlight(bad); err == nil {
+		t.Fatal("unknown far-queue strategy accepted by replay")
+	}
 }
 
 // TestFlightReplayPowerCapped: the power-capped solver retunes P between

@@ -23,9 +23,17 @@ import (
 //     estimates, and all six vSGD internals of each model. The recorded
 //     per-iteration SetPoint is applied before each decision, which makes
 //     power-capped runs (whose policy retunes P) replayable too.
-//   - "nearfar": recompute the fixed-delta phase schedule from the header's
-//     FixedDelta and each record's (X⁴, FarLen, JumpMin), asserting the
-//     threshold trajectory.
+//   - "nearfar" with a flat or lazy far queue (or a v1 log, which predates
+//     the strategies): recompute the fixed-delta phase schedule from the
+//     header's FixedDelta and each record's (X⁴, FarLen, JumpMin),
+//     asserting the threshold trajectory. Both strategies share the exact
+//     recompute — the flat driver's jump-and-retry telescopes to the same
+//     final threshold as a single jump from the last recorded minimum.
+//   - "nearfar" with a rho far queue: the batch schedule depends on which
+//     buckets were populated (not recorded per entry), so replay validates
+//     the threshold trajectory's invariants instead: continuity, bucket-
+//     width alignment, monotonicity, and strict advance exactly when the
+//     near frontier drained with far work pending.
 //
 // The log must be contiguous from iteration 0 (a wrapped recorder ring has
 // lost the history the model state depends on) — size the ring to the run
@@ -103,11 +111,20 @@ func replaySelfTuning(l *flight.Log) *flight.ReplayReport {
 // replayNearFar recomputes the baseline's phase-threshold schedule: hold δ
 // while the near frontier has work; when it drains with far-queue work
 // pending, advance to the first δ multiple admitting the recorded minimum
-// active distance.
+// active distance. Rho logs carry a bucket schedule instead and dispatch
+// to the invariant validator.
 func replayNearFar(l *flight.Log) (*flight.ReplayReport, error) {
 	delta := graph.Dist(l.Header.FixedDelta)
 	if delta < 1 {
 		return nil, fmt.Errorf("core: near-far flight log carries invalid fixed delta %d", l.Header.FixedDelta)
+	}
+	switch l.Header.FarQueue {
+	case "", "flat", "lazy":
+		// Exact recompute below. "" is a v1 log: flat was the only queue.
+	case "rho":
+		return replayNearFarRho(l)
+	default:
+		return nil, fmt.Errorf("core: near-far flight log carries unknown far-queue strategy %q", l.Header.FarQueue)
 	}
 	rep := &flight.ReplayReport{Iterations: len(l.Records)}
 	check := func(k int64, field string, want, got float64) {
@@ -130,6 +147,53 @@ func replayNearFar(l *flight.Log) (*flight.ReplayReport, error) {
 			}
 		}
 		check(rec.K, "deltaOut", rec.DeltaOut, float64(thr))
+	}
+	return rep, nil
+}
+
+// replayNearFarRho validates a rho-strategy near-far log. The rho schedule
+// drains whole buckets until the batch target is met, so the thresholds it
+// visits depend on which buckets held entries — state the log does not
+// carry per entry. What the log does pin down is the trajectory's shape,
+// and every property below is an exact consequence of the ExtractBatch
+// contract, so a violation means the log was not produced by the recorded
+// configuration:
+//
+//   - deltaIn is the header delta at iteration 0 and the previous deltaOut
+//     afterwards (the solver never moves the threshold between stage 4 and
+//     the next bisect);
+//   - the threshold only changes when the near frontier drained with far
+//     work pending (X⁴ == 0 and FarLen > 0), and then it must strictly
+//     increase to a bucket-width-aligned boundary (ExtractBatch always
+//     drains at least one bucket and lands on the last one's boundary);
+//   - rho performs no minimum-distance jumps, so JumpMin stays -1.
+func replayNearFarRho(l *flight.Log) (*flight.ReplayReport, error) {
+	width := l.Header.FarWidth
+	if width < 1 {
+		return nil, fmt.Errorf("core: rho near-far flight log carries invalid bucket width %d", l.Header.FarWidth)
+	}
+	rep := &flight.ReplayReport{Iterations: len(l.Records)}
+	check := func(k int64, field string, want, got float64) {
+		if bitsDiffer(want, got) {
+			rep.Add(flight.ReplayMismatch{K: k, Field: field, Want: want, Got: got})
+		}
+	}
+	prevOut := float64(l.Header.FixedDelta)
+	for i := range l.Records {
+		rec := &l.Records[i]
+		check(rec.K, "deltaIn", rec.DeltaIn, prevOut)
+		check(rec.K, "jumpMin", float64(rec.JumpMin), -1)
+		if rec.X4 == 0 && rec.FarLen > 0 {
+			if rec.DeltaOut <= rec.DeltaIn {
+				rep.Add(flight.ReplayMismatch{K: rec.K, Field: "deltaOut(advance)", Want: rec.DeltaIn + 1, Got: rec.DeltaOut})
+			}
+			if out := int64(rec.DeltaOut); bitsDiffer(float64(out), rec.DeltaOut) || out%width != 0 {
+				rep.Add(flight.ReplayMismatch{K: rec.K, Field: "deltaOut(align)", Want: float64((int64(rec.DeltaOut)/width)*width), Got: rec.DeltaOut})
+			}
+		} else {
+			check(rec.K, "deltaOut", rec.DeltaOut, rec.DeltaIn)
+		}
+		prevOut = rec.DeltaOut
 	}
 	return rep, nil
 }

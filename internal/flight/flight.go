@@ -26,7 +26,11 @@ import "sync"
 // every serialized log header; readers reject logs with a newer version.
 // Bump it whenever a Record or Header field is added, removed, or changes
 // meaning, and document the change in DESIGN.md §9.
-const SchemaVersion = 1
+//
+// v2 added Header.FarQueue and Header.FarWidth (the near-far far-queue
+// strategy selection); v1 logs omit both and replay treats them as the
+// flat baseline queue, so old committed logs stay readable.
+const SchemaVersion = 2
 
 // Schema is the format identifier on the header line of a serialized log.
 const Schema = "energysssp-flight"
@@ -136,6 +140,15 @@ type Header struct {
 
 	// FixedDelta is the near-far baseline's threshold (nearfar only).
 	FixedDelta int64 `json:"fixedDelta,omitempty"`
+
+	// FarQueue and FarWidth record the far-queue strategy the solver ran
+	// ("flat", "lazy", or "rho" — never "auto") and its bucket width
+	// (nearfar only; zero width for flat). Replay dispatches on FarQueue:
+	// flat and lazy share the exact fixed-delta threshold recompute, rho
+	// validates its batch schedule against the width instead. Absent in
+	// v1 logs, which predate the strategies and are replayed as flat.
+	FarQueue string `json:"farQueue,omitempty"`
+	FarWidth int64  `json:"farWidth,omitempty"`
 
 	// Label is free-form run identification set by the recording driver
 	// (dataset, scale, seed, device...). Ignored by replay and diff.

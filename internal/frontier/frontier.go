@@ -25,8 +25,16 @@ type Entry struct {
 
 // Flat is the baseline's unpartitioned far queue. Extraction scans every
 // entry — exactly the cost profile of Gunrock's bisect-far-queue stage.
+// A running minimum of the recorded distances is maintained on Push and
+// refreshed over the retained entries during every extraction, so MinDist
+// is O(1) instead of a second full scan per phase change (the old
+// O(n·phases) rescan pathology).
 type Flat struct {
 	entries []Entry
+	// runMin is the smallest recorded distance present in entries
+	// (meaningless when empty). Stale entries keep it a lower bound on
+	// the true fresh minimum until the next extraction compacts them out.
+	runMin graph.Dist
 }
 
 // Len reports the number of entries (including not-yet-detected stale ones).
@@ -34,6 +42,9 @@ func (q *Flat) Len() int { return len(q.entries) }
 
 // Push appends an entry recorded at distance d.
 func (q *Flat) Push(v graph.VID, d graph.Dist) {
+	if len(q.entries) == 0 || d < q.runMin {
+		q.runMin = d
+	}
 	q.entries = append(q.entries, Entry{V: v, D: d})
 }
 
@@ -45,6 +56,7 @@ func (q *Flat) Push(v graph.VID, d graph.Dist) {
 func (q *Flat) ExtractBelow(thr graph.Dist, dist []graph.Dist, out []graph.VID) ([]graph.VID, int) {
 	scanned := len(q.entries)
 	keep := q.entries[:0]
+	min := graph.Inf
 	for _, e := range q.entries {
 		cur := dist[e.V]
 		if cur != e.D {
@@ -54,23 +66,28 @@ func (q *Flat) ExtractBelow(thr graph.Dist, dist []graph.Dist, out []graph.VID) 
 			out = append(out, e.V)
 		} else {
 			keep = append(keep, e)
+			if e.D < min {
+				min = e.D
+			}
 		}
 	}
 	q.entries = keep
+	q.runMin = min
 	return out, scanned
 }
 
-// MinDist returns the smallest current distance among fresh entries, or
-// graph.Inf if the queue holds no fresh entry. Used to re-anchor the
-// threshold when the frontier drains.
+// MinDist returns a lower bound on the smallest current distance among
+// fresh entries in O(1): the running minimum of the recorded distances,
+// which is exact whenever the minimum-achieving entry is still fresh, and
+// otherwise undershoots (a stale entry's vertex only ever improved). The
+// near-far driver compensates with a jump-and-retry loop: an extraction at
+// a threshold covering the bound either yields work or purges the stale
+// minimum, tightening the next bound. graph.Inf means the queue is empty.
 func (q *Flat) MinDist(dist []graph.Dist) graph.Dist {
-	min := graph.Inf
-	for _, e := range q.entries {
-		if dist[e.V] == e.D && e.D < min {
-			min = e.D
-		}
+	if len(q.entries) == 0 {
+		return graph.Inf
 	}
-	return min
+	return q.runMin
 }
 
 // partition holds entries whose insertion distance fell in

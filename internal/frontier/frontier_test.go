@@ -59,6 +59,29 @@ func TestFlatMinDist(t *testing.T) {
 	}
 }
 
+// MinDist is the O(1) running minimum over recorded distances: when the
+// minimum-achieving entry has gone stale it undershoots the true fresh
+// minimum (lower-bound semantics), and the following extraction purges the
+// stale entry and re-tightens the bound over the retained entries.
+func TestFlatMinDistLowerBound(t *testing.T) {
+	var q Flat
+	dist := []graph.Dist{1, 40}
+	q.Push(0, 3) // stale: vertex 0 improved to 1
+	q.Push(1, 40)
+	if got := q.MinDist(dist); got != 3 {
+		t.Fatalf("MinDist = %d, want the recorded lower bound 3", got)
+	}
+	// Extraction at the bound yields nothing but compacts the stale entry...
+	out, scanned := q.ExtractBelow(3, dist, nil)
+	if len(out) != 0 || scanned != 2 || q.Len() != 1 {
+		t.Fatalf("purge pass: out=%v scanned=%d len=%d", out, scanned, q.Len())
+	}
+	// ...after which the bound is exact again.
+	if got := q.MinDist(dist); got != 40 {
+		t.Fatalf("MinDist after purge = %d, want 40", got)
+	}
+}
+
 func TestPartitionedInit(t *testing.T) {
 	q := NewPartitioned(50)
 	if q.NumPartitions() != 2 || q.Bound(0) != 50 || q.Bound(1) != graph.Inf {

@@ -118,3 +118,14 @@ func ApplyPerm[T any](in []T, perm []VID) []T {
 	}
 	return out
 }
+
+// InversePerm returns the inverse permutation: inv[perm[v]] = v. Results
+// computed on a relabeled graph map back to original ids with
+// ApplyPerm(data, InversePerm(perm)).
+func InversePerm(perm []VID) []VID {
+	inv := make([]VID, len(perm))
+	for v, p := range perm {
+		inv[p] = VID(v)
+	}
+	return inv
+}

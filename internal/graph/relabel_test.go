@@ -100,6 +100,57 @@ func TestApplyPerm(t *testing.T) {
 	}
 }
 
+func TestInversePerm(t *testing.T) {
+	perm := []VID{2, 0, 1}
+	inv := InversePerm(perm)
+	if inv[2] != 0 || inv[0] != 1 || inv[1] != 2 {
+		t.Fatalf("InversePerm: %v", inv)
+	}
+}
+
+// Property: ApplyPerm(ApplyPerm(x, perm), InversePerm(perm)) == x for every
+// permutation — the exact identity the solvers rely on when mapping
+// relabeled-run distance arrays back to original vertex ids.
+func TestInversePermRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, which uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		n := rng.IntN(60) + 1
+		g := MustNew(n, randomEdges(n, rng.IntN(150), seed))
+		var perm []VID
+		switch which % 3 {
+		case 0:
+			perm = g.DegreeOrder()
+		case 1:
+			perm = g.BFSOrder(VID(rng.IntN(n)))
+		default:
+			perm = make([]VID, n)
+			for i, p := range rng.Perm(n) {
+				perm[i] = VID(p)
+			}
+		}
+		inv := InversePerm(perm)
+		for v := range perm {
+			if inv[perm[v]] != VID(v) || perm[inv[v]] != VID(v) {
+				return false
+			}
+		}
+		in := make([]Dist, n)
+		for v := range in {
+			in[v] = Dist(rng.Int64N(1_000_000))
+		}
+		back := ApplyPerm(ApplyPerm(in, perm), inv)
+		for v := range in {
+			if back[v] != in[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: relabeling is an isomorphism — structural invariants are
 // unchanged, and shortest distances computed on the relabeled graph map
 // back through the permutation. (The distance check uses the package's own

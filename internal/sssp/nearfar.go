@@ -20,10 +20,16 @@ import (
 //  3. bisect-frontier — keep vertices with distance <= (i+1)·delta in the
 //     near frontier, push the rest onto the flat far queue;
 //  4. bisect-far-queue — when the near frontier drains, advance the phase
-//     threshold and extract qualifying far-queue vertices (full scan).
+//     threshold and extract qualifying far-queue vertices.
 //
-// Stale far-queue entries are dropped lazily; the livelock guard converts a
-// queue bug into an error rather than a hang.
+// Stage 4's structure and schedule depend on Options.FarQueue: the flat
+// queue rescans every entry per phase change (the paper baseline); the
+// lazy bucketed queue drains the next non-empty buckets at the identical
+// threshold schedule; rho (the FarAuto default) subdivides delta into fine
+// buckets and extracts batches big enough to keep the workers saturated,
+// trading the coarse delta band's redundant relaxations for near-Dijkstra
+// ordering. Stale far-queue entries are dropped lazily on every path; the
+// livelock guard converts a queue bug into an error rather than a hang.
 func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Result, error) {
 	if opt == nil {
 		opt = &Options{}
@@ -47,9 +53,34 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 	kn.Force = opt.Advance
 	kn.Observe(opt.Obs)
 	defer kn.Release()
-	var far frontier.Flat
 	front := []graph.VID{src}
 	thr := delta // the phase-(i+1) boundary (i starts at 0)
+
+	// Far-queue strategy selection. farLazy non-nil selects the bucketed
+	// queue (lazy or rho); otherwise the flat baseline queue runs.
+	kind := resolveFarQueue(opt.FarQueue, FarRho)
+	var farFlat frontier.Flat
+	var farLazy *frontier.Lazy
+	var width graph.Dist
+	var batch int
+	switch kind {
+	case FarLazy:
+		width = delta
+		farLazy = frontier.GetLazy(width, thr)
+	case FarRho:
+		width = rhoWidth(delta)
+		batch = rhoBatch(pool.Size())
+		farLazy = frontier.GetLazy(width, thr)
+	}
+	if farLazy != nil {
+		defer farLazy.Release()
+	}
+	farLen := func() int {
+		if farLazy != nil {
+			return farLazy.Len()
+		}
+		return farFlat.Len()
+	}
 
 	frec := opt.Flight
 	if frec != nil {
@@ -59,6 +90,8 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 			Edges:      int64(g.NumEdges()),
 			Source:     int64(src),
 			FixedDelta: int64(delta),
+			FarQueue:   kind.String(),
+			FarWidth:   int64(width),
 		})
 	}
 	var fr flight.Record
@@ -83,8 +116,10 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 		for _, v := range adv.Out {
 			if dist[v] <= thr {
 				near = append(near, v)
+			} else if farLazy != nil {
+				farLazy.Push(v, dist[v])
 			} else {
-				far.Push(v, dist[v])
+				farFlat.Push(v, dist[v])
 			}
 		}
 		simB := kn.SimNow()
@@ -100,31 +135,69 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 			fr = flight.Record{
 				K:  int64(res.Iterations - 1),
 				X1: int64(x1), X2: int64(adv.X2), X3: int64(len(adv.Out)), X4: int64(x4),
-				FarLen:       int64(far.Len()),
+				FarLen:       int64(farLen()),
 				DeltaIn:      float64(thr),
 				JumpMin:      -1,
 				EdgeBalanced: adv.EdgeBalanced,
 			}
 		}
 
-		// Stage 4: when the near frontier drains, advance the phase to
-		// the first delta multiple that admits far-queue work.
-		if len(front) == 0 && far.Len() > 0 {
+		// Stage 4: when the near frontier drains, advance the phase
+		// threshold and extract far-queue work.
+		if len(front) == 0 && farLen() > 0 {
 			spQ := kn.tr.Begin(obs.PhaseRebalance)
 			var scanned int
-			minD := far.MinDist(dist)
-			fr.JumpMin = int64(minD)
-			if minD < graph.Inf {
-				if minD > thr {
-					steps := (minD - thr + delta - 1) / delta
-					thr += steps * delta
-				} else {
-					thr += delta
+			if kind == FarRho {
+				// Rho batch extraction: drain whole buckets until the
+				// batch can saturate the workers. The threshold lands on
+				// the last drained bucket's boundary; the loop re-runs
+				// only when a drain came up all-stale.
+				for len(front) == 0 && farLazy.Len() > 0 {
+					var s int
+					front, s, thr = farLazy.ExtractBatch(batch, dist, front)
+					scanned += s
 				}
-				front, scanned = far.ExtractBelow(thr, dist, front)
 			} else {
-				// Only stale entries remain: one cleanup scan.
-				front, scanned = far.ExtractBelow(graph.Inf, dist, front)
+				// Flat/lazy: jump to the first delta multiple admitting
+				// the queue's minimum and extract. Flat's O(1) MinDist is
+				// a lower bound (a stale entry may undershoot), so retry:
+				// each failed extraction purges the stale minimum and
+				// tightens the next bound, and the telescoped jumps land
+				// on the same final threshold as an exact-minimum jump —
+				// which is what flight replay recomputes from the last
+				// recorded JumpMin. The lazy queue's MinDist is exact, so
+				// it takes one pass.
+				for len(front) == 0 && farLen() > 0 {
+					var minD graph.Dist
+					if farLazy != nil {
+						minD = farLazy.MinDist(dist)
+					} else {
+						minD = farFlat.MinDist(dist)
+					}
+					fr.JumpMin = int64(minD)
+					extract := func(t graph.Dist) (int, []graph.VID) {
+						if farLazy != nil {
+							out, s := farLazy.ExtractBelow(t, dist, front)
+							return s, out
+						}
+						out, s := farFlat.ExtractBelow(t, dist, front)
+						return s, out
+					}
+					var s int
+					if minD < graph.Inf {
+						if minD > thr {
+							steps := (minD - thr + delta - 1) / delta
+							thr += steps * delta
+						} else {
+							thr += delta
+						}
+						s, front = extract(thr)
+					} else {
+						// Only stale entries remain: one cleanup scan.
+						s, front = extract(graph.Inf)
+					}
+					scanned += s
+				}
 			}
 			simQ := kn.SimNow()
 			durQ := kn.ChargeFarQueue(scanned)
@@ -134,7 +207,7 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 		if opt.Profile != nil {
 			st := metrics.IterStat{
 				K: res.Iterations - 1, X1: x1, X2: adv.X2, X3: len(adv.Out), X4: x4,
-				Delta: float64(thr), FarSize: far.Len(), Edges: adv.Edges,
+				Delta: float64(thr), FarSize: farLen(), Edges: adv.Edges,
 				EdgeBalanced: adv.EdgeBalanced,
 			}
 			if opt.Machine != nil {
@@ -153,7 +226,7 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 			fr.RawDelta = float64(thr)
 			fr.DeltaOut = float64(thr)
 			fr.AppliedDelta = float64(thr) - fr.DeltaIn
-			fr.FarSize = int64(far.Len())
+			fr.FarSize = int64(farLen())
 			if opt.Machine != nil {
 				fr.SimTimeNs = int64(opt.Machine.Now() - startSim)
 				fr.EnergyJ = opt.Machine.Energy() - startJ

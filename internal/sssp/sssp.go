@@ -49,6 +49,13 @@ type Options struct {
 	// host-side scheduling only — simulated time/energy accounting is
 	// identical across strategies.
 	Advance Strategy
+	// FarQueue pins the far-queue structure and phase-advance policy for
+	// NearFar and DeltaStepping (flat, lazy, or rho); FarAuto (the zero
+	// value) selects each solver's fastest default. Every strategy
+	// computes exact distances and charges the simulated far-queue kernel
+	// per scanned entry; the flight header records which one ran so
+	// replay validates the matching schedule.
+	FarQueue FarQueueStrategy
 	// Obs, when non-nil, attaches the runtime observability layer: phase
 	// spans go to Obs.Tracer, solver/controller metrics to Obs.Reg. Like
 	// Advance, it is host-side only — simulated time and energy are

@@ -28,11 +28,11 @@ lint_json="$(go run ./cmd/lint -json ./internal/analysis/...)"
 [[ "$lint_json" == "["* ]] || { echo "lint -json did not emit a JSON array" >&2; exit 1; }
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/parallel/... ./internal/sssp/... ./internal/obs/... \
-    ./internal/flight/... ./internal/core/...
+go test -race ./internal/parallel/... ./internal/frontier/... ./internal/sssp/... \
+    ./internal/obs/... ./internal/flight/... ./internal/core/...
 
-echo "==> zero-allocation steady-state gates (obs off, obs on, flight on)"
-go test -run 'TestAdvanceSteadyStateAllocs|TestObsSteadyStateAllocs' -count=1 ./internal/sssp/
+echo "==> zero-allocation steady-state gates (obs off, obs on, flight on, lazy far queue)"
+go test -run 'TestAdvanceSteadyStateAllocs|TestObsSteadyStateAllocs|TestLazyFarSteadyStateAllocs' -count=1 ./internal/sssp/
 go test -run 'TestFlightSteadyStateAllocs' -count=1 ./internal/core/
 
 echo "==> flight-recorder gates: record/replay determinism + same-seed diff"
