@@ -283,16 +283,20 @@ func ParseFreq(s string) (Freq, error) {
 	return Freq{CoreMHz: c, MemMHz: m}, nil
 }
 
-// NewObserver constructs a runtime observer with a trace ring of
-// traceEvents events (0 selects the default, 64Ki). Attach it via
+// NewObserver constructs a runtime observer whose per-solve span trees hold
+// up to traceEvents spans each (0 selects the default, 64Ki). Attach it via
 // RunConfig.Obs (or sssp.Options.Obs), serve it with ServeMetrics, and
 // export its timeline with WriteTrace. One observer may be shared across
-// many runs; counters accumulate and spans interleave.
+// many runs — including concurrent ones: each solve gets its own scope, so
+// span trees stay disjoint while counters and joules aggregate into the
+// fleet totals.
 func NewObserver(traceEvents int) *Observer { return obs.New(traceEvents) }
 
 // ServeMetrics starts an HTTP server for o on addr: Prometheus text at
-// /metrics, the Perfetto trace at /trace, liveness at /healthz. Use port 0
-// to pick a free port (see MetricsServer.Addr); close when done.
+// /metrics (fleet totals plus per-solve label sets), the Perfetto trace at
+// /trace, the live NDJSON telemetry stream at /events (see cmd/obswatch),
+// liveness at /healthz. Use port 0 to pick a free port (see
+// MetricsServer.Addr); close when done.
 func ServeMetrics(addr string, o *Observer) (*MetricsServer, error) { return obs.Serve(addr, o) }
 
 // NewFlightRecorder constructs a controller flight recorder whose
@@ -331,14 +335,26 @@ func FlightFindings(l *FlightLog) []FlightFinding { return flight.Detect(l, flig
 // log: trajectory sparklines, tracking statistics, and detector findings.
 func WriteFlightDashboard(w io.Writer, l *FlightLog) error { return flight.WriteDashboard(w, l) }
 
-// WriteTrace writes o's recorded phase timeline as Chrome trace-event JSON
-// loadable in ui.perfetto.dev: one track of host wall-clock spans, one of
-// the simulated device intervals they charged.
+// WriteTrace writes o's recorded span timeline as Chrome trace-event JSON
+// loadable in ui.perfetto.dev: one process per solve scope, each with a
+// host wall-clock track (solve → iteration → phase → kernel nesting) and a
+// simulated-device track of the intervals those spans charged.
 func WriteTrace(w io.Writer, o *Observer) error {
 	if o == nil {
 		return fmt.Errorf("energysssp: WriteTrace requires a non-nil Observer")
 	}
-	return obs.WriteTraceJSON(w, o.Tracer.Snapshot(nil))
+	return obs.WriteTraceJSON(w, o.TraceSnapshot())
+}
+
+// WriteEnergyReport writes o's energy-attribution artifact as JSON:
+// simulated joules per solver phase, per advance/far-queue strategy, and
+// the fleet total. The per-phase figures reconcile with the simulator's
+// own energy accounting to within one ULP per charge.
+func WriteEnergyReport(w io.Writer, o *Observer) error {
+	if o == nil {
+		return fmt.Errorf("energysssp: WriteEnergyReport requires a non-nil Observer")
+	}
+	return o.WriteEnergyJSON(w)
 }
 
 // Run executes one SSSP computation per cfg and returns its result and
@@ -347,6 +363,15 @@ func Run(g *Graph, src VID, cfg RunConfig) (*RunOutput, error) {
 	opt := &sssp.Options{Obs: cfg.Obs, Flight: cfg.FlightLog}
 	if cfg.FlightLog != nil {
 		cfg.Obs.SetFlight(cfg.FlightLog) // nil-safe when no observer is attached
+		if hub := cfg.Obs.Hub(); hub != nil {
+			// Promote the offline detectors to online: every appended flight
+			// record streams through them, and a first threshold crossing
+			// surfaces immediately as a /events finding instead of waiting
+			// for a post-run FlightFindings pass.
+			cfg.FlightLog.SetOnline(flight.NewOnlineDetector(flight.DetectOptions{}, func(f flight.Finding) {
+				hub.Publish(obs.Event{Type: "finding", Kind: string(f.Kind), Iter: f.FirstK, Detail: f.Detail})
+			}))
+		}
 	}
 	fq, err := sssp.ParseFarQueue(cfg.FarQueue)
 	if err != nil {

@@ -327,7 +327,9 @@ func benchAdvance(b *testing.B, g *Graph, workers int, strat sssp.Strategy, o *o
 	kn := sssp.NewKernels(g, pool, nil, dist)
 	defer kn.Release()
 	kn.Force = strat
-	kn.Observe(o)
+	sc := o.NewScope("bench") // nil observer hands out a nil (no-op) scope
+	defer sc.Close()
+	kn.Observe(sc)
 	front := make([]VID, 0, g.NumVertices())
 	var edges int64
 	for v := 0; v < g.NumVertices(); v++ {
@@ -391,6 +393,69 @@ func BenchmarkObsAdvance(b *testing.B) {
 	})
 	b.Run("rmat/p4/on", func(b *testing.B) {
 		benchAdvance(b, g, 4, sssp.StrategyAuto, obs.New(obs.DefaultTraceEvents))
+	})
+}
+
+// benchSpanAdvance measures a driver-shaped iteration: the same steady-state
+// advance as benchAdvance, but each op additionally opens and closes an
+// iteration span, records a kernel mark, and publishes live solve stats —
+// the full per-iteration span traffic a real solver generates. Compared
+// against the off leg (identical loop, no scope), the delta prices the
+// hierarchical tracer itself.
+func benchSpanAdvance(b *testing.B, g *Graph, o *obs.Observer) {
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	res, err := sssp.BellmanFord(g, 0, &sssp.Options{Pool: pool})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := res.Dist
+	kn := sssp.NewKernels(g, pool, nil, dist)
+	defer kn.Release()
+	kn.Force = sssp.StrategyAuto
+	sc := o.NewScope("spanbench")
+	defer sc.Close()
+	kn.Observe(sc)
+	tr := kn.Trace()
+	front := make([]VID, 0, g.NumVertices())
+	var edges int64
+	for v := 0; v < g.NumVertices(); v++ {
+		if dist[v] < Inf {
+			front = append(front, VID(v))
+			edges += int64(g.OutDegree(VID(v)))
+		}
+	}
+	spSolve := tr.BeginSolve()
+	defer func() { spSolve.End(0) }()
+	cycle := func(i int) {
+		spIter := tr.BeginIter(i)
+		adv := kn.Advance(front)
+		tr.Mark(obs.PhaseRebalance, int64(len(front)), 0, 0)
+		sc.Live().Iteration(int64(i), int64(len(front)), 0, int64(adv.X2), 0, 0)
+		spIter.End(int64(adv.X2))
+	}
+	cycle(0) // warm the first span slab and scratch high-water marks
+	b.SetBytes(edges)
+	b.ReportAllocs()
+	runtime.GC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle(i)
+	}
+}
+
+// BenchmarkSpanAdvance is the release gate's off/on pair for the
+// hierarchical span tracer (perfgate budget: on within 5% of off ns/op on
+// the hub-heavy input at pool 4). The off leg runs the identical
+// driver-shaped loop against a nil scope, so every span call hits the
+// nil-safe fast path and the pair isolates slab recording cost alone.
+func BenchmarkSpanAdvance(b *testing.B) {
+	g := gen.RMAT(14, 16, 0.57, 0.19, 0.19, 1, 99, 21)
+	b.Run("rmat/p4/off", func(b *testing.B) {
+		benchSpanAdvance(b, g, nil)
+	})
+	b.Run("rmat/p4/on", func(b *testing.B) {
+		benchSpanAdvance(b, g, obs.New(obs.DefaultTraceEvents))
 	})
 }
 

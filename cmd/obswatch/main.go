@@ -1,0 +1,221 @@
+// Command obswatch is a live terminal dashboard for a running solver
+// process: it attaches to the /events NDJSON stream served by -obs-listen
+// (cmd/sssp, cmd/experiments, or any embedder of ServeMetrics) and renders
+// one line per active solve — iteration, frontier and far-queue sizes, the
+// X² parallelism signal, applied delta, energy, and simulated time —
+// updating in place, plus a rolling tail of detector findings and solve
+// lifecycle events.
+//
+// Examples:
+//
+//	obswatch -addr localhost:9090
+//	obswatch -addr localhost:9090 -interval 100ms -raw
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"energysssp/internal/obs"
+)
+
+// solveRow is the latest known state of one solve, built from its
+// lifecycle events and heartbeats.
+type solveRow struct {
+	ev    obs.Event // last heartbeat (or lifecycle event before the first one)
+	done  bool
+	seen  time.Time
+	order int // arrival order, for a stable display
+}
+
+const findingTail = 8
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:9090", "host:port of the solver's -obs-listen endpoint")
+		interval = flag.Duration("interval", 500*time.Millisecond, "heartbeat interval to request from the server")
+		wait     = flag.Duration("wait", 10*time.Second, "keep retrying the connection for this long (the endpoint appears only once the solver has loaded its graph)")
+		raw      = flag.Bool("raw", false, "print the NDJSON stream as-is instead of rendering the dashboard")
+	)
+	flag.Parse()
+
+	u := url.URL{Scheme: "http", Host: *addr, Path: "/events",
+		RawQuery: url.Values{"interval": {interval.String()}}.Encode()}
+	resp, err := connect(u.String(), *wait)
+	if err != nil {
+		fatal(err)
+	}
+	//lint:ignore errcheck nothing to do with a close error on process exit
+	defer resp.Body.Close()
+
+	// Restore the cursor on ^C so the terminal is left usable.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	//lint:ignore leakspawn one-off signal handler; lives for the process lifetime by design
+	go func() {
+		<-sigc
+		if !*raw {
+			fmt.Print("\x1b[?25h\n")
+		}
+		os.Exit(130)
+	}()
+
+	rows := map[string]*solveRow{}
+	var findings []obs.Event
+	var total, dropped int
+	lastDraw := time.Time{}
+	if !*raw {
+		fmt.Print("\x1b[?25l") // hide cursor while redrawing in place
+	}
+
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 64<<10), 1<<20)
+	for scan.Scan() {
+		if *raw {
+			fmt.Println(scan.Text())
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(scan.Bytes(), &ev); err != nil {
+			dropped++
+			continue
+		}
+		total++
+		switch ev.Type {
+		case "hello":
+			// Connection banner; nothing to track.
+		case "solve-start":
+			rows[ev.Solve] = &solveRow{ev: ev, seen: time.Now(), order: len(rows)}
+		case "heartbeat":
+			r := rows[ev.Solve]
+			if r == nil {
+				r = &solveRow{order: len(rows)}
+				rows[ev.Solve] = r
+			}
+			r.ev, r.seen = ev, time.Now()
+		case "solve-end":
+			r := rows[ev.Solve]
+			if r == nil {
+				r = &solveRow{ev: ev, order: len(rows)}
+				rows[ev.Solve] = r
+			}
+			// Keep the richer heartbeat payload; fold in the final totals.
+			if ev.Iter > 0 {
+				r.ev.Iter = ev.Iter
+			}
+			if ev.EnergyJ > 0 {
+				r.ev.EnergyJ = ev.EnergyJ
+			}
+			r.done, r.seen = true, time.Now()
+		case "finding":
+			findings = append(findings, ev)
+			if len(findings) > findingTail {
+				findings = findings[len(findings)-findingTail:]
+			}
+		}
+		// Redraw at most ~10 Hz no matter how fast events arrive.
+		if time.Since(lastDraw) >= 100*time.Millisecond {
+			draw(*addr, rows, findings, total, dropped)
+			lastDraw = time.Now()
+		}
+	}
+	if !*raw {
+		draw(*addr, rows, findings, total, dropped)
+		fmt.Print("\x1b[?25h")
+	}
+	// The stream ends when the solver process exits; a mid-line cut
+	// (unexpected EOF / reset) is that same normal shutdown, not a failure.
+	if err := scan.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "obswatch: stream closed (%v)\n", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "obswatch: stream closed by server")
+}
+
+// draw repaints the whole dashboard from the top-left. Full-screen
+// repaints at ≤10 Hz are well under what any terminal handles, and they
+// keep the renderer stateless.
+func draw(addr string, rows map[string]*solveRow, findings []obs.Event, total, dropped int) {
+	var b strings.Builder
+	b.WriteString("\x1b[H\x1b[2J")
+	fmt.Fprintf(&b, "obswatch %s — %d events", addr, total)
+	if dropped > 0 {
+		fmt.Fprintf(&b, " (%d unparseable)", dropped)
+	}
+	b.WriteString("\n\n")
+
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return rows[names[i]].order < rows[names[j]].order })
+
+	fmt.Fprintf(&b, "%-22s %-9s %6s %9s %9s %9s %9s %8s %10s %9s\n",
+		"SOLVE", "STRATEGY", "STATE", "ITER", "FRONTIER", "FAR", "X2", "DELTA", "ENERGY", "SIM")
+	for _, name := range names {
+		r := rows[name]
+		state := "run"
+		if r.done {
+			state = "done"
+		} else if time.Since(r.seen) > 3*time.Second {
+			state = "stale"
+		}
+		ev := r.ev
+		fmt.Fprintf(&b, "%-22s %-9s %6s %9d %9d %9d %9d %8.2f %9.3fJ %7.1fms\n",
+			trunc(name, 22), trunc(ev.Strategy, 9), state,
+			ev.Iter, ev.Frontier, ev.FarLen, ev.X2, ev.Delta, ev.EnergyJ, ev.SimMs)
+	}
+	if len(rows) == 0 {
+		b.WriteString("(no solves yet — waiting for solve-start)\n")
+	}
+
+	if len(findings) > 0 {
+		b.WriteString("\nFINDINGS (online detectors)\n")
+		for _, f := range findings {
+			fmt.Fprintf(&b, "  %s  %-22s k=%-6d %s\n", f.T, f.Kind, f.Iter, f.Detail)
+		}
+	}
+	os.Stdout.WriteString(b.String()) //lint:ignore errcheck a failed terminal write has no recovery path
+}
+
+// connect retries the stream request until it succeeds or the wait budget
+// runs out, so obswatch can be started before (or alongside) the solver.
+func connect(url string, wait time.Duration) (*http.Response, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(url)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			return resp, nil
+		}
+		if err == nil {
+			resp.Body.Close() //lint:ignore errcheck retrying anyway; the status is the error that matters
+			err = fmt.Errorf("GET %s: status %s", url, resp.Status)
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obswatch:", err)
+	os.Exit(1)
+}

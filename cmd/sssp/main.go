@@ -40,9 +40,10 @@ func main() {
 		profile   = flag.String("profile", "", "write the per-iteration profile to this path (.json for JSON, CSV otherwise)")
 		check     = flag.Bool("check", false, "verify distances against the Dijkstra oracle")
 		tune      = flag.Bool("tune", false, "sweep fixed deltas and report the time-minimizing one (requires -device)")
-		obsListen = flag.String("obs-listen", "", "serve live observability on this address (e.g. :9090): /metrics, /trace, /healthz, /flight")
+		obsListen = flag.String("obs-listen", "", "serve live observability on this address (e.g. :9090): /metrics, /trace, /events, /healthz, /flight")
 		traceOut  = flag.String("trace-out", "", "write the solve's phase timeline as Perfetto/Chrome trace JSON to this path")
 		flightOut = flag.String("flight-out", "", "write the controller flight log as JSONL to this path (replay with 'flight replay')")
+		energyOut = flag.String("energy-out", "", "write the per-phase/per-strategy energy attribution as JSON to this path (requires -device)")
 	)
 	flag.Parse()
 
@@ -84,7 +85,7 @@ func main() {
 	}
 
 	var o *energysssp.Observer
-	if *obsListen != "" || *traceOut != "" {
+	if *obsListen != "" || *traceOut != "" || *energyOut != "" {
 		o = energysssp.NewObserver(0)
 		cfg.Obs = o
 	}
@@ -104,7 +105,8 @@ func main() {
 				fmt.Fprintln(os.Stderr, "sssp: metrics server:", err)
 			}
 		}()
-		fmt.Printf("observability: http://%s/metrics (Perfetto timeline at /trace)\n", srv.Addr())
+		fmt.Printf("observability: http://%s/metrics (Perfetto timeline at /trace, live NDJSON stream at /events — watch with 'obswatch -addr %s')\n",
+			srv.Addr(), srv.Addr())
 	}
 
 	// On SIGINT/SIGTERM, flush whatever partial outputs exist — the flight
@@ -116,7 +118,7 @@ func main() {
 	go func() {
 		sig := <-sigc
 		fmt.Fprintf(os.Stderr, "\nsssp: %v: flushing partial outputs\n", sig)
-		flushOutputs(*traceOut, *flightOut, o, rec)
+		flushOutputs(*traceOut, *flightOut, *energyOut, o, rec)
 		if srv != nil {
 			if err := srv.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "sssp: metrics server:", err)
@@ -172,21 +174,28 @@ func main() {
 		}
 		fmt.Printf("profile written to %s (%d iterations)\n", *profile, out.Profile.Len())
 	}
-	flushOutputs(*traceOut, *flightOut, o, rec)
+	flushOutputs(*traceOut, *flightOut, *energyOut, o, rec)
 	if o != nil {
 		fmt.Println(o.SummaryLine())
 	}
 }
 
-// flushOutputs writes the Perfetto trace and flight log to their requested
-// paths. It is shared between the normal exit path and the signal handler,
-// so it reports failures instead of fataling.
-func flushOutputs(traceOut, flightOut string, o *energysssp.Observer, rec *energysssp.FlightRecorder) {
+// flushOutputs writes the Perfetto trace, energy attribution, and flight
+// log to their requested paths. It is shared between the normal exit path
+// and the signal handler, so it reports failures instead of fataling.
+func flushOutputs(traceOut, flightOut, energyOut string, o *energysssp.Observer, rec *energysssp.FlightRecorder) {
 	if traceOut != "" && o != nil {
 		if err := writeFile(traceOut, func(f *os.File) error { return energysssp.WriteTrace(f, o) }); err != nil {
 			fmt.Fprintln(os.Stderr, "sssp: trace:", err)
 		} else {
 			fmt.Printf("trace written to %s (load it in ui.perfetto.dev)\n", traceOut)
+		}
+	}
+	if energyOut != "" && o != nil {
+		if err := writeFile(energyOut, func(f *os.File) error { return energysssp.WriteEnergyReport(f, o) }); err != nil {
+			fmt.Fprintln(os.Stderr, "sssp: energy report:", err)
+		} else {
+			fmt.Printf("energy attribution written to %s\n", energyOut)
 		}
 	}
 	if flightOut != "" && rec != nil {

@@ -1,0 +1,246 @@
+package energysssp
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"energysssp/internal/obs"
+)
+
+// scrapeFamilies parses a Prometheus exposition into bare fleet values and
+// per-solve values keyed by family name.
+func scrapeFamilies(t *testing.T, text string) (fleet map[string]float64, scoped map[string]map[string]float64) {
+	t.Helper()
+	fleet = map[string]float64{}
+	scoped = map[string]map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable metric line %q: %v", line, err)
+		}
+		series := line[:sp]
+		br := strings.IndexByte(series, '{')
+		if br < 0 {
+			fleet[series] = v
+			continue
+		}
+		name, labels := series[:br], series[br:]
+		i := strings.Index(labels, `solve="`)
+		if i < 0 {
+			fleet[series] = v // labeled but not scope-scoped (e.g. phase-only)
+			continue
+		}
+		solve := labels[i+len(`solve="`):]
+		solve = solve[:strings.IndexByte(solve, '"')]
+		// Strip the solve label so the key matches the fleet series.
+		stripped := strings.Replace(labels, `,solve="`+solve+`"`, "", 1)
+		stripped = strings.Replace(stripped, `solve="`+solve+`"`, "", 1)
+		if stripped == "{}" {
+			stripped = ""
+		}
+		if scoped[name+stripped] == nil {
+			scoped[name+stripped] = map[string]float64{}
+		}
+		scoped[name+stripped][solve] = v
+	}
+	return fleet, scoped
+}
+
+// TestConcurrentSolvesIsolated is the acceptance test of the per-solve
+// observability plane: two solves racing on one shared Observer must (a)
+// produce bit-identical results to their sequential runs, (b) record
+// disjoint span trees — one solve root per scope, iteration spans matching
+// each run's own iteration count, never interleaved — and (c) leave the
+// fleet /metrics as the exact sum of the two per-solve label sets.
+func TestConcurrentSolvesIsolated(t *testing.T) {
+	g := CalLike(0.01, 42)
+	srcs := []VID{0, VID(g.NumVertices() / 2)}
+	cfg := func(o *Observer) RunConfig {
+		return RunConfig{Algorithm: SelfTuning, SetPoint: 200, Device: "TK1", Obs: o}
+	}
+
+	// Sequential ground truth, observability off.
+	seq := make([]*RunOutput, len(srcs))
+	for i, src := range srcs {
+		out, err := Run(g, src, cfg(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = out
+	}
+
+	o := NewObserver(0)
+	conc := make([]*RunOutput, len(srcs))
+	errs := make([]error, len(srcs))
+	var wg sync.WaitGroup
+	for i, src := range srcs {
+		wg.Add(1)
+		go func(i int, src VID) {
+			defer wg.Done()
+			conc[i], errs[i] = Run(g, src, cfg(o))
+		}(i, src)
+	}
+	wg.Wait()
+
+	// (a) Bit-identical results under racing instrumentation.
+	for i := range srcs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if conc[i].Iterations != seq[i].Iterations {
+			t.Errorf("src %d: iterations %d concurrent vs %d sequential", srcs[i], conc[i].Iterations, seq[i].Iterations)
+		}
+		if math.Float64bits(conc[i].EnergyJ) != math.Float64bits(seq[i].EnergyJ) {
+			t.Errorf("src %d: energy %v concurrent vs %v sequential", srcs[i], conc[i].EnergyJ, seq[i].EnergyJ)
+		}
+		for v := range seq[i].Dist {
+			if conc[i].Dist[v] != seq[i].Dist[v] {
+				t.Fatalf("src %d: dist[%d] = %d concurrent vs %d sequential", srcs[i], v, conc[i].Dist[v], seq[i].Dist[v])
+			}
+		}
+	}
+
+	// (b) Disjoint span trees: one scope per solve, each with exactly one
+	// solve root whose iteration children match that run's count.
+	snap := o.TraceSnapshot()
+	if len(snap) != len(srcs) {
+		t.Fatalf("TraceSnapshot has %d scopes, want %d", len(snap), len(srcs))
+	}
+	iterCounts := map[int64]int{}
+	for _, run := range conc {
+		iterCounts[int64(run.Iterations)]++
+	}
+	names := map[string]bool{}
+	for _, sc := range snap {
+		if names[sc.Name] {
+			t.Fatalf("duplicate scope name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		ids := map[int32]bool{}
+		var roots, iters int
+		for _, ev := range sc.Spans {
+			ids[ev.ID] = true
+			switch ev.Kind {
+			case obs.SpanSolve:
+				roots++
+				if ev.Parent != -1 {
+					t.Errorf("scope %s: solve span has parent %d", sc.Name, ev.Parent)
+				}
+			case obs.SpanIter:
+				iters++
+			}
+		}
+		for _, ev := range sc.Spans {
+			if ev.Parent >= 0 && !ids[ev.Parent] {
+				t.Fatalf("scope %s: span %d references parent %d outside its own tree", sc.Name, ev.ID, ev.Parent)
+			}
+		}
+		if roots != 1 {
+			t.Errorf("scope %s: %d solve roots, want 1", sc.Name, roots)
+		}
+		if iterCounts[int64(iters)] == 0 {
+			t.Errorf("scope %s: %d iteration spans match no run (want one of %v)", sc.Name, iters, iterCounts)
+		}
+		iterCounts[int64(iters)]--
+	}
+
+	// (c) Fleet series = sum over per-solve label sets, exactly.
+	var sb strings.Builder
+	if err := o.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fleet, scoped := scrapeFamilies(t, sb.String())
+	for _, fam := range []string{
+		"sssp_updates_total",
+		"sssp_advances_total",
+		"sssp_edges_relaxed_total",
+		"sssp_solves_total",
+		`obs_phase_spans_total{phase="advance"}`,
+	} {
+		per := scoped[fam]
+		if len(per) != len(srcs) {
+			t.Errorf("%s: %d per-solve series, want %d (%v)", fam, len(per), len(srcs), per)
+			continue
+		}
+		var sum float64
+		for _, v := range per {
+			sum += v
+		}
+		if got, ok := fleet[fam]; !ok || got != sum {
+			t.Errorf("%s: fleet %v (present %v) != sum of scopes %v", fam, got, ok, sum)
+		}
+	}
+	if got := fleet["sssp_solves_total"]; got != 2 {
+		t.Errorf("sssp_solves_total = %v, want 2", got)
+	}
+
+	// Fleet energy chains both scopes' charges; each solve's own energy is
+	// exact, so the fleet total matches their sum to rounding.
+	wantJ := conc[0].EnergyJ + conc[1].EnergyJ
+	ulp := math.Nextafter(wantJ, math.Inf(1)) - wantJ
+	if got := o.Energy().TotalJoules(); math.Abs(got-wantJ) > 4*ulp {
+		t.Errorf("fleet joules %v, want %v (sum of solves)", got, wantJ)
+	}
+}
+
+// TestEnergyReportReconciles: the per-phase energy attribution written by
+// WriteEnergyReport must telescope back to the machine's own end-minus-start
+// figure for the solve within 1 ULP, and the per-strategy ledger must carry
+// the whole total under the solver's declared strategy.
+func TestEnergyReportReconciles(t *testing.T) {
+	g := CalLike(0.01, 7)
+	o := NewObserver(0)
+	out, err := Run(g, 0, RunConfig{Algorithm: SelfTuning, SetPoint: 200, Device: "TK1", Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEnergyReport(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Phases     map[string]float64 `json:"phases"`
+		Strategies map[string]float64 `json:"strategies"`
+		TotalJ     float64            `json:"total_joules"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("energy report not JSON: %v\n%s", err, buf.String())
+	}
+
+	ulp := math.Nextafter(out.EnergyJ, math.Inf(1)) - out.EnergyJ
+	if diff := math.Abs(rep.TotalJ - out.EnergyJ); diff > ulp {
+		t.Errorf("report total %v vs machine %v: diff %g exceeds 1 ULP", rep.TotalJ, out.EnergyJ, diff)
+	}
+	var phaseSum float64
+	for _, v := range rep.Phases {
+		phaseSum += v
+	}
+	if diff := math.Abs(phaseSum - out.EnergyJ); diff > 8*ulp {
+		t.Errorf("phase sum %v vs machine %v: diff %g", phaseSum, out.EnergyJ, diff)
+	}
+	if len(rep.Phases) < 2 {
+		t.Errorf("energy attribution covers %d phases, want several: %v", len(rep.Phases), rep.Phases)
+	}
+	var stratSum float64
+	for _, v := range rep.Strategies {
+		stratSum += v
+	}
+	if diff := math.Abs(stratSum - out.EnergyJ); diff > ulp {
+		t.Errorf("strategy ledger %v vs machine %v: diff %g", stratSum, out.EnergyJ, diff)
+	}
+	if err := WriteEnergyReport(&buf, nil); err == nil {
+		t.Fatal("WriteEnergyReport(nil observer) should error")
+	}
+}

@@ -16,6 +16,10 @@ import (
 //     string (even fmt.Errorf on a path "never taken" allocates its frame);
 //   - string concatenation with non-constant operands allocates the result;
 //   - explicit conversion of a concrete value to an interface type boxes it.
+//     Pointer-shaped operands (pointers, channels, maps, funcs) are exempt:
+//     their interface representation is the word itself, so converting them
+//     never heap-allocates — this is what makes sync.Pool slab recycling
+//     (spanSlabPool.Put(slab), slab a *spanSlab) free on the hot path.
 //
 // Formatting and diagnostics belong at the solver level, outside the
 // kernels; counters (internal/obs) are the allocation-free way to get data
@@ -129,7 +133,23 @@ func interfaceConversion(p *Pass, call *ast.CallExpr) (string, bool) {
 	if _, already := argT.Underlying().(*types.Interface); already {
 		return "", false
 	}
+	if pointerShaped(argT) {
+		return "", false // the iface data word holds the value directly: no boxing allocation
+	}
 	return types.TypeString(tv.Type, types.RelativeTo(p.Pkg)), true
+}
+
+// pointerShaped reports whether values of t are represented as a single
+// pointer word, so converting them to an interface stores the word in the
+// iface directly instead of heap-allocating a copy.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
 }
 
 // isNonConstString reports whether e is a string-typed expression whose

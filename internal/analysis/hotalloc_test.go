@@ -140,6 +140,27 @@ func (r *rec) Append(v int) {
 `,
 		},
 		{
+			name: "allows pointer-shaped interface conversions (sync.Pool recycling idiom)",
+			src: `package a
+
+import "sync"
+
+type slab struct{ ev [8]int64 }
+
+var slabPool sync.Pool
+
+//hot:alloc-free
+func recycle(s *slab, n int, ch chan int) {
+	slabPool.Put(s)
+	x := interface{}(s)  // pointer: the iface word is the pointer itself
+	y := interface{}(ch) // channel: pointer-shaped too
+	z := interface{}(n)  // line 14: an int really boxes
+	_, _, _ = x, y, z
+}
+`,
+			want: []int{14},
+		},
+		{
 			name: "ignores same-named methods on non-parallel types",
 			src: `package a
 

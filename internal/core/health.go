@@ -28,25 +28,29 @@ type health struct {
 	convIter     *obs.Gauge
 }
 
-// newHealth registers the controller-health gauges. Returns nil (disabling
-// all updates) when no observer is attached or the configuration has no
-// meaningful set-point (custom policies may run without one).
-func newHealth(o *obs.Observer, setPoint float64) *health {
-	if o == nil || setPoint < 1 {
+// newHealth registers the controller-health gauges on the solve's scope.
+// The gauges chain to the fleet registry (last-write-wins), so a single
+// solve still exposes the bare sssp_controller_* families at the fleet
+// level. Returns nil (disabling all updates) when no scope is attached or
+// the configuration has no meaningful set-point (custom policies may run
+// without one).
+func newHealth(sc *obs.Scope, setPoint float64) *health {
+	reg := sc.Registry()
+	if reg == nil || setPoint < 1 {
 		return nil
 	}
 	h := &health{p: setPoint}
-	o.Reg.Gauge("sssp_controller_set_point",
+	reg.Gauge("sssp_controller_set_point",
 		"parallelism set-point P the controller steers X2 toward").Set(setPoint)
-	h.trackErr = o.Reg.Gauge("sssp_controller_tracking_error",
+	h.trackErr = reg.Gauge("sssp_controller_tracking_error",
 		"last iteration's set-point tracking error |X2-P|/P")
-	h.trackErrMean = o.Reg.Gauge("sssp_controller_tracking_error_mean",
+	h.trackErrMean = reg.Gauge("sssp_controller_tracking_error_mean",
 		"mean set-point tracking error |X2-P|/P over the solve")
-	h.dhat = o.Reg.Gauge("sssp_controller_d_hat",
+	h.dhat = reg.Gauge("sssp_controller_d_hat",
 		"ADVANCE-MODEL degree estimate d")
-	h.alphahat = o.Reg.Gauge("sssp_controller_alpha_hat",
+	h.alphahat = reg.Gauge("sssp_controller_alpha_hat",
 		"BISECT-MODEL density estimate alpha")
-	h.convIter = o.Reg.Gauge("sssp_controller_model_convergence_iters",
+	h.convIter = reg.Gauge("sssp_controller_model_convergence_iters",
 		"iteration at which both model estimates first moved <1% (-1: not yet)")
 	h.convIter.Set(-1)
 	return h

@@ -87,10 +87,16 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 	dist[src] = 0
 	kn := sssp.NewKernels(g, pool, opt.Machine, dist)
 	kn.Force = opt.Advance
-	kn.Observe(opt.Obs)
+	sc, ownScope := opt.AcquireScope("selftuning")
+	if ownScope {
+		defer sc.Close()
+	}
+	kn.Observe(sc)
 	defer kn.Release()
+	sc.SetStrategy("partitioned")
+	sc.Live().SetSetPoint(int64(cfg.P))
 	tr := kn.Trace() // nil-safe when no observer is attached
-	hlth := newHealth(opt.Obs, cfg.P)
+	hlth := newHealth(sc, cfg.P)
 
 	policy := cfg.Policy
 	if policy == nil {
@@ -133,11 +139,14 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 	var lastSim time.Duration
 	var lastJ float64
 	var ctrlWall time.Duration
+	spSolve := tr.BeginSolve()
+	defer func() { spSolve.End(int64(res.Iterations)) }()
 
 	for len(front) > 0 {
 		if res.Iterations++; res.Iterations > guard {
 			return res, sssp.ErrLivelock
 		}
+		spIter := tr.BeginIter(res.Iterations - 1)
 		x1 := len(front)
 		adv := kn.Advance(front)
 		res.EdgesRelaxed += adv.Edges
@@ -293,6 +302,10 @@ func Solve(g *graph.Graph, src graph.VID, cfg Config, opt *sssp.Options) (sssp.R
 			}
 			frec.Append(&fr)
 		}
+
+		sc.Live().Iteration(int64(res.Iterations-1), int64(x1), int64(far.Len()),
+			int64(adv.X2), thr, int64(kn.SimNow()-startSim))
+		spIter.End(int64(adv.X2))
 	}
 
 	obs.ClearPhaseLabel() // don't bleed the last phase into the caller's samples

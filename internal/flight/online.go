@@ -1,0 +1,148 @@
+package flight
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OnlineDetector runs the offline Detect pathology checks incrementally,
+// one Record at a time, so a live solve can surface delta oscillation,
+// alpha collapse, and set-point escape *while they are happening* (the obs
+// /events stream forwards them as "finding" events). The state machines
+// mirror detectOscillation/detectRun exactly, with one intentional timing
+// difference: a finding fires as soon as its run first crosses the
+// detection threshold (that is when an operator can still act on it)
+// rather than when the run ends, and fires once per run. Observing a
+// healthy trajectory allocates nothing; a firing allocates only its
+// Finding.
+//
+// A nil *OnlineDetector is a no-op. Attach one to a Recorder with
+// SetOnline; the recorder resets it on SetHeader and feeds it every
+// Append.
+type OnlineDetector struct {
+	mu   sync.Mutex
+	base DetectOptions // as given; re-defaulted against each header
+	opt  DetectOptions
+	emit func(Finding)
+
+	// Delta-oscillation run (sign-alternation of AppliedDelta).
+	oscStartK int64
+	oscCount  int
+	oscFlips  int
+	oscFired  bool
+	prevSign  int
+
+	collapse onlineRun
+	escape   onlineRun
+}
+
+// onlineRun tracks one maximal run of condition-matching records.
+type onlineRun struct {
+	startK int64
+	n      int
+	fired  bool
+}
+
+func (r *onlineRun) observe(ok bool, k int64, minRun int, fire func(first, last int64, n int)) {
+	if !ok {
+		r.n, r.fired = 0, false
+		return
+	}
+	if r.n == 0 {
+		r.startK = k
+	}
+	r.n++
+	if r.n >= minRun && !r.fired {
+		r.fired = true
+		fire(r.startK, k, r.n)
+	}
+}
+
+// NewOnlineDetector returns a detector with the given tuning (zero value
+// selects the same defaults as Detect) that calls emit for each finding.
+// emit must be safe to call from whatever goroutine drives the recorder.
+func NewOnlineDetector(opt DetectOptions, emit func(Finding)) *OnlineDetector {
+	return &OnlineDetector{base: opt, opt: opt.withDefaults(Header{}), emit: emit}
+}
+
+// Reset rearms every state machine for a new solve and re-derives the
+// bootstrap window from the log header.
+func (d *OnlineDetector) Reset(h Header) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.opt = d.base.withDefaults(h)
+	d.oscStartK, d.oscCount, d.oscFlips, d.oscFired, d.prevSign = 0, 0, 0, false, 0
+	d.collapse = onlineRun{}
+	d.escape = onlineRun{}
+	d.mu.Unlock()
+}
+
+// Observe feeds one iteration record through all three detectors.
+func (d *OnlineDetector) Observe(rec *Record) {
+	if d == nil {
+		return
+	}
+	var fired []Finding
+	d.mu.Lock()
+	opt := d.opt
+
+	// Oscillation: the incremental twin of detectOscillation. Zero steps
+	// end the run; a same-sign step restarts the window at this record.
+	s := sign(rec.AppliedDelta)
+	switch {
+	case s == 0 || d.prevSign == 0:
+		d.oscCount, d.oscFlips, d.oscFired = 0, 0, false
+		if s != 0 {
+			d.oscStartK, d.oscCount = rec.K, 1
+		}
+	case s != d.prevSign:
+		d.oscFlips++
+		d.oscCount++
+		if d.oscFlips >= opt.MinOscillation && !d.oscFired {
+			d.oscFired = true
+			fired = append(fired, Finding{
+				Kind: FindingDeltaOscillation, FirstK: d.oscStartK, LastK: rec.K,
+				Count: d.oscCount,
+				Detail: fmt.Sprintf("Δδ sign alternated %d times over iterations %d–%d",
+					d.oscFlips, d.oscStartK, rec.K),
+			})
+		}
+	default: // same sign: monotone motion, restart the window here
+		d.oscStartK, d.oscCount, d.oscFlips, d.oscFired = rec.K, 1, 0, false
+	}
+	d.prevSign = s
+
+	afterBootstrap := rec.K >= int64(opt.Bootstrap)
+	d.collapse.observe(
+		afterBootstrap && rec.Bisect.Steps > 0 && rec.Alpha <= opt.AlphaFloor,
+		rec.K, opt.MinCollapse,
+		func(first, last int64, n int) {
+			fired = append(fired, Finding{
+				Kind: FindingAlphaCollapse, FirstK: first, LastK: last, Count: n,
+				Detail: fmt.Sprintf("α sat at its %.0e clamp floor for %d iterations (%d–%d); δ steps are open-loop",
+					opt.AlphaFloor, n, first, last),
+			})
+		})
+	escaped := false
+	if rec.SetPoint > 0 {
+		x2 := float64(rec.X2)
+		escaped = x2 > rec.SetPoint*opt.EscapeBand || x2 < rec.SetPoint/opt.EscapeBand
+	}
+	d.escape.observe(afterBootstrap && escaped, rec.K, opt.MinEscape,
+		func(first, last int64, n int) {
+			fired = append(fired, Finding{
+				Kind: FindingSetPointEscape, FirstK: first, LastK: last, Count: n,
+				Detail: fmt.Sprintf("X² stayed outside the [P/%.0f, %.0f·P] band for %d iterations (%d–%d)",
+					opt.EscapeBand, opt.EscapeBand, n, first, last),
+			})
+		})
+	d.mu.Unlock()
+
+	if d.emit != nil {
+		for _, f := range fired {
+			d.emit(f)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package flight
+
+import "testing"
+
+// replayOnline drives a log through a Recorder with an online detector
+// attached, the same path a live solve takes (SetHeader resets the state
+// machines, Append feeds each record), and collects everything that fires.
+func replayOnline(l *Log) []Finding {
+	var out []Finding
+	d := NewOnlineDetector(DetectOptions{}, func(f Finding) { out = append(out, f) })
+	r := NewRecorder(len(l.Records) + 1)
+	r.SetOnline(d)
+	r.SetHeader(l.Header)
+	for k := range l.Records {
+		r.Append(&l.Records[k])
+	}
+	return out
+}
+
+// TestOnlineMatchesOffline checks the online detectors against their
+// offline twins on each injected pathology: every offline finding has an
+// online counterpart of the same kind whose window opens at the same
+// iteration. The online LastK may be earlier — it fires the moment the run
+// crosses the detection threshold, not when the run ends — but never
+// later, and it must fire exactly once per run.
+func TestOnlineMatchesOffline(t *testing.T) {
+	osc := mkLog(30)
+	for k := 10; k < 24; k++ {
+		mag := 4.0
+		if k%2 == 0 {
+			mag = -4
+		}
+		osc.Records[k].AppliedDelta = mag
+	}
+	collapse := mkLog(30)
+	for k := 12; k < 26; k++ {
+		collapse.Records[k].Alpha = 1e-3
+		collapse.Records[k].Bisect.Steps = int64(k)
+	}
+	escape := mkLog(40)
+	for k := 20; k < 36; k++ {
+		escape.Records[k].X2 = int64(escape.Records[k].SetPoint) * 100
+	}
+
+	for _, tc := range []struct {
+		name string
+		l    *Log
+		kind FindingKind
+	}{
+		{"oscillation", osc, FindingDeltaOscillation},
+		{"collapse", collapse, FindingAlphaCollapse},
+		{"escape", escape, FindingSetPointEscape},
+	} {
+		offline := Detect(tc.l, DetectOptions{})
+		online := replayOnline(tc.l)
+		var off *Finding
+		for i := range offline {
+			if offline[i].Kind == tc.kind {
+				off = &offline[i]
+			}
+		}
+		if off == nil {
+			t.Fatalf("%s: offline detector silent: %+v", tc.name, offline)
+		}
+		var hits []Finding
+		for _, f := range online {
+			if f.Kind == tc.kind {
+				hits = append(hits, f)
+			}
+		}
+		if len(hits) != 1 {
+			t.Fatalf("%s: online fired %d times, want once: %+v", tc.name, len(hits), hits)
+		}
+		on := hits[0]
+		if on.FirstK < off.FirstK || on.FirstK > off.LastK {
+			t.Errorf("%s: online window opens at %d, offline run is [%d,%d]",
+				tc.name, on.FirstK, off.FirstK, off.LastK)
+		}
+		if on.LastK > off.LastK {
+			t.Errorf("%s: online fired at %d, after the offline run end %d",
+				tc.name, on.LastK, off.LastK)
+		}
+		if on.Detail == "" {
+			t.Errorf("%s: online finding has no detail", tc.name)
+		}
+	}
+}
+
+// TestOnlineHealthyAndReset: a healthy trajectory fires nothing, SetHeader
+// rearms the state machines between solves, and a nil detector is a no-op
+// on both the recorder and direct-call paths.
+func TestOnlineHealthyAndReset(t *testing.T) {
+	healthy := mkLog(40)
+	for k := range healthy.Records {
+		healthy.Records[k].X2 = 500
+	}
+	if fs := replayOnline(healthy); len(fs) != 0 {
+		t.Fatalf("online detector fired on a healthy log: %+v", fs)
+	}
+
+	// A pathological solve followed by SetHeader then a healthy solve: the
+	// second solve must stay silent (state machines rearmed, not carrying
+	// the first solve's run lengths).
+	escape := mkLog(40)
+	for k := 20; k < 36; k++ {
+		escape.Records[k].X2 = int64(escape.Records[k].SetPoint) * 100
+	}
+	var fired []Finding
+	d := NewOnlineDetector(DetectOptions{}, func(f Finding) { fired = append(fired, f) })
+	r := NewRecorder(64)
+	r.SetOnline(d)
+	r.SetHeader(escape.Header)
+	for k := range escape.Records {
+		r.Append(&escape.Records[k])
+	}
+	n := len(fired)
+	if n == 0 {
+		t.Fatal("pathological solve did not fire")
+	}
+	r.SetHeader(healthy.Header)
+	for k := range healthy.Records {
+		r.Append(&healthy.Records[k])
+	}
+	if len(fired) != n {
+		t.Fatalf("healthy solve after reset fired %d new findings", len(fired)-n)
+	}
+
+	var nilD *OnlineDetector
+	nilD.Reset(Header{})
+	nilD.Observe(&Record{K: 1, AppliedDelta: 5})
+	r2 := NewRecorder(4)
+	r2.SetOnline(nil)
+	r2.Append(&Record{K: 0})
+}

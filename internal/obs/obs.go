@@ -1,23 +1,29 @@
-// Package obs is a stdlib-only runtime observability layer for the solver:
-// a preallocated ring-buffer tracer with per-phase spans, an atomic metric
-// registry with a Prometheus text exporter, an HTTP server, and a
-// Perfetto/Chrome trace-event JSON exporter.
+// Package obs is a stdlib-only runtime observability plane for the solver:
+// a hierarchical span tracer (solve → iteration → phase → kernel) backed by
+// pooled fixed-size span slabs, an atomic metric registry with a Prometheus
+// text exporter, per-solve scopes that aggregate into a fleet-level parent,
+// an energy-attribution meter folding the simulated machine's charges into
+// per-phase joule counters, a live NDJSON event stream, an HTTP server, and
+// a Perfetto/Chrome trace-event JSON exporter.
 //
 // Two invariants shape every API here:
 //
-//   - Host-side only. Instrumentation reads the simulated machine clock but
-//     never charges it; enabling observability must leave simulated time and
-//     energy bit-identical (the same invariant the EdgeBalanced scheduler
-//     keeps between vertex- and edge-balanced advance paths).
+//   - Host-side only. Instrumentation reads the simulated machine clock and
+//     energy but never charges them; enabling observability must leave
+//     simulated time and energy bit-identical (the same invariant the
+//     EdgeBalanced scheduler keeps between vertex- and edge-balanced
+//     advance paths).
 //   - Zero allocations in steady state. Every span, counter increment, and
 //     histogram observation after setup is atomic arithmetic plus writes
-//     into preallocated storage, so the PR 2 "0 allocs/op per advance"
-//     guarantee survives with observability enabled
-//     (gated by TestObsSteadyStateAllocs).
+//     into preallocated (or pool-recycled slab) storage, so the PR 2
+//     "0 allocs/op per advance" guarantee survives with observability
+//     enabled (gated by TestObsSteadyStateAllocs and
+//     TestSpanSteadyStateAllocs).
 //
-// Everything is nil-safe: a nil *Tracer, *Counter, *Gauge, or *Histogram is
-// a no-op, so instrumented call sites need no "if enabled" branches and the
-// off path stays identical to the on path.
+// Everything is nil-safe: a nil *Tracer, *Scope, *Registry, *Counter,
+// *Gauge, *Histogram, or *EnergyMeter is a no-op, so instrumented call
+// sites need no "if enabled" branches and the off path stays identical to
+// the on path.
 package obs
 
 import (
@@ -60,27 +66,66 @@ func (p Phase) String() string {
 	return "unknown"
 }
 
-// Event is one recorded span. All fields are fixed-size so the ring buffer
-// is a flat preallocated []Event with no per-event allocation.
+// SpanKind is the level of a span in the solve hierarchy.
+type SpanKind uint8
+
+const (
+	// SpanSolve covers one whole solver run (one per Scope in the normal
+	// per-solve-scope wiring).
+	SpanSolve SpanKind = iota
+	// SpanIter covers one solver iteration; parent is the solve span.
+	SpanIter
+	// SpanPhase covers one phase execution (advance, filter, ...);
+	// parent is the enclosing iteration span (or the solve span for
+	// phases outside the iteration loop).
+	SpanPhase
+	// SpanKernel marks one simulated-machine charge inside a phase span:
+	// an instantaneous host-side record carrying the charged simulated
+	// interval. Parent is the phase span that bracketed the charge.
+	SpanKernel
+)
+
+func (k SpanKind) String() string {
+	switch k {
+	case SpanSolve:
+		return "solve"
+	case SpanIter:
+		return "iter"
+	case SpanPhase:
+		return "phase"
+	case SpanKernel:
+		return "kernel"
+	}
+	return "unknown"
+}
+
+// SpanEvent is one recorded span. All fields are fixed-size so slabs are
+// flat arrays with no per-span allocation. ID is the span's index in
+// recording order; Parent is the enclosing span's ID (-1 for roots), which
+// is what gives the trace its solve → iteration → phase → kernel nesting.
 //
 // StartNs/HostNs are host wall-clock (relative to the tracer epoch); they
 // measure what the Go process actually spent. SimStartNs/SimNs are the
 // simulated device interval charged by sim.Machine during the span — the
 // time the modeled Jetson board would have taken. The two advance at wildly
-// different rates; keeping both per event is what makes "host time !=
+// different rates; keeping both per span is what makes "host time !=
 // charged sim time" visible on one timeline.
-type Event struct {
-	Seq        uint64 // global sequence number (monotonic, pre-wrap)
-	Phase      Phase
+type SpanEvent struct {
+	ID     int32
+	Parent int32 // parent span ID, -1 for roots
+	Kind   SpanKind
+	Phase  Phase // meaningful for SpanPhase and SpanKernel
+	Iter   int32 // enclosing iteration index (-1 outside any iteration)
+
 	StartNs    int64 // host start, ns since tracer epoch
-	HostNs     int64 // host duration, ns
+	HostNs     int64 // host duration, ns (0 for kernel marks)
 	SimStartNs int64 // simulated clock at span start, ns (0 if no machine)
 	SimNs      int64 // simulated duration charged during the span, ns
-	Items      int64 // phase-specific payload size (edges, updates, scanned keys)
+	Items      int64 // span payload size (edges, updates, scanned keys, iters)
 }
 
-// PhaseTotals aggregates all events of one phase, including events that
-// have been overwritten in the ring.
+// PhaseTotals aggregates all phase spans of one phase, including spans
+// dropped once the slab budget is exhausted.
 type PhaseTotals struct {
 	Count  int64
 	HostNs int64
@@ -98,47 +143,154 @@ type phaseAgg struct {
 	_      [4]int64
 }
 
-// DefaultTraceEvents is the ring capacity used when NewTracer is given a
-// non-positive capacity: 64Ki events x 64 B = 4 MiB, enough for ~10k solver
-// iterations with all five phases instrumented.
+// Span slab geometry: spans are stored in fixed-size slabs drawn from a
+// process-wide sync.Pool, so a tracer's steady state allocates nothing (a
+// slab crossing reuses a pooled slab; only a cold pool pays one slab
+// allocation) and a released tracer returns its memory for the next solve.
+const (
+	spanSlabShift = 11
+	spanSlabSize  = 1 << spanSlabShift // 2048 spans ≈ 112 KiB per slab
+	spanSlabMask  = spanSlabSize - 1
+)
+
+type spanSlab [spanSlabSize]SpanEvent
+
+var spanSlabPool = sync.Pool{New: func() any { return new(spanSlab) }}
+
+// DefaultTraceEvents is the span budget used when NewTracer is given a
+// non-positive capacity: 64Ki spans (32 slabs), enough for ~5k solver
+// iterations with all phases and kernel charges instrumented.
 const DefaultTraceEvents = 1 << 16
 
-// Tracer records spans into a fixed-capacity ring buffer preallocated at
-// construction. When the ring is full the oldest events are overwritten
-// (Dropped counts them); per-phase aggregates keep exact totals regardless.
-// All methods are safe for concurrent use and a nil *Tracer is a no-op.
+// Tracer records hierarchical spans into pooled fixed-size slabs acquired
+// lazily up to a budget fixed at construction. When the budget is
+// exhausted new spans are dropped (Dropped counts them) — unlike the old
+// flat ring it never overwrites: the solve/iteration skeleton at the front
+// of the trace is what gives every retained span its ancestry. Per-phase
+// aggregates keep exact totals regardless of drops.
+//
+// All methods are safe for concurrent use and a nil *Tracer is a no-op,
+// but the hierarchy bookkeeping (open solve/iteration/phase) assumes the
+// single-driver-goroutine solver loop: concurrent solves get disjoint
+// tracers via per-solve Scopes, never one shared tracer.
 type Tracer struct {
-	mu    sync.Mutex
-	seq   uint64 // next sequence number; protected by mu
-	ring  []Event
-	epoch time.Time
-	agg   [numPhases]phaseAgg
+	mu      sync.Mutex
+	epoch   time.Time
+	slabs   []*spanSlab // acquired lazily; cap fixed at construction
+	n       int         // spans recorded
+	max     int         // span budget
+	dropped uint64
+
+	// Open-span stack of the driver loop, -1 when closed. New phase spans
+	// parent to the open iteration (or solve), kernel marks to the open
+	// phase.
+	openSolve int32
+	openIter  int32
+	openPhase int32
+	curIter   int32
+
+	agg [numPhases]phaseAgg
 }
 
-// NewTracer returns a tracer whose ring holds capacity events
-// (DefaultTraceEvents if capacity <= 0). All memory is allocated here.
+// NewTracer returns a tracer holding up to capacity spans
+// (DefaultTraceEvents if capacity <= 0), rounded up to a whole slab.
 func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceEvents
 	}
-	return &Tracer{ring: make([]Event, capacity), epoch: time.Now()}
+	nslabs := (capacity + spanSlabSize - 1) / spanSlabSize
+	return &Tracer{
+		epoch:     time.Now(),
+		slabs:     make([]*spanSlab, 0, nslabs),
+		max:       nslabs * spanSlabSize,
+		openSolve: -1, openIter: -1, openPhase: -1, curIter: -1,
+	}
 }
 
-// Span is an in-flight phase measurement started by Tracer.Begin. The zero
-// Span (from a nil tracer) is valid and End/EndSim on it do nothing.
+// reserve claims the next span slot and stamps its identity; the caller
+// holds t.mu. It returns -1 when the budget is exhausted (the span is
+// dropped and counted). Growing into a new slab appends a pooled slab into
+// the capacity-preallocated slab list, so the steady state allocates
+// nothing once the process pool is warm.
+//
+//hot:alloc-free
+func (t *Tracer) reserve(kind SpanKind, p Phase, parent int32, start time.Duration) int32 {
+	if t.n >= t.max {
+		t.dropped++
+		return -1
+	}
+	if t.n>>spanSlabShift >= len(t.slabs) {
+		t.slabs = append(t.slabs, spanSlabPool.Get().(*spanSlab))
+	}
+	id := int32(t.n)
+	t.n++
+	ev := t.at(id)
+	*ev = SpanEvent{ID: id, Parent: parent, Kind: kind, Phase: p, Iter: t.curIter, StartNs: int64(start)}
+	return id
+}
+
+func (t *Tracer) at(id int32) *SpanEvent {
+	return &t.slabs[id>>spanSlabShift][id&spanSlabMask]
+}
+
+// Span is an in-flight measurement started by BeginSolve/BeginIter/Begin.
+// The zero Span (from a nil tracer) is valid and End/EndSim/Kernel on it do
+// nothing, as do spans dropped by an exhausted budget.
 type Span struct {
 	t     *Tracer
 	start time.Time
+	id    int32
+	kind  SpanKind
 	phase Phase
 }
 
-// Begin starts a span for phase p. Nil-safe: on a nil tracer the returned
-// span is inert and Begin does not read the clock.
+// BeginSolve opens the root span of one solver run and resets the
+// iteration/phase stack. Nil-safe.
+func (t *Tracer) BeginSolve() Span {
+	if t == nil {
+		return Span{}
+	}
+	start := time.Now()
+	t.mu.Lock()
+	t.curIter = -1
+	id := t.reserve(SpanSolve, 0, -1, start.Sub(t.epoch))
+	t.openSolve, t.openIter, t.openPhase = id, -1, -1
+	t.mu.Unlock()
+	return Span{t: t, start: start, id: id, kind: SpanSolve}
+}
+
+// BeginIter opens iteration k's span under the open solve span. Nil-safe.
+func (t *Tracer) BeginIter(k int) Span {
+	if t == nil {
+		return Span{}
+	}
+	start := time.Now()
+	t.mu.Lock()
+	t.curIter = int32(k)
+	id := t.reserve(SpanIter, 0, t.openSolve, start.Sub(t.epoch))
+	t.openIter, t.openPhase = id, -1
+	t.mu.Unlock()
+	return Span{t: t, start: start, id: id, kind: SpanIter}
+}
+
+// Begin opens a phase span under the open iteration span (or directly
+// under the solve span for phases outside the iteration loop). Nil-safe:
+// on a nil tracer the returned span is inert and Begin does not read the
+// clock.
 func (t *Tracer) Begin(p Phase) Span {
 	if t == nil {
 		return Span{}
 	}
-	return Span{t: t, start: time.Now(), phase: p}
+	start := time.Now()
+	t.mu.Lock()
+	parent := t.openIter
+	if parent < 0 {
+		parent = t.openSolve
+	}
+	id := t.reserve(SpanPhase, p, parent, start.Sub(t.epoch))
+	t.openPhase = id
+	t.mu.Unlock()
+	return Span{t: t, start: start, id: id, kind: SpanPhase, phase: p}
 }
 
 // End finishes a span that charged no simulated time.
@@ -148,46 +300,106 @@ func (s Span) End(items int64) {
 
 // EndSim finishes the span, recording the simulated interval charged while
 // it was open: simStart is the machine clock when charging began and simDur
-// the charged duration. Pass zeros when no machine is attached.
+// the charged duration. Pass zeros when no machine is attached. Phase spans
+// feed the exact per-phase aggregates even when the span itself was
+// dropped.
+//
+//hot:alloc-free
 func (s Span) EndSim(items int64, simStart, simDur time.Duration) {
-	if s.t == nil {
+	t := s.t
+	if t == nil {
 		return
 	}
 	host := time.Since(s.start)
-	s.t.record(s.phase, s.start.Sub(s.t.epoch), host, items, simStart, simDur)
+	t.mu.Lock()
+	if s.id >= 0 {
+		ev := t.at(s.id)
+		ev.HostNs = int64(host)
+		ev.SimStartNs = int64(simStart)
+		ev.SimNs = int64(simDur)
+		ev.Items = items
+	}
+	// Pop the open-span stack; out-of-order ends (error paths) only ever
+	// leave an ancestor open, never resurrect a closed span.
+	switch s.kind {
+	case SpanPhase:
+		if t.openPhase == s.id {
+			t.openPhase = -1
+		}
+	case SpanIter:
+		if t.openIter == s.id {
+			t.openIter, t.openPhase, t.curIter = -1, -1, -1
+		}
+	case SpanSolve:
+		if t.openSolve == s.id {
+			t.openSolve, t.openIter, t.openPhase, t.curIter = -1, -1, -1, -1
+		}
+	}
+	t.mu.Unlock()
+	if s.kind == SpanPhase {
+		a := &t.agg[s.phase]
+		a.count.Add(1)
+		a.hostNs.Add(int64(host))
+		a.simNs.Add(int64(simDur))
+		a.items.Add(items)
+	}
 }
 
-// Mark records an instantaneous event: a phase that charged simulated time
-// but had negligible host-side duration of its own (for example the far
-// queue charge computed from counters already maintained elsewhere).
+// Kernel records one simulated-machine charge as an instantaneous
+// kernel-kind child of this span: the charged interval [simStart,
+// simStart+simDur) with zero host duration of its own. The parent phase
+// span's EndSim already carries the phase's sim total, so kernel children
+// do not feed the per-phase aggregates — they detail them.
+//
+//hot:alloc-free
+func (s Span) Kernel(items int64, simStart, simDur time.Duration) {
+	t := s.t
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	id := t.reserve(SpanKernel, s.phase, s.id, time.Since(t.epoch))
+	if id >= 0 {
+		ev := t.at(id)
+		ev.SimStartNs = int64(simStart)
+		ev.SimNs = int64(simDur)
+		ev.Items = items
+	}
+	t.mu.Unlock()
+}
+
+// Mark records an instantaneous kernel-kind event parented to the open
+// iteration (or solve) span: a charge with negligible host-side duration
+// of its own computed outside any phase span (for example the far-queue
+// scan charge computed from counters maintained elsewhere). Unlike
+// Span.Kernel it feeds the per-phase aggregates — it is the only record of
+// that phase's work.
+//
+//hot:alloc-free
 func (t *Tracer) Mark(p Phase, items int64, simStart, simDur time.Duration) {
 	if t == nil {
 		return
 	}
-	t.record(p, time.Since(t.epoch), 0, items, simStart, simDur)
-}
-
-func (t *Tracer) record(p Phase, start, host time.Duration, items int64, simStart, simDur time.Duration) {
+	t.mu.Lock()
+	parent := t.openIter
+	if parent < 0 {
+		parent = t.openSolve
+	}
+	id := t.reserve(SpanKernel, p, parent, time.Since(t.epoch))
+	if id >= 0 {
+		ev := t.at(id)
+		ev.SimStartNs = int64(simStart)
+		ev.SimNs = int64(simDur)
+		ev.Items = items
+	}
+	t.mu.Unlock()
 	a := &t.agg[p]
 	a.count.Add(1)
-	a.hostNs.Add(int64(host))
 	a.simNs.Add(int64(simDur))
 	a.items.Add(items)
-
-	t.mu.Lock()
-	ev := &t.ring[t.seq%uint64(len(t.ring))]
-	ev.Seq = t.seq
-	ev.Phase = p
-	ev.StartNs = int64(start)
-	ev.HostNs = int64(host)
-	ev.SimStartNs = int64(simStart)
-	ev.SimNs = int64(simDur)
-	ev.Items = items
-	t.seq++
-	t.mu.Unlock()
 }
 
-// Totals returns the exact per-phase aggregate, unaffected by ring wrap.
+// Totals returns the exact per-phase aggregate, unaffected by span drops.
 func (t *Tracer) Totals(p Phase) PhaseTotals {
 	if t == nil {
 		return PhaseTotals{}
@@ -201,54 +413,86 @@ func (t *Tracer) Totals(p Phase) PhaseTotals {
 	}
 }
 
-// Len reports how many events are currently retained (<= Cap).
+// Len reports how many spans are currently retained (<= Cap).
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.seq < uint64(len(t.ring)) {
-		return int(t.seq)
-	}
-	return len(t.ring)
+	return t.n
 }
 
-// Cap reports the ring capacity.
+// Cap reports the span budget.
 func (t *Tracer) Cap() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.ring)
+	return t.max
 }
 
-// Dropped reports how many events have been overwritten by ring wrap.
+// Dropped reports how many spans were discarded after the budget filled.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.seq <= uint64(len(t.ring)) {
-		return 0
-	}
-	return t.seq - uint64(len(t.ring))
+	return t.dropped
 }
 
-// Snapshot appends the retained events, oldest first, to dst (which may be
-// nil) and returns the result. It allocates only if dst lacks capacity, so
-// a caller exporting repeatedly can reuse one slice.
-func (t *Tracer) Snapshot(dst []Event) []Event {
+// Snapshot appends the retained spans, in recording order, to dst (which
+// may be nil) and returns the result. It allocates only if dst lacks
+// capacity, so a caller exporting repeatedly can reuse one slice.
+func (t *Tracer) Snapshot(dst []SpanEvent) []SpanEvent {
 	if t == nil {
 		return dst
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := uint64(len(t.ring))
-	if t.seq <= n {
-		return append(dst, t.ring[:t.seq]...)
+	for i := 0; i < t.n; i += spanSlabSize {
+		hi := t.n - i
+		if hi > spanSlabSize {
+			hi = spanSlabSize
+		}
+		dst = append(dst, t.slabs[i>>spanSlabShift][:hi]...)
 	}
-	head := t.seq % n
-	dst = append(dst, t.ring[head:]...)
-	return append(dst, t.ring[:head]...)
+	return dst
+}
+
+// Reset discards all recorded spans and aggregates but keeps the acquired
+// slabs, so a reused tracer stays allocation-free.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.n = 0
+	t.dropped = 0
+	t.openSolve, t.openIter, t.openPhase, t.curIter = -1, -1, -1, -1
+	for p := range t.agg {
+		t.agg[p].count.Store(0)
+		t.agg[p].hostNs.Store(0)
+		t.agg[p].simNs.Store(0)
+		t.agg[p].items.Store(0)
+	}
+	t.mu.Unlock()
+}
+
+// Release returns the tracer's slabs to the process-wide pool and empties
+// it. The recorded spans become invalid; called when a retired scope is
+// evicted from the observer's history ring.
+func (t *Tracer) Release() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for i, s := range t.slabs {
+		spanSlabPool.Put(s)
+		t.slabs[i] = nil
+	}
+	t.slabs = t.slabs[:0]
+	t.n = 0
+	t.openSolve, t.openIter, t.openPhase, t.curIter = -1, -1, -1, -1
+	t.mu.Unlock()
 }

@@ -1,24 +1,44 @@
 package obs
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// PoolStats counts worker-pool launches and the host wall time spent inside
-// them. It lives here (not in internal/parallel) so the pool package can
-// observe into it without importing the registry machinery; fields are
-// padded so the two hot atomics sit on separate cache lines. A nil
-// *PoolStats is a no-op, which is the pool's default.
+// padInt64 is an atomic int64 padded to a cache line so per-worker busy
+// counters updated from different worker goroutines never false-share.
+type padInt64 struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// workerStats is the per-worker busy-time table, swapped in atomically so
+// RecordWorker stays lock-free on the kernel hot path.
+type workerStats struct {
+	epochNs int64 // host clock when per-worker accounting began
+	busy    []padInt64
+}
+
+// PoolStats counts worker-pool launches, the host wall time spent inside
+// them, and — once EnableWorkers is called — per-worker busy time, the
+// awake-vs-sleep signal the ROADMAP's shard-sleep model needs. It lives
+// here (not in internal/parallel) so the pool package can observe into it
+// without importing the registry machinery; fields are padded so hot
+// atomics sit on separate cache lines. A nil *PoolStats is a no-op, which
+// is the pool's default.
 type PoolStats struct {
 	launches atomic.Int64
 	_        [7]int64
 	busyNs   atomic.Int64
 	_        [7]int64
+	workers  atomic.Pointer[workerStats]
 }
 
 // Record accounts one pool launch that kept the workers busy for d.
@@ -28,6 +48,47 @@ func (s *PoolStats) Record(d time.Duration) {
 	}
 	s.launches.Add(1)
 	s.busyNs.Add(int64(d))
+}
+
+// EnableWorkers sizes the per-worker busy table for at least n workers.
+// Growing swaps in a copy; a sample recorded concurrently with the (rare,
+// setup-time) growth can be lost, which is acceptable for a telemetry
+// gauge and keeps RecordWorker lock-free.
+func (s *PoolStats) EnableWorkers(n int) {
+	if s == nil || n <= 0 {
+		return
+	}
+	for {
+		old := s.workers.Load()
+		if old != nil && len(old.busy) >= n {
+			return
+		}
+		nw := &workerStats{epochNs: time.Now().UnixNano(), busy: make([]padInt64, n)}
+		if old != nil {
+			nw.epochNs = old.epochNs
+			for i := range old.busy {
+				nw.busy[i].v.Store(old.busy[i].v.Load())
+			}
+		}
+		if s.workers.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// RecordWorker accounts d of busy time to worker w. A no-op until
+// EnableWorkers covers w, so unobserved pools pay one atomic load.
+//
+//hot:alloc-free
+func (s *PoolStats) RecordWorker(w int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	ws := s.workers.Load()
+	if ws == nil || w >= len(ws.busy) {
+		return
+	}
+	ws.busy[w].v.Add(int64(d))
 }
 
 // Launches returns the number of recorded pool launches.
@@ -46,6 +107,48 @@ func (s *PoolStats) BusyNs() int64 {
 	return s.busyNs.Load()
 }
 
+// Workers returns how many workers have per-worker accounting enabled.
+func (s *PoolStats) Workers() int {
+	if s == nil {
+		return 0
+	}
+	ws := s.workers.Load()
+	if ws == nil {
+		return 0
+	}
+	return len(ws.busy)
+}
+
+// WorkerBusyNs returns worker w's accumulated busy ns.
+func (s *PoolStats) WorkerBusyNs(w int) int64 {
+	if s == nil {
+		return 0
+	}
+	ws := s.workers.Load()
+	if ws == nil || w >= len(ws.busy) {
+		return 0
+	}
+	return ws.busy[w].v.Load()
+}
+
+// workerAwakeFraction is worker w's busy share of the host time since
+// per-worker accounting began: 1 means never asleep, 0 never launched.
+func (s *PoolStats) workerAwakeFraction(w int) float64 {
+	ws := s.workers.Load()
+	if ws == nil || w >= len(ws.busy) {
+		return 0
+	}
+	elapsed := time.Now().UnixNano() - ws.epochNs
+	if elapsed <= 0 {
+		return 0
+	}
+	f := float64(ws.busy[w].v.Load()) / float64(elapsed)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
 // FlightSource streams a controller flight log as JSONL. It is declared
 // structurally (satisfied by *flight.Recorder) so this package stays
 // import-free of internal/flight; the server exposes it at /flight.
@@ -53,32 +156,349 @@ type FlightSource interface {
 	WriteJSONL(w io.Writer) error
 }
 
-// Observer bundles one tracer and one registry: the single handle threaded
-// through Options/RunConfig. A nil *Observer disables all instrumentation.
+// retiredScopes is how many closed scopes the observer keeps around so
+// /trace and /metrics can still render recently finished solves; evicting
+// an older scope folds its phase totals into the fleet accumulator and
+// recycles its span slabs.
+const retiredScopes = 16
+
+// Observer is the fleet-level observability handle threaded through
+// Options/RunConfig: the parent of every per-solve Scope. It owns the fleet
+// registry (scope metrics chain into it), the fleet energy meter, the
+// /events hub, and the ring of recently retired scopes. A nil *Observer
+// disables all instrumentation; solvers derive their own Scope from it per
+// run, so concurrent solves never share a tracer.
 type Observer struct {
-	Tracer *Tracer
-	Reg    *Registry
+	Reg *Registry // fleet registry: scope counters/gauges/histograms chain here
 
 	poolOnce sync.Once
 	pool     PoolStats
 
 	flightMu sync.Mutex
 	flight   FlightSource
+
+	hub    *Hub
+	energy *EnergyMeter // fleet meter: scope meters chain here
+
+	mu          sync.Mutex
+	scopes      []*Scope // active (unclosed) scopes
+	retired     []*Scope // most recent closed scopes, oldest first
+	evictedAgg  [numPhases]PhaseTotals
+	nextScopeID int64
+	traceEvents int
+
+	stratMu sync.Mutex
+	stratJ  map[string]float64 // closed-scope joules by strategy
 }
 
-// New returns an Observer with a tracer ring of traceEvents events
-// (DefaultTraceEvents if <= 0) and a registry preloaded with the Go runtime
-// sampler and the tracer's per-phase totals.
+// New returns an Observer whose scopes each get a span budget of
+// traceEvents spans (DefaultTraceEvents if <= 0), with the fleet registry
+// preloaded with the Go runtime sampler, fleet phase aggregates, and fleet
+// energy attribution.
 func New(traceEvents int) *Observer {
-	o := &Observer{Tracer: NewTracer(traceEvents), Reg: NewRegistry()}
+	if traceEvents <= 0 {
+		traceEvents = DefaultTraceEvents
+	}
+	o := &Observer{
+		Reg:         NewRegistry(),
+		hub:         newHub(),
+		traceEvents: traceEvents,
+		stratJ:      make(map[string]float64),
+	}
+	o.energy = NewEnergyMeter(nil)
 	RegisterRuntimeMetrics(o.Reg)
-	registerTracerMetrics(o.Reg, o.Tracer)
+	registerEnergyMetrics(o.Reg, o.energy)
+	o.registerFleetPhaseMetrics()
 	return o
+}
+
+// NewScope opens a per-solve scope named name (or "solve-N" when empty).
+// The scope's registry, energy meter, and span tracer are private to the
+// solve; counters/gauges/histograms/joules chain into the fleet. Nil-safe:
+// a nil observer returns a nil (no-op) scope.
+func (o *Observer) NewScope(name string) *Scope {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	o.nextScopeID++
+	id := o.nextScopeID
+	o.mu.Unlock()
+	if name == "" {
+		name = "solve-" + strconv.FormatInt(id, 10)
+	} else {
+		name = name + "-" + strconv.FormatInt(id, 10)
+	}
+	s := &Scope{
+		name:   name,
+		parent: o,
+		tracer: NewTracer(o.traceEvents),
+		reg:    NewScopedRegistry(o.Reg, `solve="`+name+`"`),
+		energy: NewEnergyMeter(o.energy),
+	}
+	registerTracerMetrics(s.reg, s.tracer)
+	registerEnergyMetrics(s.reg, s.energy)
+	o.mu.Lock()
+	o.scopes = append(o.scopes, s)
+	o.mu.Unlock()
+	o.hub.Publish(Event{Type: "solve-start", Solve: name})
+	return s
+}
+
+// retire moves a closed scope from the active set into the retired ring,
+// folds its joules into the fleet per-strategy totals, and publishes the
+// solve-end event. Called exactly once per scope, from Scope.Close.
+func (o *Observer) retire(s *Scope) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	for i, sc := range o.scopes {
+		if sc == s {
+			o.scopes = append(o.scopes[:i], o.scopes[i+1:]...)
+			break
+		}
+	}
+	o.retired = append(o.retired, s)
+	var evicted *Scope
+	if len(o.retired) > retiredScopes {
+		evicted = o.retired[0]
+		copy(o.retired, o.retired[1:])
+		o.retired[len(o.retired)-1] = nil
+		o.retired = o.retired[:len(o.retired)-1]
+		for p := Phase(0); p < numPhases; p++ {
+			t := evicted.tracer.Totals(p)
+			o.evictedAgg[p].Count += t.Count
+			o.evictedAgg[p].HostNs += t.HostNs
+			o.evictedAgg[p].SimNs += t.SimNs
+			o.evictedAgg[p].Items += t.Items
+		}
+	}
+	o.mu.Unlock()
+	if evicted != nil {
+		evicted.tracer.Release()
+	}
+
+	strat := s.Strategy()
+	if strat == "" {
+		strat = "none"
+	}
+	o.stratMu.Lock()
+	if _, seen := o.stratJ[strat]; !seen {
+		key := strat
+		o.Reg.GaugeFunc(`obs_strategy_joules_total{strategy="`+key+`"}`,
+			"simulated joules attributed per advance/far-queue strategy",
+			func() float64 { return o.strategyJoules(key) })
+	}
+	o.stratJ[strat] += s.energy.TotalJoules()
+	o.stratMu.Unlock()
+
+	o.hub.Publish(Event{
+		Type:    "solve-end",
+		Solve:   s.name,
+		Iter:    s.live.Iter(),
+		EnergyJ: s.energy.TotalJoules(),
+	})
+}
+
+// strategyTotals snapshots per-strategy joules: closed-scope banked totals
+// plus the live contribution of active scopes.
+func (o *Observer) strategyTotals() map[string]float64 {
+	out := make(map[string]float64)
+	o.stratMu.Lock()
+	for k, v := range o.stratJ {
+		out[k] += v
+	}
+	o.stratMu.Unlock()
+	for _, s := range o.activeScopes() {
+		strat := s.Strategy()
+		if strat == "" {
+			strat = "none"
+		}
+		out[strat] += s.energy.TotalJoules()
+	}
+	return out
+}
+
+// WriteEnergyJSON writes the fleet energy-attribution artifact: simulated
+// joules per solver phase, per declared strategy, and the fleet total.
+func (o *Observer) WriteEnergyJSON(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	phases := make(map[string]float64, numPhases)
+	for p := Phase(0); p < numPhases; p++ {
+		// Exactly zero means "never charged" — an epsilon would drop real
+		// sub-epsilon charges from the report.
+		if j := o.energy.PhaseJoules(p); j != 0 { //lint:ignore floatcmp exact zero is the sentinel
+			phases[p.String()] = j
+		}
+	}
+	report := struct {
+		Phases     map[string]float64 `json:"phases"`
+		Strategies map[string]float64 `json:"strategies"`
+		TotalJ     float64            `json:"total_joules"`
+	}{phases, o.strategyTotals(), o.energy.TotalJoules()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// strategyJoules returns closed-scope joules banked under strat plus the
+// live contribution of active scopes that have declared that strategy.
+func (o *Observer) strategyJoules(strat string) float64 {
+	o.stratMu.Lock()
+	j := o.stratJ[strat]
+	o.stratMu.Unlock()
+	for _, s := range o.activeScopes() {
+		if s.Strategy() == strat {
+			j += s.energy.TotalJoules()
+		}
+	}
+	return j
+}
+
+// activeScopes snapshots the active scope list.
+func (o *Observer) activeScopes() []*Scope {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]*Scope(nil), o.scopes...)
+}
+
+// allScopes snapshots active then retired scopes.
+func (o *Observer) allScopes() []*Scope {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*Scope, 0, len(o.scopes)+len(o.retired))
+	out = append(out, o.scopes...)
+	return append(out, o.retired...)
+}
+
+// Hub returns the /events fan-out hub (nil, a no-op, on a nil observer).
+func (o *Observer) Hub() *Hub {
+	if o == nil {
+		return nil
+	}
+	return o.hub
+}
+
+// Energy returns the fleet energy meter.
+func (o *Observer) Energy() *EnergyMeter {
+	if o == nil {
+		return nil
+	}
+	return o.energy
+}
+
+// PhaseTotals returns the fleet-wide aggregate for phase p: every active
+// and retired scope plus everything already evicted.
+func (o *Observer) PhaseTotals(p Phase) PhaseTotals {
+	if o == nil {
+		return PhaseTotals{}
+	}
+	o.mu.Lock()
+	tot := o.evictedAgg[p]
+	scopes := make([]*Scope, 0, len(o.scopes)+len(o.retired))
+	scopes = append(scopes, o.scopes...)
+	scopes = append(scopes, o.retired...)
+	o.mu.Unlock()
+	for _, s := range scopes {
+		t := s.tracer.Totals(p)
+		tot.Count += t.Count
+		tot.HostNs += t.HostNs
+		tot.SimNs += t.SimNs
+		tot.Items += t.Items
+	}
+	return tot
+}
+
+// ScopeSpans is one scope's span tree, named for trace export.
+type ScopeSpans struct {
+	Name  string
+	Spans []SpanEvent
+}
+
+// TraceSnapshot captures every active and retired scope's span tree for
+// export (most recent solves last).
+func (o *Observer) TraceSnapshot() []ScopeSpans {
+	scopes := o.allScopes()
+	out := make([]ScopeSpans, 0, len(scopes))
+	for _, s := range scopes {
+		out = append(out, ScopeSpans{Name: s.name, Spans: s.tracer.Snapshot(nil)})
+	}
+	return out
+}
+
+// registerFleetPhaseMetrics exposes the fleet-wide per-phase aggregates on
+// the fleet registry under the same bare names scopes use (scope copies
+// render with a solve label, so the two never collide in an exposition).
+func (o *Observer) registerFleetPhaseMetrics() {
+	hostTotal := func() int64 {
+		var tot int64
+		for q := Phase(0); q < numPhases; q++ {
+			tot += o.PhaseTotals(q).HostNs
+		}
+		return tot
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		ph := p // capture per iteration
+		label := `{phase="` + p.String() + `"}`
+		o.Reg.GaugeFunc("obs_phase_spans_total"+label,
+			"spans recorded per solver phase",
+			func() float64 { return float64(o.PhaseTotals(ph).Count) })
+		o.Reg.GaugeFunc("obs_phase_host_seconds_total"+label,
+			"host wall time per solver phase",
+			func() float64 { return float64(o.PhaseTotals(ph).HostNs) / 1e9 })
+		o.Reg.GaugeFunc("obs_phase_sim_seconds_total"+label,
+			"charged simulated device time per solver phase",
+			func() float64 { return float64(o.PhaseTotals(ph).SimNs) / 1e9 })
+		o.Reg.GaugeFunc("obs_phase_host_fraction"+label,
+			"share of all recorded host span time spent in this phase",
+			func() float64 {
+				tot := hostTotal()
+				if tot == 0 {
+					return 0
+				}
+				return float64(o.PhaseTotals(ph).HostNs) / float64(tot)
+			})
+	}
+	o.Reg.GaugeFunc("obs_active_solves",
+		"scopes currently solving",
+		func() float64 {
+			o.mu.Lock()
+			defer o.mu.Unlock()
+			return float64(len(o.scopes))
+		})
+	o.Reg.GaugeFunc("obs_trace_events",
+		"spans currently retained across active and retired scopes",
+		func() float64 {
+			var n int
+			for _, s := range o.allScopes() {
+				n += s.tracer.Len()
+			}
+			return float64(n)
+		})
+	o.Reg.GaugeFunc("obs_trace_dropped_total",
+		"spans dropped after a scope's span budget filled",
+		func() float64 {
+			var n uint64
+			for _, s := range o.allScopes() {
+				n += s.tracer.Dropped()
+			}
+			return float64(n)
+		})
 }
 
 // PoolStats returns the observer's worker-pool stats block, registering its
 // gauges on first use. Nil-safe: a nil observer returns nil, which
-// parallel.Pool treats as "don't measure".
+// parallel.Pool treats as "don't measure". Per-worker busy/awake gauges
+// appear lazily at scrape time once a pool enables worker accounting.
 func (o *Observer) PoolStats() *PoolStats {
 	if o == nil {
 		return nil
@@ -90,6 +510,20 @@ func (o *Observer) PoolStats() *PoolStats {
 		o.Reg.GaugeFunc("pool_busy_seconds_total",
 			"host wall time spent inside worker-pool launches",
 			func() float64 { return float64(o.pool.BusyNs()) / 1e9 })
+		o.Reg.OnScrape(func() {
+			// GaugeFunc registration is idempotent, so re-registering the
+			// workers that already have gauges just refreshes the closure.
+			for w := 0; w < o.pool.Workers(); w++ {
+				wid := w
+				label := `{worker="` + strconv.Itoa(w) + `"}`
+				o.Reg.GaugeFunc("obs_worker_busy_seconds_total"+label,
+					"host wall time each pool worker spent executing kernels",
+					func() float64 { return float64(o.pool.WorkerBusyNs(wid)) / 1e9 })
+				o.Reg.GaugeFunc("obs_worker_awake_fraction"+label,
+					"busy share of host time since worker accounting began (sleep = 1 - awake)",
+					func() float64 { return o.pool.workerAwakeFraction(wid) })
+			}
+		})
 	})
 	return &o.pool
 }
@@ -115,12 +549,28 @@ func (o *Observer) Flight() FlightSource {
 	return o.flight
 }
 
-// registerTracerMetrics exposes the tracer's exact per-phase aggregates —
+// WritePrometheus writes the fleet exposition: the fleet registry's metrics
+// bare, then every active and retired scope's metrics with a
+// solve="<name>" label injected, sharing HELP/TYPE headers per family.
+func (o *Observer) WritePrometheus(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	fleet := o.Reg.snapshotEntries()
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool, len(fleet))
+	writeEntries(bw, fleet, "", seen)
+	for _, s := range o.allScopes() {
+		writeEntries(bw, s.reg.snapshotEntries(), s.reg.scopeLabel, seen)
+	}
+	return bw.Flush()
+}
+
+// registerTracerMetrics exposes one tracer's exact per-phase aggregates —
 // span counts, host seconds, charged sim seconds, and each phase's fraction
-// of the recorded host time — plus ring occupancy. The fraction gauges give
-// /metrics the same per-phase breakdown cmd/perfgate derives from CPU
-// samples, computed at scrape time so the set always sums to 1 over the
-// phases that have run (0 everywhere before the first span).
+// of the recorded host time — plus span retention. On a scope registry
+// these render with the scope's solve label; the fleet-wide twins are
+// registered by registerFleetPhaseMetrics.
 func registerTracerMetrics(r *Registry, t *Tracer) {
 	hostTotal := func() int64 {
 		var tot int64
@@ -152,16 +602,16 @@ func registerTracerMetrics(r *Registry, t *Tracer) {
 			})
 	}
 	r.GaugeFunc("obs_trace_events",
-		"events currently retained in the trace ring",
+		"spans currently retained",
 		func() float64 { return float64(t.Len()) })
 	r.GaugeFunc("obs_trace_dropped_total",
-		"events overwritten by trace ring wrap",
+		"spans dropped after the span budget filled",
 		func() float64 { return float64(t.Dropped()) })
 }
 
-// SummaryLine renders a one-line human summary: per-phase host-time shares
-// plus controller health if the solve registered it. Used by cmd/profile
-// and cmd/sssp after a run.
+// SummaryLine renders a one-line human summary: fleet per-phase host-time
+// shares plus controller health if a solve registered it. Used by
+// cmd/profile and cmd/sssp after a run.
 func (o *Observer) SummaryLine() string {
 	if o == nil {
 		return ""
@@ -169,7 +619,7 @@ func (o *Observer) SummaryLine() string {
 	var totalHost int64
 	var totals [numPhases]PhaseTotals
 	for p := Phase(0); p < numPhases; p++ {
-		totals[p] = o.Tracer.Totals(p)
+		totals[p] = o.PhaseTotals(p)
 		totalHost += totals[p].HostNs
 	}
 	if totalHost == 0 {
@@ -184,6 +634,9 @@ func (o *Observer) SummaryLine() string {
 		}
 		fmt.Fprintf(&b, " | %s %.1f%%", p.String(),
 			100*float64(totals[p].HostNs)/float64(totalHost))
+	}
+	if j := o.energy.TotalJoules(); j > 0 {
+		fmt.Fprintf(&b, " | %.3g J", j)
 	}
 	if v, ok := o.Reg.Value("sssp_controller_tracking_error_mean"); ok {
 		fmt.Fprintf(&b, " | ctrl err mean %.3f", v)

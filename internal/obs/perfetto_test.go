@@ -24,23 +24,36 @@ type decodedFile struct {
 	DisplayTimeUnit string         `json:"displayTimeUnit"`
 }
 
-// TestPerfettoSchema validates the exporter output against what the
-// Perfetto/Chrome trace-event importer requires: a traceEvents array, "M"
-// metadata naming process and threads, and "X" complete events that all
-// carry name/ph/ts/dur/pid/tid with per-track monotonic ts.
-func TestPerfettoSchema(t *testing.T) {
+// buildTrace records a small but fully hierarchical solve: one solve span,
+// two iterations, one advance phase with a kernel charge per iteration.
+func buildTrace() *Tracer {
 	tr := NewTracer(64)
 	simNow := time.Duration(0)
-	for i := 0; i < 10; i++ {
-		sp := tr.Begin(Phase(i % NumPhases))
-		d := time.Duration(i+1) * time.Microsecond
-		sp.EndSim(int64(i), simNow, d)
+	solve := tr.BeginSolve()
+	for k := 0; k < 2; k++ {
+		iter := tr.BeginIter(k)
+		sp := tr.Begin(Phase(k % NumPhases))
+		d := time.Duration(k+1) * time.Microsecond
+		sp.Kernel(int64(k), simNow, d)
+		sp.EndSim(int64(k), simNow, d)
 		simNow += d
+		iter.End(int64(k))
 	}
 	tr.Mark(PhaseRebalance, 3, simNow, 0) // host-instant event, no sim dur
+	solve.End(2)
+	return tr
+}
+
+// TestPerfettoSchema validates the exporter output against what the
+// Perfetto/Chrome trace-event importer requires: a traceEvents array, "M"
+// metadata naming each scope's process and threads, and "X" complete events
+// that all carry name/ph/ts/dur/pid/tid with per-track monotonic ts.
+func TestPerfettoSchema(t *testing.T) {
+	tr := buildTrace()
+	scopes := []ScopeSpans{{Name: "solve-1", Spans: tr.Snapshot(nil)}}
 
 	var buf bytes.Buffer
-	if err := WriteTraceJSON(&buf, tr.Snapshot(nil)); err != nil {
+	if err := WriteTraceJSON(&buf, scopes); err != nil {
 		t.Fatal(err)
 	}
 	var f decodedFile
@@ -79,15 +92,95 @@ func TestPerfettoSchema(t *testing.T) {
 			t.Fatalf("unexpected phase type %q", ev.Ph)
 		}
 	}
-	if meta < 3 {
-		t.Fatalf("want >= 3 metadata events (process + 2 threads), got %d", meta)
+	if meta != 3 {
+		t.Fatalf("want 3 metadata events (process + 2 threads), got %d", meta)
 	}
-	// 11 host events + 10 with sim durations -> 21 complete events.
-	if complete != 21 {
-		t.Fatalf("complete events = %d, want 21", complete)
+	// 8 recorded spans on the host track; 4 charged sim intervals
+	// (phase + kernel per iteration) on the sim track.
+	if complete != 12 {
+		t.Fatalf("complete events = %d, want 12", complete)
 	}
 	if len(lastTs) != 2 {
 		t.Fatalf("want events on 2 tracks (host + sim), got tids %v", lastTs)
+	}
+}
+
+// TestPerfettoNesting checks the hierarchy renders as ts/dur containment on
+// the host track: every child "X" event lies inside its parent's interval.
+func TestPerfettoNesting(t *testing.T) {
+	tr := buildTrace()
+	scopes := []ScopeSpans{{Name: "solve-1", Spans: tr.Snapshot(nil)}}
+
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, scopes); err != nil {
+		t.Fatal(err)
+	}
+	var f decodedFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	// Index host-track events by span id from args.
+	type iv struct{ ts, end float64 }
+	host := map[int]iv{}
+	parent := map[int]int{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" || ev.Cat != "host" {
+			continue
+		}
+		id := int(ev.Args["id"].(float64))
+		host[id] = iv{*ev.Ts, *ev.Ts + *ev.Dur}
+		parent[id] = int(ev.Args["parent"].(float64))
+	}
+	if len(host) != 8 {
+		t.Fatalf("host track has %d events, want 8", len(host))
+	}
+	for id, span := range host {
+		p := parent[id]
+		if p < 0 {
+			continue
+		}
+		ps, ok := host[p]
+		if !ok {
+			t.Fatalf("span %d references missing parent %d", id, p)
+		}
+		if span.ts < ps.ts || span.end > ps.end+1e-9 {
+			t.Fatalf("span %d [%v,%v] escapes parent %d [%v,%v]",
+				id, span.ts, span.end, p, ps.ts, ps.end)
+		}
+	}
+}
+
+// TestPerfettoMultiScope: each scope renders as its own process, so
+// concurrent solves never interleave on a track.
+func TestPerfettoMultiScope(t *testing.T) {
+	a, b := buildTrace(), buildTrace()
+	var buf bytes.Buffer
+	err := WriteTraceJSON(&buf, []ScopeSpans{
+		{Name: "nearfar-1", Spans: a.Snapshot(nil)},
+		{Name: "selftuning-2", Spans: b.Snapshot(nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f decodedFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	names := map[string]bool{}
+	for _, ev := range f.TraceEvents {
+		if ev.Pid != nil {
+			pids[*ev.Pid] = true
+		}
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			names[ev.Args["name"].(string)] = true
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("want 2 pids, got %v", pids)
+	}
+	if !names["solve nearfar-1"] || !names["solve selftuning-2"] {
+		t.Fatalf("process names wrong: %v", names)
 	}
 }
 
@@ -99,6 +192,9 @@ func TestPerfettoEmpty(t *testing.T) {
 	var f decodedFile
 	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
 		t.Fatal(err)
+	}
+	if f.TraceEvents == nil {
+		t.Fatal("traceEvents must be [] even when empty")
 	}
 	for _, ev := range f.TraceEvents {
 		if ev.Ph != "M" {

@@ -15,9 +15,13 @@ import (
 // Counter is a monotonically increasing int64, padded to a cache line so
 // unrelated hot counters never false-share. A nil *Counter is a no-op, so
 // instrumented code can hold counter fields that are simply never set.
+// A counter registered on a scoped registry chains to its fleet twin:
+// every write lands in both, so the fleet total is always the sum of all
+// scopes ever created (including retired ones).
 type Counter struct {
-	v atomic.Int64
-	_ [7]int64
+	v    atomic.Int64
+	_    [7]int64
+	next *Counter
 }
 
 // Inc adds one.
@@ -26,6 +30,7 @@ func (c *Counter) Inc() {
 		return
 	}
 	c.v.Add(1)
+	c.next.Inc()
 }
 
 // Add adds n (n must be >= 0 to keep the counter monotonic).
@@ -34,6 +39,7 @@ func (c *Counter) Add(n int64) {
 		return
 	}
 	c.v.Add(n)
+	c.next.Add(n)
 }
 
 // Value returns the current count.
@@ -45,10 +51,13 @@ func (c *Counter) Value() int64 {
 }
 
 // Gauge is a float64 that can go up and down, stored as atomic bits.
-// A nil *Gauge is a no-op.
+// A nil *Gauge is a no-op. A gauge registered on a scoped registry chains
+// to its fleet twin with last-write-wins semantics: for a single active
+// solve the fleet value equals the scope value bit-for-bit.
 type Gauge struct {
 	bits atomic.Uint64
 	_    [7]int64
+	next *Gauge
 }
 
 // Set replaces the gauge value.
@@ -57,6 +66,7 @@ func (g *Gauge) Set(v float64) {
 		return
 	}
 	g.bits.Store(math.Float64bits(v))
+	g.next.Set(v)
 }
 
 // Value returns the current value.
@@ -75,6 +85,7 @@ type Histogram struct {
 	buckets []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	next    *Histogram    // fleet twin when registered on a scoped registry
 }
 
 // Observe records one sample.
@@ -95,6 +106,7 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+	h.next.Observe(v)
 }
 
 // Count returns the number of observations.
@@ -191,16 +203,35 @@ type entry struct {
 // Names may embed Prometheus label syntax, e.g.
 // `obs_phase_host_seconds_total{phase="advance"}`; entries sharing the
 // family (the part before '{') share one HELP/TYPE header.
+//
+// A nil *Registry is a no-op: every registration returns a nil metric
+// (itself a no-op), so instrumentation helpers need no enabled checks.
 type Registry struct {
 	mu      sync.Mutex
 	entries []*entry
 	byName  map[string]*entry
 	hooks   []func()
+
+	// parent is non-nil for scoped registries: counters, gauges, and
+	// histograms registered here chain into the same-named metric on the
+	// parent. scopeLabel (e.g. `solve="nearfar-1"`) is injected into every
+	// entry name when the scope is rendered into a fleet exposition.
+	parent     *Registry
+	scopeLabel string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]*entry)}
+}
+
+// NewScopedRegistry returns a registry scoped under parent: counters and
+// histograms write through to parent (fleet totals = sum over scopes),
+// gauges write through with last-write-wins, and gauge funcs stay local.
+// label is the Prometheus label pair (without braces) identifying the scope
+// in fleet expositions, e.g. `solve="nearfar-1"`.
+func NewScopedRegistry(parent *Registry, label string) *Registry {
+	return &Registry{byName: make(map[string]*entry), parent: parent, scopeLabel: label}
 }
 
 func (r *Registry) lookupOrAdd(name, help string, kind metricKind) (*entry, bool) {
@@ -219,22 +250,34 @@ func (r *Registry) lookupOrAdd(name, help string, kind metricKind) (*entry, bool
 
 // Counter registers (or returns the existing) counter under name.
 func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, fresh := r.lookupOrAdd(name, help, kindCounter)
 	if fresh {
 		e.c = &Counter{}
+		if r.parent != nil {
+			e.c.next = r.parent.Counter(name, help)
+		}
 	}
 	return e.c
 }
 
 // Gauge registers (or returns the existing) gauge under name.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, fresh := r.lookupOrAdd(name, help, kindGauge)
 	if fresh {
 		e.g = &Gauge{}
+		if r.parent != nil {
+			e.g.next = r.parent.Gauge(name, help)
+		}
 	}
 	return e.g
 }
@@ -243,6 +286,9 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // ascending upper bounds (the +Inf bucket is implicit). Histogram names
 // must not embed label syntax — the bucket `le` label owns it.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
 	if strings.ContainsRune(name, '{') {
 		panic("obs: histogram name must not embed labels: " + name)
 	}
@@ -254,6 +300,9 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 			bounds:  append([]float64(nil), bounds...),
 			buckets: make([]atomic.Int64, len(bounds)+1),
 		}
+		if r.parent != nil {
+			e.h.next = r.parent.Histogram(name, help, bounds)
+		}
 	}
 	return e.h
 }
@@ -261,6 +310,9 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 // GaugeFunc registers a gauge whose value is computed at scrape time.
 // Re-registering an existing func name replaces the function.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, _ := r.lookupOrAdd(name, help, kindFunc)
@@ -270,6 +322,9 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // OnScrape registers a hook run at the start of every WritePrometheus call,
 // before values are read — used by the runtime sampler to refresh gauges.
 func (r *Registry) OnScrape(fn func()) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.hooks = append(r.hooks, fn)
@@ -279,6 +334,9 @@ func (r *Registry) OnScrape(fn func()) {
 // gauge func; histograms report their observation count). Scrape hooks are
 // not run, so hook-refreshed gauges return their last scraped value.
 func (r *Registry) Value(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
 	r.mu.Lock()
 	e, ok := r.byName[name]
 	r.mu.Unlock()
@@ -317,24 +375,49 @@ func fnum(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WritePrometheus writes every registered metric in Prometheus text
-// exposition format (version 0.0.4). Scrape hooks run first. Entries are
-// written sorted by name so output is deterministic.
-func (r *Registry) WritePrometheus(w io.Writer) error {
+// snapshotEntries runs the scrape hooks and returns the entries sorted by
+// name, so expositions are deterministic.
+func (r *Registry) snapshotEntries() []*entry {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	hooks := append([]func(){}, r.hooks...)
 	r.mu.Unlock()
 	for _, h := range hooks {
 		h()
 	}
-
 	r.mu.Lock()
 	entries := append([]*entry{}, r.entries...)
 	r.mu.Unlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	return entries
+}
 
-	bw := bufio.NewWriter(w)
-	seen := make(map[string]bool, len(entries))
+// withLabel injects an extra label pair (e.g. `solve="x"`) into a metric
+// name, merging with an existing label block when present.
+func withLabel(name, label string) string {
+	if label == "" {
+		return name
+	}
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// histQuantiles are the summary quantiles every histogram exposes as a
+// derived `<name>_quantile{q="..."}` gauge family on /metrics.
+var histQuantiles = [...]struct {
+	q     float64
+	label string
+}{{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}}
+
+// writeEntries writes one registry's entries in Prometheus text format,
+// injecting extraLabel (may be empty) into every sample name. seen tracks
+// which families already emitted HELP/TYPE, shared across registries so a
+// fleet exposition rendering many scopes emits each header once.
+func writeEntries(bw *bufio.Writer, entries []*entry, extraLabel string, seen map[string]bool) {
 	for _, e := range entries {
 		fam := family(e.name)
 		if !seen[fam] {
@@ -348,24 +431,57 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", fam, escapeHelp(e.help), fam, typ)
 		}
+		name := withLabel(e.name, extraLabel)
 		switch e.kind {
 		case kindCounter:
-			fmt.Fprintf(bw, "%s %d\n", e.name, e.c.Value())
+			fmt.Fprintf(bw, "%s %d\n", name, e.c.Value())
 		case kindGauge:
-			fmt.Fprintf(bw, "%s %s\n", e.name, fnum(e.g.Value()))
+			fmt.Fprintf(bw, "%s %s\n", name, fnum(e.g.Value()))
 		case kindFunc:
-			fmt.Fprintf(bw, "%s %s\n", e.name, fnum(e.fn()))
+			fmt.Fprintf(bw, "%s %s\n", name, fnum(e.fn()))
 		case kindHistogram:
 			var cum int64
 			for i, b := range e.h.bounds {
 				cum += e.h.buckets[i].Load()
-				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", e.name, fnum(b), cum)
+				fmt.Fprintf(bw, "%s_bucket{le=%q%s} %d\n", e.name, fnum(b), labelSuffix(extraLabel), cum)
 			}
 			cum += e.h.buckets[len(e.h.bounds)].Load()
-			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", e.name, cum)
-			fmt.Fprintf(bw, "%s_sum %s\n", e.name, fnum(e.h.Sum()))
-			fmt.Fprintf(bw, "%s_count %d\n", e.name, e.h.count.Load())
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"%s} %d\n", e.name, labelSuffix(extraLabel), cum)
+			fmt.Fprintf(bw, "%s_sum %s\n", name, fnum(e.h.Sum()))
+			fmt.Fprintf(bw, "%s_count %d\n", name, e.h.count.Load())
+			// Derived summary quantiles: a separate gauge family so the
+			// histogram TYPE stays honest, interpolated by the same
+			// estimator histogram_quantile uses (empty histogram → 0).
+			qfam := e.name + "_quantile"
+			if !seen[qfam] {
+				seen[qfam] = true
+				fmt.Fprintf(bw, "# HELP %s interpolated summary quantiles of %s\n# TYPE %s gauge\n", qfam, e.name, qfam)
+			}
+			for _, hq := range histQuantiles {
+				lbl := `q="` + hq.label + `"`
+				if extraLabel != "" {
+					lbl += "," + extraLabel
+				}
+				fmt.Fprintf(bw, "%s{%s} %s\n", qfam, lbl, fnum(e.h.Quantile(hq.q)))
+			}
 		}
 	}
+}
+
+func labelSuffix(label string) string {
+	if label == "" {
+		return ""
+	}
+	return "," + label
+}
+
+// WritePrometheus writes every registered metric in Prometheus text
+// exposition format (version 0.0.4). Scrape hooks run first. Entries are
+// written sorted by name so output is deterministic. Histograms also emit
+// interpolated p50/p95/p99 `<name>_quantile` gauges.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	entries := r.snapshotEntries()
+	bw := bufio.NewWriter(w)
+	writeEntries(bw, entries, "", make(map[string]bool, len(entries)))
 	return bw.Flush()
 }

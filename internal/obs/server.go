@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"errors"
 	"net"
 	"net/http"
@@ -9,8 +10,13 @@ import (
 
 // Server exposes an observer over HTTP:
 //
-//	/metrics  Prometheus text exposition (version 0.0.4)
-//	/trace    Perfetto/Chrome trace-event JSON of the current ring
+//	/metrics  Prometheus text exposition (version 0.0.4): fleet metrics
+//	          plus every scope's metrics under a solve="<name>" label
+//	/trace    Perfetto/Chrome trace-event JSON: one process per scope,
+//	          spans nested solve → iteration → phase → kernel
+//	/events   live telemetry stream (NDJSON): periodic per-solve
+//	          heartbeats plus solve lifecycle and detector findings;
+//	          ?interval=250ms tunes the heartbeat cadence
 //	/flight   controller flight log as JSONL (404 until SetFlight)
 //	/healthz  liveness probe
 //
@@ -31,16 +37,19 @@ func Serve(addr string, o *Observer) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := o.Reg.WritePrometheus(w); err != nil {
+		if err := o.WritePrometheus(w); err != nil {
 			// Headers are already out; nothing useful left to do.
 			return
 		}
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := WriteTraceJSON(w, o.Tracer.Snapshot(nil)); err != nil {
+		if err := WriteTraceJSON(w, o.TraceSnapshot()); err != nil {
 			return
 		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(w, r, o)
 	})
 	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
 		src := o.Flight()
@@ -70,6 +79,81 @@ func Serve(addr string, o *Observer) (*Server, error) {
 	//lint:ignore leakspawn one-off accept-loop goroutine; joined at Close through the buffered serveErr channel
 	go func() { s.serveErr <- s.srv.Serve(ln) }()
 	return s, nil
+}
+
+// serveEvents streams NDJSON telemetry: a hello line, then periodic
+// heartbeats for every active scope interleaved with hub events
+// (solve-start/solve-end/finding). It runs inside the handler's own
+// goroutine and exits when the client disconnects, so no goroutine
+// accounting is needed; a slow client drops hub events (the hub never
+// blocks) but keeps receiving fresh heartbeats.
+func serveEvents(w http.ResponseWriter, r *http.Request, o *Observer) {
+	interval := 500 * time.Millisecond
+	if v := r.URL.Query().Get("interval"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d >= 50*time.Millisecond {
+			interval = d
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	fl, _ := w.(http.Flusher)
+	flush := func() {
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+
+	events, cancel := o.Hub().Subscribe(256)
+	defer cancel()
+
+	hello := Event{Type: "hello", ActiveSolves: len(o.activeScopes())}
+	hello.stamp()
+	if enc.Encode(hello) != nil {
+		return
+	}
+	flush()
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-events:
+			if enc.Encode(ev) != nil {
+				return
+			}
+			flush()
+		case <-tick.C:
+			for _, s := range o.activeScopes() {
+				if enc.Encode(heartbeat(s)) != nil {
+					return
+				}
+			}
+			flush()
+		}
+	}
+}
+
+// heartbeat snapshots one active scope's live stats into a stream event.
+func heartbeat(s *Scope) Event {
+	live := s.Live()
+	ev := Event{
+		Type:     "heartbeat",
+		Solve:    s.Name(),
+		Iter:     live.Iter(),
+		Frontier: live.Frontier(),
+		FarLen:   live.FarLen(),
+		X2:       live.X2(),
+		Delta:    live.Delta(),
+		SetPoint: live.SetPoint(),
+		EnergyJ:  s.Energy().TotalJoules(),
+		SimMs:    float64(live.SimNs()) / 1e6,
+		Strategy: s.Strategy(),
+	}
+	ev.stamp()
+	return ev
 }
 
 // Addr returns the bound listen address (useful with port 0).

@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (string, string) {
@@ -31,7 +34,8 @@ func get(t *testing.T, url string) (string, string) {
 
 func TestServer(t *testing.T) {
 	o := New(32)
-	sp := o.Tracer.Begin(PhaseAdvance)
+	sc := o.NewScope("t")
+	sp := sc.Tracer().Begin(PhaseAdvance)
 	sp.End(9)
 	c := o.Reg.Counter("test_hits_total", "hits")
 	c.Add(3)
@@ -53,7 +57,10 @@ func TestServer(t *testing.T) {
 	}
 	for _, want := range []string{
 		"test_hits_total 3",
+		// Fleet aggregate over all scopes, bare name.
 		`obs_phase_spans_total{phase="advance"} 1`,
+		// The scope's own copy carries the solve label.
+		`obs_phase_spans_total{phase="advance",solve="` + sc.Name() + `"} 1`,
 		"go_goroutines ",
 	} {
 		if !strings.Contains(body, want) {
@@ -75,9 +82,91 @@ func TestServer(t *testing.T) {
 		t.Fatalf("/trace has %d events, want >= 4", len(f.TraceEvents))
 	}
 
+	// A closed scope still renders (retired ring) until evicted.
+	sc.Close()
+	body2, _ := get(t, base+"/metrics")
+	if !strings.Contains(body2, `solve="`+sc.Name()+`"`) {
+		t.Errorf("retired scope vanished from /metrics")
+	}
+
 	if hbody, _ := get(t, base+"/healthz"); hbody != "ok\n" {
 		t.Errorf("/healthz = %q", hbody)
 	}
+}
+
+// TestServerEvents exercises the live NDJSON stream end to end: hello on
+// connect, heartbeats for active scopes, and solve lifecycle events
+// published while the client is attached.
+func TestServerEvents(t *testing.T) {
+	o := New(32)
+	sc := o.NewScope("live")
+	defer sc.Close()
+	sc.SetStrategy("rho")
+	sc.Live().Iteration(3, 10, 5, 7, 2.5, 4e6)
+
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+srv.Addr()+"/events?interval=50ms", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil && ctx.Err() == nil {
+			t.Error(cerr)
+		}
+	}()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("events content-type = %q", ct)
+	}
+
+	sc2 := o.NewScope("burst") // published while subscribed
+	sc2.Close()
+
+	scan := bufio.NewScanner(resp.Body)
+	seen := map[string]Event{}
+	for scan.Scan() {
+		var ev Event
+		if err := json.Unmarshal(scan.Bytes(), &ev); err != nil {
+			t.Fatalf("stream line not JSON: %q: %v", scan.Text(), err)
+		}
+		if ev.T == "" || ev.Type == "" {
+			t.Fatalf("event missing t/type: %+v", ev)
+		}
+		if _, dup := seen[ev.Type]; !dup {
+			seen[ev.Type] = ev
+		}
+		if len(seen) >= 4 { // hello, heartbeat, solve-start, solve-end
+			break
+		}
+	}
+	if len(seen) < 4 {
+		t.Fatalf("stream ended early, saw %v (err %v)", seen, scan.Err())
+	}
+
+	hb := seen["heartbeat"]
+	if hb.Iter != 3 || hb.Frontier != 10 || hb.FarLen != 5 || hb.X2 != 7 ||
+		hb.Delta != 2.5 || hb.SimMs != 4 || hb.Strategy != "rho" {
+		t.Fatalf("heartbeat payload wrong: %+v", hb)
+	}
+	if seen["solve-start"].Solve != sc2.Name() || seen["solve-end"].Solve != sc2.Name() {
+		t.Fatalf("lifecycle events wrong: start=%+v end=%+v", seen["solve-start"], seen["solve-end"])
+	}
+	cancel() // detach cleanly before the server closes
 }
 
 func TestServeNilObserver(t *testing.T) {

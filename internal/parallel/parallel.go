@@ -42,7 +42,7 @@ type Pool struct {
 	jobs  []chan func(worker int)
 	wg    sync.WaitGroup
 	once  sync.Once
-	stats *obs.PoolStats // nil: no observation (the default)
+	stats atomic.Pointer[obs.PoolStats] // nil: no observation (the default)
 }
 
 // NewPool creates a pool with the given number of workers. size <= 0 selects
@@ -64,7 +64,13 @@ func (p *Pool) start() {
 		p.jobs[w] = ch
 		go func(w int, ch chan func(worker int)) {
 			for f := range ch {
-				f(w)
+				if st := p.stats.Load(); st != nil {
+					t0 := time.Now()
+					f(w)
+					st.RecordWorker(w, time.Since(t0))
+				} else {
+					f(w)
+				}
 				p.wg.Done()
 			}
 		}(w, ch)
@@ -83,22 +89,36 @@ func (p *Pool) Close() {
 	}
 }
 
-// Observe attaches (or, with nil, detaches) a launch/busy-time accumulator.
-// Observation times each Run launch with two host clock reads; an unobserved
-// pool pays nothing. Host-side only — simulated time and energy are charged
-// by internal/sim regardless of whether the pool is observed.
-func (p *Pool) Observe(s *obs.PoolStats) { p.stats = s }
+// Observe attaches (or, with nil, detaches) a launch/busy-time accumulator
+// and enables its per-worker busy table for this pool's size. Observation
+// times each Run launch (and each worker's share of it) with host clock
+// reads; an unobserved pool pays one atomic load per launch. The stats
+// pointer is atomic so concurrent solves observing one shared pool stay
+// race-free. Host-side only — simulated time and energy are charged by
+// internal/sim regardless of whether the pool is observed.
+func (p *Pool) Observe(s *obs.PoolStats) {
+	s.EnableWorkers(p.size)
+	p.stats.Store(s)
+}
 
 // Run invokes f once per worker, concurrently, and waits for all invocations
 // to finish. f receives the worker index in [0, Size()).
 func (p *Pool) Run(f func(worker int)) {
-	if p.stats == nil {
+	st := p.stats.Load()
+	if st == nil {
 		p.run(f)
 		return
 	}
 	start := time.Now()
-	p.run(f)
-	p.stats.Record(time.Since(start))
+	if p.size == 1 {
+		// Sequential pools run in the caller; the launch is worker 0's
+		// busy time.
+		f(0)
+		st.RecordWorker(0, time.Since(start))
+	} else {
+		p.run(f)
+	}
+	st.Record(time.Since(start))
 }
 
 func (p *Pool) run(f func(worker int)) {

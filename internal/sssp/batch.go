@@ -29,10 +29,11 @@ func Batch(g *graph.Graph, sources []graph.VID, width int,
 }
 
 // BatchObserved is Batch with an observer shared by every solve: each
-// per-source solve attaches o (tracer spans interleave across sources;
-// counters accumulate), and the batch itself counts completed solves and
-// errors. The observer's registry and tracer are safe for this concurrent
-// use. A nil o makes it identical to Batch.
+// per-source solve derives its own scope from o, so concurrent solves
+// record into disjoint span trees and label-disjoint metric sets while the
+// fleet registry accumulates their totals. The batch itself counts
+// completed solves and errors at the fleet level. A nil o makes it
+// identical to Batch.
 func BatchObserved(g *graph.Graph, sources []graph.VID, width int, o *obs.Observer,
 	solve func(g *graph.Graph, src graph.VID, opt *Options) (Result, error)) []BatchResult {
 	if width <= 0 {

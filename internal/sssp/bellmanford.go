@@ -28,19 +28,30 @@ func BellmanFord(g *graph.Graph, src graph.VID, opt *Options) (Result, error) {
 	dist := newDist(g.NumVertices(), src)
 	kn := NewKernels(g, pool, opt.Machine, dist)
 	kn.Force = opt.Advance
-	kn.Observe(opt.Obs)
+	sc, ownScope := opt.AcquireScope("bellmanford")
+	if ownScope {
+		defer sc.Close()
+	}
+	kn.Observe(sc)
 	defer kn.Release()
 	front := []graph.VID{src}
 	var res Result
 	guard := opt.maxIters(g)
+	tr := kn.Trace()
+	spSolve := tr.BeginSolve()
+	defer func() { spSolve.End(int64(res.Iterations)) }()
 	for len(front) > 0 {
 		if res.Iterations++; res.Iterations > guard {
 			return res, ErrLivelock
 		}
+		spIter := tr.BeginIter(res.Iterations - 1)
 		adv := kn.Advance(front)
 		res.EdgesRelaxed += adv.Edges
 		res.Updates += int64(adv.X2)
 		front = append(front[:0], adv.Out...)
+		sc.Live().Iteration(int64(res.Iterations-1), int64(len(front)), 0,
+			int64(adv.X2), 0, int64(kn.SimNow()-startSim))
+		spIter.End(int64(adv.X2))
 	}
 	res.Dist = dist
 	finishResult(&res, opt, start, startSim, startJ)

@@ -6,7 +6,6 @@ import (
 
 	"energysssp/internal/frontier"
 	"energysssp/internal/graph"
-	"energysssp/internal/sim"
 )
 
 // DeltaStepping implements the classic Meyer–Sanders algorithm: vertices
@@ -48,7 +47,11 @@ func DeltaStepping(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options
 	dist := newDist(g.NumVertices(), src)
 	kn := NewKernels(g, pool, opt.Machine, dist)
 	kn.Force = opt.Advance
-	kn.Observe(opt.Obs)
+	sc, ownScope := opt.AcquireScope("deltastep")
+	if ownScope {
+		defer sc.Close()
+	}
+	kn.Observe(sc)
 	defer kn.Release()
 
 	lightMax := graph.Weight(delta)
@@ -58,7 +61,15 @@ func DeltaStepping(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options
 
 	var res Result
 	guard := opt.maxIters(g)
-	if resolveFarQueue(opt.FarQueue, FarLazy) != FarFlat {
+	spSolve := kn.Trace().BeginSolve()
+	defer func() { spSolve.End(int64(res.Iterations)) }()
+	fused := resolveFarQueue(opt.FarQueue, FarLazy) != FarFlat
+	if fused {
+		sc.SetStrategy("fused")
+	} else {
+		sc.SetStrategy("flat")
+	}
+	if fused {
 		if err := deltaStepFused(src, delta, lightMax, opt, kn, dist, guard, &res); err != nil {
 			return res, err
 		}
@@ -101,10 +112,8 @@ func DeltaStepping(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options
 					settled = append(settled, e.v)
 				}
 			}
-			if opt.Machine != nil {
-				// Bucket scan is the analogue of the far-queue kernel.
-				opt.Machine.Kernel(sim.KernelFarQueue, len(cur))
-			}
+			// Bucket scan is the analogue of the far-queue kernel.
+			kn.ChargeFarQueue(len(cur))
 			if len(front) == 0 {
 				continue
 			}
@@ -149,10 +158,8 @@ func deltaStepFused(src graph.VID, delta graph.Dist, lightMax graph.Weight,
 		var scanned int
 		var bound graph.Dist
 		front, scanned, bound = q.ExtractBatch(fuseBatchTarget, dist, front)
-		if opt.Machine != nil {
-			// Bucket scan is the analogue of the far-queue kernel.
-			opt.Machine.Kernel(sim.KernelFarQueue, scanned)
-		}
+		// Bucket scan is the analogue of the far-queue kernel.
+		kn.ChargeFarQueue(scanned)
 		if len(front) == 0 {
 			continue // the batch was all stale
 		}

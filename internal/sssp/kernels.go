@@ -87,6 +87,7 @@ type Kernels struct {
 	// and the off path is the same code as the on path (which is what makes
 	// the obs-on/obs-off sim accounting bit-identical).
 	tr          *obs.Tracer
+	em          *obs.EnergyMeter
 	obsAdvances *obs.Counter
 	obsEdges    *obs.Counter
 	obsUpdates  *obs.Counter
@@ -218,30 +219,32 @@ func NewKernels(g *graph.Graph, pool *parallel.Pool, mach *sim.Machine, dist []g
 // (the paper's X² parallelism signal): powers of four from 1 to 4M.
 var x2Buckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304}
 
-// Observe attaches an observer: phase spans go to o.Tracer and solver
-// totals to o.Reg. Call before the first Advance; safe to call per solve
-// against a shared observer (registration is idempotent, counters
-// accumulate across solves). A nil o is a no-op, leaving the kernels
+// Observe attaches a per-solve observability scope: phase spans go to the
+// scope's tracer, solver totals to its registry (chained into the fleet
+// registry), and kernel energy charges to its energy meter. Call before
+// the first Advance. A nil s is a no-op, leaving the kernels
 // uninstrumented. All metric updates are host-side only and never touch
 // the simulated machine.
-func (kn *Kernels) Observe(o *obs.Observer) {
-	if o == nil {
+func (kn *Kernels) Observe(s *obs.Scope) {
+	if s == nil {
 		return
 	}
-	kn.tr = o.Tracer
-	kn.obsAdvances = o.Reg.Counter("sssp_advances_total",
+	kn.tr = s.Tracer()
+	kn.em = s.Energy()
+	reg := s.Registry()
+	kn.obsAdvances = reg.Counter("sssp_advances_total",
 		"advance+filter kernel executions")
-	kn.obsEdges = o.Reg.Counter("sssp_edges_relaxed_total",
+	kn.obsEdges = reg.Counter("sssp_edges_relaxed_total",
 		"edges examined by advance kernels")
-	kn.obsUpdates = o.Reg.Counter("sssp_updates_total",
+	kn.obsUpdates = reg.Counter("sssp_updates_total",
 		"successful distance updates (sum of per-iteration X2)")
-	kn.obsEdgeBal = o.Reg.Counter("sssp_edge_balanced_advances_total",
+	kn.obsEdgeBal = reg.Counter("sssp_edge_balanced_advances_total",
 		"advances scheduled on the edge-balanced path")
-	kn.obsX2 = o.Reg.Histogram("sssp_x2_updates",
+	kn.obsX2 = reg.Histogram("sssp_x2_updates",
 		"distance updates per advance (the controller's X2 signal)", x2Buckets)
-	o.Reg.Counter("sssp_solves_total", "kernel engines constructed (one per solve)").Inc()
-	registerScratchMetrics(o.Reg)
-	kn.Pool.Observe(o.PoolStats())
+	reg.Counter("sssp_solves_total", "kernel engines constructed (one per solve)").Inc()
+	registerScratchMetrics(reg)
+	kn.Pool.Observe(s.PoolStats())
 }
 
 // SimNow reads the simulated clock without charging it (0 with no machine).
@@ -335,7 +338,10 @@ func (kn *Kernels) AdvanceRange(front []graph.VID, wlo, whi graph.Weight) Advanc
 	// the filter span (which covers the host-side merge + bitmap clear).
 	advSimStart := kn.SimNow()
 	if kn.Mach != nil {
+		e0 := kn.Mach.Energy()
 		res.Dur = kn.Mach.Kernel(sim.KernelAdvance, int(res.Edges))
+		kn.em.Charge(obs.PhaseAdvance, e0, kn.Mach.Energy())
+		spAdv.Kernel(res.Edges, advSimStart, res.Dur)
 	}
 	spAdv.EndSim(res.Edges, advSimStart, res.Dur)
 
@@ -354,8 +360,11 @@ func (kn *Kernels) AdvanceRange(front []graph.VID, wlo, whi graph.Weight) Advanc
 	filSimStart := kn.SimNow()
 	var filDur time.Duration
 	if kn.Mach != nil {
+		e0 := kn.Mach.Energy()
 		filDur = kn.Mach.Kernel(sim.KernelFilter, res.X2)
+		kn.em.Charge(obs.PhaseFilter, e0, kn.Mach.Energy())
 		res.Dur += filDur
+		spFil.Kernel(int64(res.X2), filSimStart, filDur)
 	}
 	spFil.EndSim(int64(res.X2), filSimStart, filDur)
 
@@ -405,26 +414,36 @@ func (kn *Kernels) planAdvance(n int) bool {
 	return maxDeg >= skewFactor*mean || total >= largeFrontierEdges
 }
 
-// ChargeBisect charges the bisect-frontier kernel over items work items.
+// ChargeBisect charges the bisect-frontier kernel over items work items,
+// attributing the joules to the rebalance phase.
 func (kn *Kernels) ChargeBisect(items int) time.Duration {
 	if kn.Mach == nil {
 		return 0
 	}
-	return kn.Mach.Kernel(sim.KernelBisect, items)
+	e0 := kn.Mach.Energy()
+	d := kn.Mach.Kernel(sim.KernelBisect, items)
+	kn.em.Charge(obs.PhaseRebalance, e0, kn.Mach.Energy())
+	return d
 }
 
 // ChargeFarQueue charges the bisect-far-queue / rebalancer kernel over
-// items scanned entries.
+// items scanned entries, attributing the joules to the rebalance phase.
 func (kn *Kernels) ChargeFarQueue(items int) time.Duration {
 	if kn.Mach == nil {
 		return 0
 	}
-	return kn.Mach.Kernel(sim.KernelFarQueue, items)
+	e0 := kn.Mach.Energy()
+	d := kn.Mach.Kernel(sim.KernelFarQueue, items)
+	kn.em.Charge(obs.PhaseRebalance, e0, kn.Mach.Energy())
+	return d
 }
 
-// ChargeHost charges host (controller) time.
+// ChargeHost charges host (controller) time, attributing the joules to the
+// controller phase.
 func (kn *Kernels) ChargeHost(d time.Duration) {
 	if kn.Mach != nil {
+		e0 := kn.Mach.Energy()
 		kn.Mach.HostStep(d)
+		kn.em.Charge(obs.PhaseController, e0, kn.Mach.Energy())
 	}
 }

@@ -51,7 +51,11 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 	dist := newDist(g.NumVertices(), src)
 	kn := NewKernels(g, pool, opt.Machine, dist)
 	kn.Force = opt.Advance
-	kn.Observe(opt.Obs)
+	sc, ownScope := opt.AcquireScope("nearfar")
+	if ownScope {
+		defer sc.Close()
+	}
+	kn.Observe(sc)
 	defer kn.Release()
 	front := []graph.VID{src}
 	thr := delta // the phase-(i+1) boundary (i starts at 0)
@@ -75,6 +79,7 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 	if farLazy != nil {
 		defer farLazy.Release()
 	}
+	sc.SetStrategy(kind.String())
 	farLen := func() int {
 		if farLazy != nil {
 			return farLazy.Len()
@@ -100,10 +105,14 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 	guard := opt.maxIters(g)
 	var lastSim time.Duration
 	var lastJ float64
+	tr := kn.Trace()
+	spSolve := tr.BeginSolve()
+	defer func() { spSolve.End(int64(res.Iterations)) }()
 	for len(front) > 0 {
 		if res.Iterations++; res.Iterations > guard {
 			return res, ErrLivelock
 		}
+		spIter := tr.BeginIter(res.Iterations - 1)
 		x1 := len(front)
 		adv := kn.Advance(front)
 		res.EdgesRelaxed += adv.Edges
@@ -233,6 +242,10 @@ func NearFar(g *graph.Graph, src graph.VID, delta graph.Dist, opt *Options) (Res
 			}
 			frec.Append(&fr)
 		}
+
+		sc.Live().Iteration(int64(res.Iterations-1), int64(x1), int64(farLen()),
+			int64(adv.X2), float64(thr), int64(kn.SimNow()-startSim))
+		spIter.End(int64(adv.X2))
 	}
 	obs.ClearPhaseLabel() // don't bleed the last phase into the caller's samples
 	res.Dist = dist

@@ -10,7 +10,7 @@ import (
 )
 
 // TestObsSteadyStateAllocs extends the tentpole's allocation gate to the
-// instrumented path: with a full observer attached (tracer, counters,
+// instrumented path: with a full per-solve scope attached (tracer, counters,
 // histogram) AND pprof phase labels enabled, Advance must still perform
 // zero allocations per iteration on both scheduling paths at every pool
 // size. This is the invariant that lets observability default-on in long
@@ -21,13 +21,15 @@ func TestObsSteadyStateAllocs(t *testing.T) {
 	obs.EnablePhaseLabels()
 	defer obs.DisablePhaseLabels()
 	g := gen.RMAT(11, 8, 0.57, 0.19, 0.19, 1, 99, 13)
+	o := obs.New(obs.DefaultTraceEvents)
 	for _, ps := range []int{1, 4} {
 		for _, strat := range []Strategy{StrategyVertex, StrategyEdge} {
 			pool := parallel.NewPool(ps)
 			dist := newDist(g.NumVertices(), 0)
 			kn := NewKernels(g, pool, nil, dist)
 			kn.Force = strat
-			kn.Observe(obs.New(obs.DefaultTraceEvents))
+			sc := o.NewScope("allocgate")
+			kn.Observe(sc)
 			front := []graph.VID{0}
 			for len(front) > 0 {
 				adv := kn.Advance(front)
@@ -44,10 +46,59 @@ func TestObsSteadyStateAllocs(t *testing.T) {
 				kn.Advance(frontier)
 			})
 			kn.Release()
+			sc.Close()
 			pool.Close()
 			if allocs != 0 {
 				t.Errorf("pool %d %v: observed Advance allocates %.1f per run, want 0", ps, strat, allocs)
 			}
 		}
+	}
+}
+
+// TestSpanSteadyStateAllocs is the hierarchical-tracer half of the gate:
+// a full driver-shaped recording cycle — iteration span, instrumented
+// Advance (which opens advance+filter phase spans), live solve stats, and
+// a kernel mark — must allocate nothing once the first span slab is warm.
+// The tracer hands spans out of pooled slabs and the live stats are plain
+// atomics, so the whole span plane rides inside the solver's steady state.
+func TestSpanSteadyStateAllocs(t *testing.T) {
+	obs.EnablePhaseLabels()
+	defer obs.DisablePhaseLabels()
+	g := gen.RMAT(11, 8, 0.57, 0.19, 0.19, 1, 99, 13)
+	pool := parallel.NewPool(4)
+	defer pool.Close()
+	dist := newDist(g.NumVertices(), 0)
+	kn := NewKernels(g, pool, nil, dist)
+	o := obs.New(obs.DefaultTraceEvents)
+	sc := o.NewScope("spangate")
+	defer sc.Close()
+	kn.Observe(sc)
+	defer kn.Release()
+	tr := kn.Trace()
+
+	front := []graph.VID{0}
+	for len(front) > 0 {
+		adv := kn.Advance(front)
+		front = append(front[:0], adv.Out...)
+	}
+	frontier := make([]graph.VID, 0, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		if dist[v] < graph.Inf {
+			frontier = append(frontier, graph.VID(v))
+		}
+	}
+
+	spSolve := tr.BeginSolve()
+	defer func() { spSolve.End(0) }()
+	cycle := func() {
+		spIter := tr.BeginIter(0)
+		adv := kn.Advance(frontier)
+		tr.Mark(obs.PhaseRebalance, int64(len(frontier)), kn.SimNow(), 0)
+		sc.Live().Iteration(0, int64(len(frontier)), 0, int64(adv.X2), 0, 0)
+		spIter.End(int64(adv.X2))
+	}
+	cycle() // warm the first span slab and the advance scratch
+	if allocs := testing.AllocsPerRun(10, cycle); allocs != 0 {
+		t.Errorf("span-instrumented cycle allocates %.1f per run, want 0", allocs)
 	}
 }

@@ -56,12 +56,20 @@ type Options struct {
 	// per scanned entry; the flight header records which one ran so
 	// replay validates the matching schedule.
 	FarQueue FarQueueStrategy
-	// Obs, when non-nil, attaches the runtime observability layer: phase
-	// spans go to Obs.Tracer, solver/controller metrics to Obs.Reg. Like
-	// Advance, it is host-side only — simulated time and energy are
-	// bit-identical with Obs set or nil — and it preserves the zero-
-	// allocation steady state (gated by TestObsSteadyStateAllocs).
+	// Obs, when non-nil, attaches the runtime observability plane. Each
+	// solver derives its own per-solve Scope from it (closed when the
+	// solve finishes), so concurrent solves sharing one Observer get
+	// disjoint span trees and scoped metrics that aggregate into the
+	// fleet registry. Like Advance, it is host-side only — simulated time
+	// and energy are bit-identical with Obs set or nil — and it preserves
+	// the zero-allocation steady state (gated by TestObsSteadyStateAllocs
+	// and TestSpanSteadyStateAllocs).
 	Obs *obs.Observer
+	// Scope, when non-nil, supplies a pre-made observability scope instead
+	// of deriving one from Obs. The caller owns its lifecycle (the solver
+	// will not Close it) — used by drivers that solve repeatedly under one
+	// scope or need the scope after the solve returns.
+	Scope *obs.Scope
 	// Flight, when non-nil, records one flight.Record per solver iteration
 	// (the controller flight recorder). Host-side only, like Obs, and
 	// allocation-free in the steady state (gated by
@@ -75,6 +83,21 @@ func (o *Options) pool() *parallel.Pool {
 		return o.Pool
 	}
 	return parallel.NewPool(1)
+}
+
+// AcquireScope returns the per-solve observability scope and whether the
+// solver owns it (owns == must Close when the solve finishes): the
+// caller-supplied Scope is borrowed, one derived from Obs is owned, and with
+// neither the scope is nil (a no-op). Exported for internal/core, which
+// builds on this package's kernels and follows the same scoping protocol.
+func (o *Options) AcquireScope(alg string) (*obs.Scope, bool) {
+	if o.Scope != nil {
+		return o.Scope, false
+	}
+	if o.Obs == nil {
+		return nil, false
+	}
+	return o.Obs.NewScope(alg), true
 }
 
 func (o *Options) maxIters(g *graph.Graph) int {

@@ -12,7 +12,7 @@
 # Usage: scripts/bench.sh [extra go-test args...]
 #        scripts/bench.sh -count=5     # median-of-5 snapshot (noise damping)
 #
-#   BENCH_PATTERN  benchmark regexp      (default: Advance|NearFar|SelfTuning|Batch|Obs|Flight|FarQueue)
+#   BENCH_PATTERN  benchmark regexp      (default: Advance|NearFar|SelfTuning|Batch|Obs|Span|Flight|FarQueue)
 #   BENCH_TIME     -benchtime value      (default: 1s)
 #   BENCH_OUT      output JSON path      (default: BENCH_<date>.json in repo root)
 #   BENCH_NOTE     note stored in the snapshot
@@ -25,7 +25,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pattern=${BENCH_PATTERN:-'Advance|NearFar|SelfTuning|Batch|Obs|Flight|FarQueue'}
+pattern=${BENCH_PATTERN:-'Advance|NearFar|SelfTuning|Batch|Obs|Span|Flight|FarQueue'}
 benchtime=${BENCH_TIME:-1s}
 traj=${BENCH_TRAJ-results/perf_trajectory.jsonl}
 

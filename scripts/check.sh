@@ -31,8 +31,14 @@ echo "==> go test -race (concurrent packages)"
 go test -race ./internal/parallel/... ./internal/frontier/... ./internal/sssp/... \
     ./internal/obs/... ./internal/flight/... ./internal/core/...
 
-echo "==> zero-allocation steady-state gates (obs off, obs on, flight on, lazy far queue)"
-go test -run 'TestAdvanceSteadyStateAllocs|TestObsSteadyStateAllocs|TestLazyFarSteadyStateAllocs' -count=1 ./internal/sssp/
+echo "==> go test -race: concurrent solves on one shared observer (API level)"
+# Two racing solves must stay bit-identical to their sequential runs while
+# recording disjoint span trees and exact fleet-equals-sum-of-scopes metrics.
+go test -race -run 'TestConcurrentSolvesIsolated' -count=1 .
+
+echo "==> zero-allocation steady-state gates (obs off, obs on, spans on, flight on, lazy far queue)"
+go test -run 'TestAdvanceSteadyStateAllocs|TestObsSteadyStateAllocs|TestSpanSteadyStateAllocs|TestLazyFarSteadyStateAllocs' -count=1 ./internal/sssp/
+go test -run 'TestTracerSteadyStateAllocs|TestEnergyMeterSteadyStateAllocs' -count=1 ./internal/obs/
 go test -run 'TestFlightSteadyStateAllocs' -count=1 ./internal/core/
 
 echo "==> flight-recorder gates: record/replay determinism + same-seed diff"
