@@ -39,11 +39,13 @@ import (
 	"energysssp/internal/gen"
 	"energysssp/internal/graph"
 	"energysssp/internal/harness"
+	"energysssp/internal/incident"
 	"energysssp/internal/kcore"
 	"energysssp/internal/metrics"
 	"energysssp/internal/obs"
 	"energysssp/internal/pagerank"
 	"energysssp/internal/parallel"
+	"energysssp/internal/perf"
 	"energysssp/internal/power"
 	"energysssp/internal/sim"
 	"energysssp/internal/sssp"
@@ -100,6 +102,38 @@ type (
 	FlightReplayReport = flight.ReplayReport
 	// FlightFinding is one detected controller pathology (see FlightFindings).
 	FlightFinding = flight.Finding
+	// FlightDetectOptions holds the controller-pathology detector
+	// thresholds shared by the offline scan (FlightFindings) and the online
+	// detectors wired by Run (see RunConfig.Detect). Zero fields select the
+	// defaults.
+	FlightDetectOptions = flight.DetectOptions
+	// TimeSeriesStore is the in-process time-series ring that periodically
+	// samples every registry series (see NewTimeSeriesStore); served as
+	// windowed JSON at the observer's /series endpoint and rendered by
+	// cmd/obswatch.
+	TimeSeriesStore = obs.TSDB
+	// TimeSeriesOptions configures NewTimeSeriesStore; zero values select
+	// the defaults (250ms period, 960 samples ≈ 4 minutes, 1024 series).
+	TimeSeriesOptions = obs.TSDBOptions
+	// SeriesQuery selects a window of a TimeSeriesStore (see
+	// TimeSeriesStore.WriteJSON).
+	SeriesQuery = obs.SeriesQuery
+	// Health is the /healthz payload (see Observer.HealthSnapshot).
+	Health = obs.Health
+	// ContinuousProfiler takes short CPU-profile windows on a duty cycle
+	// and publishes live per-phase CPU-fraction gauges (see
+	// NewContinuousProfiler).
+	ContinuousProfiler = perf.ContinuousProfiler
+	// ContinuousProfileOptions configures NewContinuousProfiler; zero
+	// values select the defaults (500ms window every 5s).
+	ContinuousProfileOptions = perf.ContinuousOptions
+	// IncidentConfig wires NewIncidentCapturer.
+	IncidentConfig = incident.Config
+	// IncidentCapturer writes rate-limited forensic bundles when an online
+	// detector finding is published (see NewIncidentCapturer).
+	IncidentCapturer = incident.Capturer
+	// IncidentStats counts an IncidentCapturer's lifetime activity.
+	IncidentStats = incident.Stats
 )
 
 // Inf is the distance of unreachable vertices.
@@ -240,6 +274,12 @@ type RunConfig struct {
 	// the observer's /flight endpoint. Host-side only and allocation-free
 	// in the steady state, like Obs.
 	FlightLog *FlightRecorder
+	// Detect overrides the online detector thresholds used when FlightLog
+	// and Obs are both attached (nil keeps the defaults; see
+	// FlightDetectOptions). Lowering the thresholds makes findings — and
+	// incident bundles, when an IncidentCapturer subscribes — fire earlier;
+	// tests and smoke scripts use this to force a capture on a healthy run.
+	Detect *FlightDetectOptions
 }
 
 // RunOutput bundles a solver result with its optional instrumentation.
@@ -295,9 +335,48 @@ func NewObserver(traceEvents int) *Observer { return obs.New(traceEvents) }
 // ServeMetrics starts an HTTP server for o on addr: Prometheus text at
 // /metrics (fleet totals plus per-solve label sets), the Perfetto trace at
 // /trace, the live NDJSON telemetry stream at /events (see cmd/obswatch),
-// liveness at /healthz. Use port 0 to pick a free port (see
+// windowed time-series JSON at /series (when a TimeSeriesStore is
+// attached), and health JSON at /healthz (uptime, scope counts, sample
+// count, last finding). Use port 0 to pick a free port (see
 // MetricsServer.Addr); close when done.
 func ServeMetrics(addr string, o *Observer) (*MetricsServer, error) { return obs.Serve(addr, o) }
+
+// NewTimeSeriesStore attaches a fixed-capacity in-process time-series ring
+// to o and returns it: every SamplePeriod it records one point per registry
+// series — counters as per-tick deltas, gauges as values, histograms as
+// their tracked quantiles — across the fleet registry and every live and
+// retired solve scope, with zero steady-state allocations. Call Start to
+// begin sampling (Stop when done); the observer's /series endpoint and
+// cmd/obswatch sparklines read it, and incident bundles capture its last
+// window. Returns nil for a nil observer.
+func NewTimeSeriesStore(o *Observer, opt TimeSeriesOptions) *TimeSeriesStore {
+	return obs.NewTSDB(o, opt)
+}
+
+// NewContinuousProfiler registers live phase-attribution gauges
+// (perf_phase_cpu_fraction{phase=...}) on o's fleet registry and returns a
+// duty-cycled background CPU profiler: Start takes a short profile window
+// every interval, buckets samples by the solver's pprof phase labels, and
+// publishes each phase's CPU share — runtime attribution, not
+// benchmark-only. The solver's hot path stays allocation-free while a
+// window is open, and simulated results are bit-identical with the
+// profiler running. A nil observer still profiles; the gauges are no-ops.
+func NewContinuousProfiler(o *Observer, opt ContinuousProfileOptions) *ContinuousProfiler {
+	var r *obs.Registry
+	if o != nil {
+		r = o.Reg
+	}
+	return perf.NewContinuousProfiler(r, opt)
+}
+
+// NewIncidentCapturer subscribes to cfg.Observer's event hub and writes a
+// rate-limited, timestamped forensic bundle — triggering finding, full
+// flight log (replayable with ReplayFlight), last window of time series,
+// energy report, health snapshot, goroutine dump, and a manifest written
+// last as the completeness marker — whenever an online detector finding is
+// published (see RunConfig.FlightLog and RunConfig.Detect). Close when
+// done; buffered findings are drained first.
+func NewIncidentCapturer(cfg IncidentConfig) (*IncidentCapturer, error) { return incident.New(cfg) }
 
 // NewFlightRecorder constructs a controller flight recorder whose
 // preallocated ring retains the last capacity iterations (0 selects the
@@ -368,7 +447,11 @@ func Run(g *Graph, src VID, cfg RunConfig) (*RunOutput, error) {
 			// record streams through them, and a first threshold crossing
 			// surfaces immediately as a /events finding instead of waiting
 			// for a post-run FlightFindings pass.
-			cfg.FlightLog.SetOnline(flight.NewOnlineDetector(flight.DetectOptions{}, func(f flight.Finding) {
+			dopt := flight.DetectOptions{}
+			if cfg.Detect != nil {
+				dopt = *cfg.Detect
+			}
+			cfg.FlightLog.SetOnline(flight.NewOnlineDetector(dopt, func(f flight.Finding) {
 				hub.Publish(obs.Event{Type: "finding", Kind: string(f.Kind), Iter: f.FirstK, Detail: f.Detail})
 			}))
 		}

@@ -17,6 +17,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	energysssp "energysssp"
 	"energysssp/internal/trace"
@@ -44,6 +45,16 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write the solve's phase timeline as Perfetto/Chrome trace JSON to this path")
 		flightOut = flag.String("flight-out", "", "write the controller flight log as JSONL to this path (replay with 'flight replay')")
 		energyOut = flag.String("energy-out", "", "write the per-phase/per-strategy energy attribution as JSON to this path (requires -device)")
+
+		incidentDir  = flag.String("incident-dir", "", "write a forensic bundle (finding, flight log, series window, energy report, goroutine dump) here when an online detector fires")
+		seriesPeriod = flag.Duration("series-period", 250*time.Millisecond, "time-series sampling period for /series and incident bundles")
+		cprofile     = flag.Bool("cprofile", false, "run the continuous profiler: live per-phase CPU gauges on /metrics and /series")
+
+		detectOsc       = flag.Int("detect-osc", 0, "online detector: delta sign flips before an oscillation finding (0 = default)")
+		detectCollapse  = flag.Int("detect-collapse", 0, "online detector: iterations on the alpha floor before a collapse finding (0 = default)")
+		detectEscape    = flag.Int("detect-escape", 0, "online detector: iterations outside the set-point band before an escape finding (0 = default)")
+		detectBand      = flag.Float64("detect-band", 0, "online detector: set-point escape band multiplier, must be > 1 (0 = default)")
+		detectBootstrap = flag.Int("detect-bootstrap", 0, "online detector: bootstrap iterations ignored at solve start (0 = default)")
 	)
 	flag.Parse()
 
@@ -85,14 +96,48 @@ func main() {
 	}
 
 	var o *energysssp.Observer
-	if *obsListen != "" || *traceOut != "" || *energyOut != "" {
+	if *obsListen != "" || *traceOut != "" || *energyOut != "" || *incidentDir != "" || *cprofile {
 		o = energysssp.NewObserver(0)
 		cfg.Obs = o
 	}
 	var rec *energysssp.FlightRecorder
-	if *flightOut != "" {
+	if *flightOut != "" || *incidentDir != "" {
+		// Incident bundles need the flight log even when the caller did not
+		// ask for one on disk: replayability is the bundle's whole point.
 		rec = energysssp.NewFlightRecorder(0)
 		cfg.FlightLog = rec
+	}
+	if *detectOsc != 0 || *detectCollapse != 0 || *detectEscape != 0 || *detectBand > 1 || *detectBootstrap != 0 {
+		cfg.Detect = &energysssp.FlightDetectOptions{
+			MinOscillation: *detectOsc,
+			MinCollapse:    *detectCollapse,
+			MinEscape:      *detectEscape,
+			EscapeBand:     *detectBand,
+			Bootstrap:      *detectBootstrap,
+		}
+	}
+	var tsdb *energysssp.TimeSeriesStore
+	if o != nil {
+		tsdb = energysssp.NewTimeSeriesStore(o, energysssp.TimeSeriesOptions{SamplePeriod: *seriesPeriod})
+		tsdb.Start()
+		defer tsdb.Stop()
+	}
+	var prof *energysssp.ContinuousProfiler
+	if *cprofile {
+		prof = energysssp.NewContinuousProfiler(o, energysssp.ContinuousProfileOptions{})
+		prof.Start()
+		defer prof.Stop()
+	}
+	var capt *energysssp.IncidentCapturer
+	if *incidentDir != "" {
+		capt, err = energysssp.NewIncidentCapturer(energysssp.IncidentConfig{
+			Dir: *incidentDir, Observer: o, Flight: rec, Series: tsdb,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer reportIncidents(capt)
+		fmt.Printf("incident capture: armed, bundles land in %s\n", *incidentDir)
 	}
 	var srv *energysssp.MetricsServer
 	if *obsListen != "" {
@@ -119,6 +164,9 @@ func main() {
 		sig := <-sigc
 		fmt.Fprintf(os.Stderr, "\nsssp: %v: flushing partial outputs\n", sig)
 		flushOutputs(*traceOut, *flightOut, *energyOut, o, rec)
+		if capt != nil {
+			reportIncidents(capt) // drain buffered findings into bundles
+		}
 		if srv != nil {
 			if err := srv.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "sssp: metrics server:", err)
@@ -177,6 +225,20 @@ func main() {
 	flushOutputs(*traceOut, *flightOut, *energyOut, o, rec)
 	if o != nil {
 		fmt.Println(o.SummaryLine())
+	}
+}
+
+// reportIncidents closes the capturer (draining any buffered findings into
+// bundles first) and summarizes what it wrote. Shared between the normal
+// exit path and the signal handler; Close is idempotent.
+func reportIncidents(capt *energysssp.IncidentCapturer) {
+	capt.Close()
+	s := capt.Stats()
+	if dir, err := capt.LastBundle(); err != nil {
+		fmt.Fprintln(os.Stderr, "sssp: incident capture:", err)
+	} else if s.Captured > 0 {
+		fmt.Printf("incidents: %d bundle(s) captured (%d suppressed by rate limit), last: %s\n",
+			s.Captured, s.Suppressed, dir)
 	}
 }
 

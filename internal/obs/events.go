@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,6 +48,12 @@ func (ev *Event) stamp() {
 type Hub struct {
 	mu   sync.Mutex
 	subs map[chan Event]struct{}
+
+	// Finding bookkeeping: every "finding" event that passes through the hub
+	// (whatever its producer) bumps these, so /healthz can report the last
+	// anomaly without subscribing.
+	findings    atomic.Int64
+	lastFinding atomic.Int64 // host unix ns of the most recent finding, 0 = never
 }
 
 func newHub() *Hub {
@@ -91,6 +98,10 @@ func (h *Hub) Publish(ev Event) {
 		return
 	}
 	ev.stamp()
+	if ev.Type == "finding" {
+		h.findings.Add(1)
+		h.lastFinding.Store(time.Now().UnixNano())
+	}
 	h.mu.Lock()
 	for ch := range h.subs {
 		select {
@@ -99,4 +110,17 @@ func (h *Hub) Publish(ev Event) {
 		}
 	}
 	h.mu.Unlock()
+}
+
+// Findings reports how many finding events have passed through the hub and
+// when the most recent one did (zero time when none has).
+func (h *Hub) Findings() (total int64, last time.Time) {
+	if h == nil {
+		return 0, time.Time{}
+	}
+	total = h.findings.Load()
+	if ns := h.lastFinding.Load(); ns != 0 {
+		last = time.Unix(0, ns)
+	}
+	return total, last
 }

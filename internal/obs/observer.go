@@ -179,11 +179,14 @@ type Observer struct {
 
 	hub    *Hub
 	energy *EnergyMeter // fleet meter: scope meters chain here
+	start  time.Time    // construction time, the /healthz uptime epoch
+	tsdb   atomic.Pointer[TSDB]
 
 	mu          sync.Mutex
 	scopes      []*Scope // active (unclosed) scopes
 	retired     []*Scope // most recent closed scopes, oldest first
 	evictedAgg  [numPhases]PhaseTotals
+	evicted     int64 // scopes pushed out of the retired ring
 	nextScopeID int64
 	traceEvents int
 
@@ -202,6 +205,7 @@ func New(traceEvents int) *Observer {
 	o := &Observer{
 		Reg:         NewRegistry(),
 		hub:         newHub(),
+		start:       time.Now(),
 		traceEvents: traceEvents,
 		stratJ:      make(map[string]float64),
 	}
@@ -266,6 +270,7 @@ func (o *Observer) retire(s *Scope) {
 		copy(o.retired, o.retired[1:])
 		o.retired[len(o.retired)-1] = nil
 		o.retired = o.retired[:len(o.retired)-1]
+		o.evicted++
 		for p := Phase(0); p < numPhases; p++ {
 			t := evicted.tracer.Totals(p)
 			o.evictedAgg[p].Count += t.Count
@@ -346,15 +351,19 @@ func (o *Observer) WriteEnergyJSON(w io.Writer) error {
 
 // strategyJoules returns closed-scope joules banked under strat plus the
 // live contribution of active scopes that have declared that strategy.
+// Allocation-free: the tsdb sampler reads the per-strategy gauge funcs on
+// every tick, so the active-scope walk stays under o.mu instead of copying.
 func (o *Observer) strategyJoules(strat string) float64 {
 	o.stratMu.Lock()
 	j := o.stratJ[strat]
 	o.stratMu.Unlock()
-	for _, s := range o.activeScopes() {
+	o.mu.Lock()
+	for _, s := range o.scopes {
 		if s.Strategy() == strat {
 			j += s.energy.TotalJoules()
 		}
 	}
+	o.mu.Unlock()
 	return j
 }
 
@@ -380,12 +389,62 @@ func (o *Observer) allScopes() []*Scope {
 	return append(out, o.retired...)
 }
 
+// appendScopes appends the active then retired scopes to dst and returns
+// it — the allocation-free snapshot the tsdb sampler reuses every tick.
+func (o *Observer) appendScopes(dst []*Scope) []*Scope {
+	if o == nil {
+		return dst
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	dst = append(dst, o.scopes...)
+	return append(dst, o.retired...)
+}
+
 // Hub returns the /events fan-out hub (nil, a no-op, on a nil observer).
 func (o *Observer) Hub() *Hub {
 	if o == nil {
 		return nil
 	}
 	return o.hub
+}
+
+// Uptime is the host time elapsed since the observer was constructed — the
+// process-lifetime proxy /healthz reports.
+func (o *Observer) Uptime() time.Duration {
+	if o == nil {
+		return 0
+	}
+	return time.Since(o.start)
+}
+
+// ScopeCounts reports the fleet's scope population: currently active solves,
+// closed solves still held in the retired ring, and solves whose span trees
+// have been evicted (their totals live on in the eviction accumulator).
+func (o *Observer) ScopeCounts() (active, retired int, evicted int64) {
+	if o == nil {
+		return 0, 0, 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.scopes), len(o.retired), o.evicted
+}
+
+// SetTSDB attaches (or, with nil, detaches) the in-process time-series store
+// the server exposes at /series. Nil-safe on the observer itself.
+func (o *Observer) SetTSDB(t *TSDB) {
+	if o == nil {
+		return
+	}
+	o.tsdb.Store(t)
+}
+
+// TSDB returns the attached time-series store, or nil when none is set.
+func (o *Observer) TSDB() *TSDB {
+	if o == nil {
+		return nil
+	}
+	return o.tsdb.Load()
 }
 
 // Energy returns the fleet energy meter.
@@ -397,23 +456,25 @@ func (o *Observer) Energy() *EnergyMeter {
 }
 
 // PhaseTotals returns the fleet-wide aggregate for phase p: every active
-// and retired scope plus everything already evicted.
+// and retired scope plus everything already evicted. Allocation-free (the
+// tsdb sampler reads the per-phase gauge funcs on every tick): Tracer.Totals
+// is pure atomic loads, so the walk stays under o.mu instead of copying the
+// scope lists.
 func (o *Observer) PhaseTotals(p Phase) PhaseTotals {
 	if o == nil {
 		return PhaseTotals{}
 	}
 	o.mu.Lock()
+	defer o.mu.Unlock()
 	tot := o.evictedAgg[p]
-	scopes := make([]*Scope, 0, len(o.scopes)+len(o.retired))
-	scopes = append(scopes, o.scopes...)
-	scopes = append(scopes, o.retired...)
-	o.mu.Unlock()
-	for _, s := range scopes {
-		t := s.tracer.Totals(p)
-		tot.Count += t.Count
-		tot.HostNs += t.HostNs
-		tot.SimNs += t.SimNs
-		tot.Items += t.Items
+	for _, scopes := range [2][]*Scope{o.scopes, o.retired} {
+		for _, s := range scopes {
+			t := s.tracer.Totals(p)
+			tot.Count += t.Count
+			tot.HostNs += t.HostNs
+			tot.SimNs += t.SimNs
+			tot.Items += t.Items
+		}
 	}
 	return tot
 }
@@ -478,8 +539,13 @@ func (o *Observer) registerFleetPhaseMetrics() {
 	o.Reg.GaugeFunc("obs_trace_events",
 		"spans currently retained across active and retired scopes",
 		func() float64 {
+			o.mu.Lock()
+			defer o.mu.Unlock()
 			var n int
-			for _, s := range o.allScopes() {
+			for _, s := range o.scopes {
+				n += s.tracer.Len()
+			}
+			for _, s := range o.retired {
 				n += s.tracer.Len()
 			}
 			return float64(n)
@@ -487,8 +553,13 @@ func (o *Observer) registerFleetPhaseMetrics() {
 	o.Reg.GaugeFunc("obs_trace_dropped_total",
 		"spans dropped after a scope's span budget filled",
 		func() float64 {
+			o.mu.Lock()
+			defer o.mu.Unlock()
 			var n uint64
-			for _, s := range o.allScopes() {
+			for _, s := range o.scopes {
+				n += s.tracer.Dropped()
+			}
+			for _, s := range o.retired {
 				n += s.tracer.Dropped()
 			}
 			return float64(n)
@@ -510,12 +581,18 @@ func (o *Observer) PoolStats() *PoolStats {
 		o.Reg.GaugeFunc("pool_busy_seconds_total",
 			"host wall time spent inside worker-pool launches",
 			func() float64 { return float64(o.pool.BusyNs()) / 1e9 })
+		// The hook registers gauges only for workers that appeared since the
+		// last scrape, so steady-state scrapes (and the tsdb sampler, which
+		// runs the hooks every tick) build no label strings and allocate
+		// nothing once the worker set is stable. Concurrent scrapes may both
+		// register the same new worker — GaugeFunc is idempotent, so the
+		// atomic only needs to bound the loop, not serialize it.
+		var registered atomic.Int64
 		o.Reg.OnScrape(func() {
-			// GaugeFunc registration is idempotent, so re-registering the
-			// workers that already have gauges just refreshes the closure.
-			for w := 0; w < o.pool.Workers(); w++ {
-				wid := w
-				label := `{worker="` + strconv.Itoa(w) + `"}`
+			n := int64(o.pool.Workers())
+			for w := registered.Load(); w < n; w++ {
+				wid := int(w)
+				label := `{worker="` + strconv.FormatInt(w, 10) + `"}`
 				o.Reg.GaugeFunc("obs_worker_busy_seconds_total"+label,
 					"host wall time each pool worker spent executing kernels",
 					func() float64 { return float64(o.pool.WorkerBusyNs(wid)) / 1e9 })
@@ -523,6 +600,7 @@ func (o *Observer) PoolStats() *PoolStats {
 					"busy share of host time since worker accounting began (sleep = 1 - awake)",
 					func() float64 { return o.pool.workerAwakeFraction(wid) })
 			}
+			registered.Store(n)
 		})
 	})
 	return &o.pool

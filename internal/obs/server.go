@@ -3,8 +3,10 @@ package obs
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -18,7 +20,11 @@ import (
 //	          heartbeats plus solve lifecycle and detector findings;
 //	          ?interval=250ms tunes the heartbeat cadence
 //	/flight   controller flight log as JSONL (404 until SetFlight)
-//	/healthz  liveness probe
+//	/series   windowed time-series JSON from the attached TSDB (404 until
+//	          SetTSDB); ?window=30s&points=120&match=frontier select the
+//	          time window, per-series downsampling, and a name filter
+//	/healthz  liveness probe: JSON with uptime, scope population, tsdb
+//	          sample count, and the latest detector finding
 //
 // The server runs on its own goroutine; Close shuts it down and reports any
 // serve error other than normal shutdown.
@@ -62,8 +68,31 @@ func Serve(addr string, o *Observer) (*Server, error) {
 			return
 		}
 	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		db := o.TSDB()
+		if db == nil {
+			http.Error(w, "no time-series store attached", http.StatusNotFound)
+			return
+		}
+		q := SeriesQuery{Match: r.URL.Query().Get("match")}
+		if v := r.URL.Query().Get("window"); v != "" {
+			if d, err := time.ParseDuration(v); err == nil && d > 0 {
+				q.Window = d
+			}
+		}
+		if v := r.URL.Query().Get("points"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				q.MaxPoints = n
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := db.WriteJSON(w, q); err != nil {
+			return
+		}
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		if _, err := w.Write([]byte("ok\n")); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		if err := o.WriteHealthJSON(w); err != nil {
 			return
 		}
 	})
@@ -79,6 +108,43 @@ func Serve(addr string, o *Observer) (*Server, error) {
 	//lint:ignore leakspawn one-off accept-loop goroutine; joined at Close through the buffered serveErr channel
 	go func() { s.serveErr <- s.srv.Serve(ln) }()
 	return s, nil
+}
+
+// Health is the /healthz payload: enough of the fleet's vital signs that
+// a probe (or a human with curl) can tell a healthy long-running server
+// from a wedged one without scraping the full exposition.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_s"`
+	ActiveSolves  int     `json:"active_solves"`
+	RetiredSolves int     `json:"retired_solves"`
+	EvictedSolves int64   `json:"evicted_solves"`
+	TSDBSamples   int64   `json:"tsdb_samples"`
+	TSDBSeries    int     `json:"tsdb_series"`
+	FindingsTotal int64   `json:"findings_total"`
+	LastFinding   string  `json:"last_finding,omitempty"` // RFC3339Nano, absent when none
+}
+
+// HealthSnapshot assembles the /healthz payload.
+func (o *Observer) HealthSnapshot() Health {
+	h := Health{Status: "ok"}
+	if o == nil {
+		return h
+	}
+	h.UptimeSeconds = o.Uptime().Seconds()
+	h.ActiveSolves, h.RetiredSolves, h.EvictedSolves = o.ScopeCounts()
+	h.TSDBSamples, h.TSDBSeries, _ = o.TSDB().Stats()
+	var last time.Time
+	h.FindingsTotal, last = o.Hub().Findings()
+	if !last.IsZero() {
+		h.LastFinding = last.Format(time.RFC3339Nano)
+	}
+	return h
+}
+
+// WriteHealthJSON writes the /healthz payload.
+func (o *Observer) WriteHealthJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(o.HealthSnapshot())
 }
 
 // serveEvents streams NDJSON telemetry: a hello line, then periodic

@@ -89,8 +89,91 @@ func TestServer(t *testing.T) {
 		t.Errorf("retired scope vanished from /metrics")
 	}
 
-	if hbody, _ := get(t, base+"/healthz"); hbody != "ok\n" {
-		t.Errorf("/healthz = %q", hbody)
+	hbody, hctype := get(t, base+"/healthz")
+	if !strings.HasPrefix(hctype, "application/json") {
+		t.Errorf("healthz content-type = %q", hctype)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(hbody), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v\n%s", err, hbody)
+	}
+	if h.Status != "ok" || h.UptimeSeconds < 0 || h.ActiveSolves != 0 || h.RetiredSolves != 1 {
+		t.Errorf("/healthz payload = %+v", h)
+	}
+}
+
+// TestServerSeriesAndHealthz exercises the /series endpoint (404 before a
+// store is attached, windowed JSON after) and /healthz reflecting the
+// store's sample count and a published finding.
+func TestServerSeriesAndHealthz(t *testing.T) {
+	o := New(32)
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Get(base + "/series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Error(cerr)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/series without a store: status %d, want 404", resp.StatusCode)
+	}
+
+	db := NewTSDB(o, TSDBOptions{History: 16})
+	g := o.Reg.Gauge("series_test_gauge", "test")
+	now := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 5; i++ {
+		g.Set(float64(i))
+		db.Sample(now.Add(time.Duration(i) * time.Second))
+	}
+	o.Hub().Publish(Event{Type: "finding", Kind: "oscillation", Solve: "x"})
+
+	body, ctype := get(t, base+"/series?window=3s&points=2&match=series_test_gauge")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("series content-type = %q", ctype)
+	}
+	var out struct {
+		PeriodMs int64 `json:"period_ms"`
+		Samples  int64 `json:"samples"`
+		Series   []struct {
+			Name   string       `json:"name"`
+			Points [][2]float64 `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("/series not JSON: %v\n%s", err, body)
+	}
+	if out.Samples != 5 || len(out.Series) != 1 || out.Series[0].Name != "series_test_gauge" {
+		t.Fatalf("/series payload = %+v", out)
+	}
+	// Buckets report their mean, so the final point is the average of the
+	// newest bucket, stamped with the newest tick's time.
+	if pts := out.Series[0].Points; len(pts) == 0 || len(pts) > 2 ||
+		pts[len(pts)-1][1] < 3 || pts[len(pts)-1][1] > 4 ||
+		pts[len(pts)-1][0] != 1_700_000_004_000 {
+		t.Fatalf("/series windowed+downsampled points = %v", out.Series[0].Points)
+	}
+
+	hbody, _ := get(t, base+"/healthz")
+	var h Health
+	if err := json.Unmarshal([]byte(hbody), &h); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if h.TSDBSamples != 5 || h.TSDBSeries == 0 || h.FindingsTotal != 1 || h.LastFinding == "" {
+		t.Fatalf("/healthz after sampling+finding = %+v", h)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, h.LastFinding); err != nil {
+		t.Fatalf("last_finding %q not RFC3339Nano: %v", h.LastFinding, err)
 	}
 }
 

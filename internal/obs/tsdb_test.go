@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tickTimes hands out strictly increasing fake tick times so tests drive
+// Sample deterministically without sleeping.
+type tickTimes struct {
+	t time.Time
+}
+
+func (tt *tickTimes) next(step time.Duration) time.Time {
+	tt.t = tt.t.Add(step)
+	return tt.t
+}
+
+func newTickTimes() *tickTimes {
+	return &tickTimes{t: time.Unix(1_700_000_000, 0)}
+}
+
+func decodeSeries(t *testing.T, db *TSDB, q SeriesQuery) tsdbJSON {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.WriteJSON(&buf, q); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out tsdbJSON
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("decode /series payload: %v\n%s", err, buf.String())
+	}
+	return out
+}
+
+func findSeries(out tsdbJSON, name string) *seriesJSON {
+	for i := range out.Series {
+		if out.Series[i].Name == name {
+			return &out.Series[i]
+		}
+	}
+	return nil
+}
+
+func TestTSDBCounterDeltaAndGauge(t *testing.T) {
+	o := New(0)
+	db := NewTSDB(o, TSDBOptions{History: 16})
+	c := o.Reg.Counter("tsdb_test_ops_total", "test counter")
+	g := o.Reg.Gauge("tsdb_test_level", "test gauge")
+
+	tt := newTickTimes()
+	c.Add(5) // before the first tick: folded into the bind baseline? No — bind happens at first Sample.
+	db.Sample(tt.next(time.Second))
+	c.Add(3)
+	g.Set(7.5)
+	db.Sample(tt.next(time.Second))
+	c.Add(2)
+	g.Set(2.25)
+	db.Sample(tt.next(time.Second))
+
+	out := decodeSeries(t, db, SeriesQuery{})
+	cs := findSeries(out, "tsdb_test_ops_total")
+	if cs == nil {
+		t.Fatalf("counter series missing; got %d series", len(out.Series))
+	}
+	if cs.Kind != "counter" {
+		t.Fatalf("counter series kind = %q", cs.Kind)
+	}
+	// Bind baseline is the counter value at bind time (5), so the three
+	// recorded deltas are 0 (bind tick), 3, 2.
+	want := []float64{0, 3, 2}
+	if len(cs.Points) != len(want) {
+		t.Fatalf("counter points = %v, want %d deltas", cs.Points, len(want))
+	}
+	for i, w := range want {
+		if cs.Points[i][1] != w {
+			t.Fatalf("counter delta[%d] = %v, want %v (points %v)", i, cs.Points[i][1], w, cs.Points)
+		}
+	}
+
+	gs := findSeries(out, "tsdb_test_level")
+	if gs == nil || gs.Kind != "gauge" {
+		t.Fatalf("gauge series missing or mis-kinded: %+v", gs)
+	}
+	if n := len(gs.Points); n != 3 || gs.Points[n-1][1] != 2.25 {
+		t.Fatalf("gauge points = %v, want last value 2.25 of 3", gs.Points)
+	}
+	// Timestamps must be the tick times, ascending.
+	for i := 1; i < len(gs.Points); i++ {
+		if gs.Points[i][0] <= gs.Points[i-1][0] {
+			t.Fatalf("timestamps not ascending: %v", gs.Points)
+		}
+	}
+}
+
+func TestTSDBHistogramQuantilesAndScopeStats(t *testing.T) {
+	o := New(0)
+	db := NewTSDB(o, TSDBOptions{History: 8})
+	h := o.Reg.Histogram("tsdb_test_latency", "test histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 3, 3} {
+		h.Observe(v)
+	}
+
+	sc := o.NewScope("alg")
+	sc.Live().Iteration(12, 300, 40, 280, 1.5, 9e6)
+	sc.Live().SetSetPoint(256)
+
+	tt := newTickTimes()
+	db.Sample(tt.next(time.Second))
+
+	out := decodeSeries(t, db, SeriesQuery{})
+	for _, q := range []string{"0.5", "0.95", "0.99"} {
+		name := `tsdb_test_latency_quantile{q="` + q + `"}`
+		qs := findSeries(out, name)
+		if qs == nil {
+			t.Fatalf("missing quantile series %s", name)
+		}
+		if qs.Kind != "quantile" || len(qs.Points) != 1 {
+			t.Fatalf("quantile series %s = %+v", name, qs)
+		}
+		var want float64
+		switch q {
+		case "0.5":
+			want = h.Quantile(0.5)
+		case "0.95":
+			want = h.Quantile(0.95)
+		case "0.99":
+			want = h.Quantile(0.99)
+		}
+		if qs.Points[0][1] != want {
+			t.Fatalf("quantile %s sampled %v, want %v", q, qs.Points[0][1], want)
+		}
+	}
+
+	label := `{solve="` + sc.Name() + `"}`
+	for name, want := range map[string]float64{
+		"solve_iteration" + label: 12,
+		"solve_frontier" + label:  300,
+		"solve_far_len" + label:   40,
+		"solve_x2" + label:        280,
+		"solve_delta" + label:     1.5,
+		"solve_set_point" + label: 256,
+	} {
+		sr := findSeries(out, name)
+		if sr == nil {
+			t.Fatalf("missing scope live-stat series %s", name)
+		}
+		if len(sr.Points) != 1 || sr.Points[0][1] != want {
+			t.Fatalf("series %s = %v, want single point %v", name, sr.Points, want)
+		}
+	}
+	sc.Close()
+}
+
+func TestTSDBWindowAndDownsample(t *testing.T) {
+	o := New(0)
+	db := NewTSDB(o, TSDBOptions{History: 64})
+	g := o.Reg.Gauge("tsdb_test_ramp", "ramp gauge")
+
+	tt := newTickTimes()
+	for i := 0; i < 40; i++ {
+		g.Set(float64(i))
+		db.Sample(tt.next(time.Second))
+	}
+
+	// Window: only the last ~10s of ticks survive the cutoff.
+	out := decodeSeries(t, db, SeriesQuery{Window: 10 * time.Second, Match: "tsdb_test_ramp"})
+	sr := findSeries(out, "tsdb_test_ramp")
+	if sr == nil {
+		t.Fatal("ramp series missing from windowed query")
+	}
+	if len(sr.Points) < 9 || len(sr.Points) > 11 {
+		t.Fatalf("10s window at 1s ticks returned %d points", len(sr.Points))
+	}
+	if last := sr.Points[len(sr.Points)-1][1]; last != 39 {
+		t.Fatalf("window lost the newest sample: last value %v", last)
+	}
+	// Match filtered everything else out.
+	if len(out.Series) != 1 {
+		t.Fatalf("Match=tsdb_test_ramp returned %d series", len(out.Series))
+	}
+
+	// Downsample: 40 points → ≤10 buckets, last point still newest, and a
+	// bucket mean sits between the ramp's endpoints.
+	out = decodeSeries(t, db, SeriesQuery{MaxPoints: 10, Match: "tsdb_test_ramp"})
+	sr = findSeries(out, "tsdb_test_ramp")
+	if len(sr.Points) == 0 || len(sr.Points) > 10 {
+		t.Fatalf("downsampled to %d points, want 1..10", len(sr.Points))
+	}
+	first, last := sr.Points[0][1], sr.Points[len(sr.Points)-1][1]
+	if first >= last || first < 0 || last > 39 {
+		t.Fatalf("downsampled bucket means look wrong: first %v last %v", first, last)
+	}
+}
+
+func TestTSDBRingWrap(t *testing.T) {
+	o := New(0)
+	db := NewTSDB(o, TSDBOptions{History: 8})
+	g := o.Reg.Gauge("tsdb_test_wrap", "wrap gauge")
+	tt := newTickTimes()
+	for i := 0; i < 20; i++ {
+		g.Set(float64(i))
+		db.Sample(tt.next(time.Second))
+	}
+	out := decodeSeries(t, db, SeriesQuery{Match: "tsdb_test_wrap"})
+	sr := findSeries(out, "tsdb_test_wrap")
+	if sr == nil || len(sr.Points) != 8 {
+		t.Fatalf("ring of 8 retained %+v", sr)
+	}
+	for i, p := range sr.Points {
+		if want := float64(12 + i); p[1] != want {
+			t.Fatalf("wrap point[%d] = %v, want %v", i, p[1], want)
+		}
+	}
+}
+
+func TestTSDBScopeSweepOnEviction(t *testing.T) {
+	o := New(0)
+	db := NewTSDB(o, TSDBOptions{History: 8})
+	tt := newTickTimes()
+	db.Sample(tt.next(time.Second))
+
+	// Churn far past the retired ring: closed scopes beyond the ring are
+	// evicted, and the next tick must sweep their series.
+	churn := func(n int) {
+		for i := 0; i < n; i++ {
+			s := o.NewScope("churn")
+			s.Live().Iteration(1, 1, 0, 1, 1, 1)
+			db.Sample(tt.next(time.Second))
+			s.Close()
+		}
+		db.Sample(tt.next(time.Second))
+	}
+	churn(2 * retiredScopes)
+	_, series1, _ := db.Stats()
+
+	active, retired, evicted := o.ScopeCounts()
+	if active != 0 || retired != retiredScopes || evicted != int64(retiredScopes) {
+		t.Fatalf("scope counts after churn: active %d retired %d evicted %d", active, retired, evicted)
+	}
+	// Exactly one source per reachable registry: the fleet plus the
+	// retired ring — evicted scopes must not leak sources.
+	db.mu.Lock()
+	nsources := len(db.sources)
+	db.mu.Unlock()
+	if want := 1 + retiredScopes; nsources != want {
+		t.Fatalf("sources after churn = %d, want %d (fleet + retired ring)", nsources, want)
+	}
+	// Boundedness: more churn must not grow the series population — the
+	// sweep reclaims exactly what eviction retires.
+	churn(2 * retiredScopes)
+	_, series2, _ := db.Stats()
+	if series2 != series1 {
+		t.Fatalf("series leak under churn: %d -> %d", series1, series2)
+	}
+}
+
+func TestTSDBMaxSeriesCap(t *testing.T) {
+	o := New(0)
+	// Cap below what the fleet registry alone needs: the rest must be
+	// counted as dropped, and sampling must keep working.
+	db := NewTSDB(o, TSDBOptions{History: 4, MaxSeries: 5})
+	tt := newTickTimes()
+	db.Sample(tt.next(time.Second))
+	ticks, series, dropped := db.Stats()
+	if ticks != 1 || series != 5 || dropped == 0 {
+		t.Fatalf("capped store: ticks %d series %d dropped %d", ticks, series, dropped)
+	}
+	db.Sample(tt.next(time.Second))
+	if _, _, d2 := db.Stats(); d2 != dropped {
+		t.Fatalf("dropped count must not grow without new registrations: %d -> %d", dropped, d2)
+	}
+}
+
+func TestTSDBStartStop(t *testing.T) {
+	o := New(0)
+	db := NewTSDB(o, TSDBOptions{SamplePeriod: time.Millisecond, History: 32})
+	db.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for db.SampleCount() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	db.Stop()
+	db.Stop() // idempotent
+	if n := db.SampleCount(); n < 3 {
+		t.Fatalf("background sampler took only %d ticks in 2s", n)
+	}
+	n := db.SampleCount()
+	time.Sleep(5 * time.Millisecond)
+	if db.SampleCount() != n {
+		t.Fatal("sampler still ticking after Stop")
+	}
+}
+
+func TestTSDBNilSafe(t *testing.T) {
+	var db *TSDB
+	db.Start()
+	db.Stop()
+	db.Sample(time.Now())
+	if n := db.SampleCount(); n != 0 {
+		t.Fatalf("nil SampleCount = %d", n)
+	}
+	var buf bytes.Buffer
+	if err := db.WriteJSON(&buf, SeriesQuery{}); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), "{}") {
+		t.Fatalf("nil WriteJSON body = %q", buf.String())
+	}
+	if NewTSDB(nil, TSDBOptions{}) != nil {
+		t.Fatal("NewTSDB(nil) must return nil")
+	}
+}
+
+// TestTSDBSampleSteadyStateAllocs is the tentpole gate: with a stable
+// scope set and a stable metric population, a tick allocates nothing —
+// the sampler can run forever inside a serving process without GC
+// pressure. Scope churn and new registrations may allocate (series rings
+// bind once); that is setup, not steady state.
+func TestTSDBSampleSteadyStateAllocs(t *testing.T) {
+	o := New(0)
+	db := NewTSDB(o, TSDBOptions{History: 128})
+	c := o.Reg.Counter("tsdb_test_hot_total", "hot-path counter")
+	h := o.Reg.Histogram("tsdb_test_hot_latency", "hot-path histogram", []float64{1, 2, 4})
+	sc := o.NewScope("steady")
+	sc.Live().Iteration(1, 10, 2, 8, 1.0, 1e6)
+	// Worker gauges register lazily on the first hook run; enable them up
+	// front so steady state has a stable series set.
+	o.PoolStats().EnableWorkers(4)
+
+	tt := newTickTimes()
+	// Warm: bind every series, let hook-registered worker gauges appear.
+	for i := 0; i < 3; i++ {
+		db.Sample(tt.next(DefaultSamplePeriod))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(1.5)
+		db.Sample(tt.next(DefaultSamplePeriod))
+	})
+	if allocs != 0 {
+		t.Fatalf("tsdb Sample steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+	sc.Close()
+}

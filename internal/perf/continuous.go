@@ -1,0 +1,180 @@
+package perf
+
+// Continuous profiling: runtime phase attribution, not benchmark-only.
+//
+// The bench runner (runner.go) answers "where do the cycles go" under
+// testing.Benchmark; a serving process needs the same answer while real
+// queries run. ContinuousProfiler takes short CPU-profile windows on a
+// duty cycle — profile for Window, sleep until the next Interval tick —
+// parses each window with the same phase-label parser the runner uses,
+// and publishes the result as live perf_phase_cpu_fraction gauges on the
+// fleet registry, where /metrics, /series, and obswatch pick them up.
+//
+// The solver's hot path stays allocation-free while a window is open:
+// ApplyPhaseLabel with labels enabled is one atomic load plus
+// pprof.SetGoroutineLabels on a precomputed context (internal/obs), and
+// the runtime's SIGPROF sampling is out-of-band. Parsing happens on the
+// profiler's own goroutine between windows, bounded by the duty cycle.
+// Profiling must also be bit-neutral to simulated results — it observes
+// CPU samples, never the solver's data — which the sim-neutrality test
+// and the check.sh gate pin down.
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"energysssp/internal/obs"
+)
+
+// DefaultProfileWindow is how long each CPU-profile window runs when
+// ContinuousOptions leaves it zero. 500ms at the runtime's 100 Hz sampler
+// is ~50 samples — coarse but honest for a live gauge.
+const DefaultProfileWindow = 500 * time.Millisecond
+
+// DefaultProfileInterval is the start-to-start duty cycle when
+// ContinuousOptions leaves it zero: a 500ms window every 5s keeps the
+// profiler's own overhead (signal delivery, parsing) near 1%.
+const DefaultProfileInterval = 5 * time.Second
+
+// ContinuousOptions configures NewContinuousProfiler. Zero values select
+// the defaults above; Window is clamped to Interval when it exceeds it.
+type ContinuousOptions struct {
+	Window   time.Duration // length of each CPU-profile window
+	Interval time.Duration // start-to-start duty cycle
+}
+
+// ContinuousProfiler is the background duty-cycled CPU profiler. Create
+// with NewContinuousProfiler, then Start/Stop; a nil profiler is a no-op.
+type ContinuousProfiler struct {
+	window   time.Duration
+	interval time.Duration
+
+	fracs      [obs.NumPhases + 1]*obs.Gauge // per phase, "other" last
+	attributed *obs.Gauge
+	windows    *obs.Counter
+	skipped    *obs.Counter
+
+	buf bytes.Buffer // profile bytes, reused across windows
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewContinuousProfiler registers the live attribution metrics on r —
+// perf_phase_cpu_fraction{phase=...} per phase plus "other",
+// perf_profile_attributed_fraction, and window/skip counters — and
+// returns a profiler ready to Start. A nil registry still measures; the
+// gauges are simply no-ops (the obs registry is nil-safe), which keeps
+// embedders free to profile without an observer.
+func NewContinuousProfiler(r *obs.Registry, opt ContinuousOptions) *ContinuousProfiler {
+	c := &ContinuousProfiler{
+		window:   opt.Window,
+		interval: opt.Interval,
+		stop:     make(chan struct{}),
+	}
+	if c.window <= 0 {
+		c.window = DefaultProfileWindow
+	}
+	if c.interval <= 0 {
+		c.interval = DefaultProfileInterval
+	}
+	if c.window > c.interval {
+		c.window = c.interval
+	}
+	for p := 0; p < obs.NumPhases; p++ {
+		c.fracs[p] = r.Gauge(`perf_phase_cpu_fraction{phase="`+obs.Phase(p).String()+`"}`,
+			"live CPU share per solver phase from the continuous profiler's last window")
+	}
+	c.fracs[obs.NumPhases] = r.Gauge(`perf_phase_cpu_fraction{phase="`+PhaseLabelOther+`"}`,
+		"live CPU share per solver phase from the continuous profiler's last window")
+	c.attributed = r.Gauge("perf_profile_attributed_fraction",
+		"share of the last profile window's CPU samples carrying a phase label")
+	c.windows = r.Counter("perf_profile_windows_total",
+		"continuous-profiler CPU windows completed")
+	c.skipped = r.Counter("perf_profile_skipped_total",
+		"continuous-profiler windows skipped (another CPU profile active, or unparseable)")
+	return c
+}
+
+// Start launches the duty-cycle goroutine: one window immediately, then
+// one per interval until Stop. Idempotent; nil-safe.
+func (c *ContinuousProfiler) Start() {
+	if c == nil {
+		return
+	}
+	c.startOnce.Do(func() {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			tick := time.NewTicker(c.interval)
+			defer tick.Stop()
+			c.runWindow()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-tick.C:
+					c.runWindow()
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the duty cycle and waits for the goroutine (closing any
+// in-flight window early). Idempotent; safe before Start and on nil.
+func (c *ContinuousProfiler) Stop() {
+	if c == nil {
+		return
+	}
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		c.wg.Wait()
+	})
+}
+
+// Windows reports completed and skipped window counts.
+func (c *ContinuousProfiler) Windows() (done, skipped int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.windows.Value(), c.skipped.Value()
+}
+
+// runWindow takes one profile window and publishes its attribution.
+// The CPU profiler is process-global, so a window yields (and counts a
+// skip) when any other profile is active — the bench harness and
+// cmd/profile keep priority.
+func (c *ContinuousProfiler) runWindow() {
+	c.buf.Reset()
+	obs.EnablePhaseLabels()
+	if err := pprof.StartCPUProfile(&c.buf); err != nil {
+		obs.DisablePhaseLabels()
+		c.skipped.Inc()
+		return
+	}
+	timer := time.NewTimer(c.window)
+	select {
+	case <-c.stop: // shutting down: close the window early but still publish
+	case <-timer.C:
+	}
+	timer.Stop()
+	pprof.StopCPUProfile()
+	obs.DisablePhaseLabels()
+
+	prof, err := ParsePhaseProfile(c.buf.Bytes())
+	if err != nil {
+		c.skipped.Inc()
+		return
+	}
+	for p := 0; p < obs.NumPhases; p++ {
+		c.fracs[p].Set(prof.Fraction(obs.Phase(p).String()))
+	}
+	c.fracs[obs.NumPhases].Set(prof.Fraction(PhaseLabelOther))
+	c.attributed.Set(prof.Attributed())
+	c.windows.Inc()
+}

@@ -1,0 +1,169 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"energysssp/internal/gen"
+	"energysssp/internal/obs"
+	"energysssp/internal/parallel"
+	"energysssp/internal/sim"
+	"energysssp/internal/sssp"
+)
+
+// TestContinuousProfilerPublishesGauges runs the duty cycle against real
+// labeled CPU work and checks the registry ends up with a window counted
+// and fractions in range. CPU sampling is statistical, so the assertions
+// are structural (gauges exist, values are sane), not about specific
+// shares.
+func TestContinuousProfilerPublishesGauges(t *testing.T) {
+	r := obs.NewRegistry()
+	c := NewContinuousProfiler(r, ContinuousOptions{
+		Window:   150 * time.Millisecond,
+		Interval: 200 * time.Millisecond,
+	})
+	c.Start()
+	defer c.Stop()
+
+	// Burn labeled CPU while the first window is open so the advance
+	// phase has samples to attribute.
+	stop := time.Now().Add(300 * time.Millisecond)
+	x := 1.0
+	for time.Now().Before(stop) {
+		obs.ApplyPhaseLabel(obs.PhaseAdvance)
+		for i := 0; i < 1000; i++ {
+			x = math.Sqrt(x + float64(i))
+		}
+	}
+	_ = x
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if done, _ := c.Windows(); done >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.Stop()
+	done, skipped := c.Windows()
+	if done < 1 {
+		t.Fatalf("no profile window completed in 5s (skipped %d)", skipped)
+	}
+	if obs.PhaseLabelsEnabled() {
+		t.Fatal("labels left enabled after Stop")
+	}
+	for p := 0; p < obs.NumPhases; p++ {
+		name := `perf_phase_cpu_fraction{phase="` + obs.Phase(p).String() + `"}`
+		v, ok := r.Value(name)
+		if !ok {
+			t.Fatalf("gauge %s not registered", name)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("gauge %s = %v, want [0,1]", name, v)
+		}
+	}
+	if v, ok := r.Value(`perf_phase_cpu_fraction{phase="other"}`); !ok || v < 0 || v > 1 {
+		t.Fatalf("other-phase gauge missing or out of range (%v, %v)", v, ok)
+	}
+	if v, ok := r.Value("perf_profile_attributed_fraction"); !ok || v < 0 || v > 1 {
+		t.Fatalf("attributed gauge missing or out of range (%v, %v)", v, ok)
+	}
+	if v, ok := r.Value("perf_profile_windows_total"); !ok || int64(v) != done {
+		t.Fatalf("windows counter = %v (%v), want %d", v, ok, done)
+	}
+}
+
+// TestContinuousProfilerSimNeutral is the acceptance gate's neutrality
+// half: a solve on the simulated machine must produce bit-identical
+// distances, simulated time, and energy whether or not the continuous
+// profiler is running. The profiler only observes CPU samples; any drift
+// here means it leaked into the solver's arithmetic.
+func TestContinuousProfilerSimNeutral(t *testing.T) {
+	g := gen.CalLike(0.02, 7)
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+
+	solve := func() sssp.Result {
+		mach := sim.NewMachine(sim.TK1())
+		res, err := sssp.NearFar(g, 0, 32, &sssp.Options{Pool: pool, Machine: mach})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	base := solve()
+
+	c := NewContinuousProfiler(obs.NewRegistry(), ContinuousOptions{
+		Window:   50 * time.Millisecond,
+		Interval: 60 * time.Millisecond,
+	})
+	c.Start()
+	profiled := solve()
+	c.Stop()
+
+	if len(base.Dist) != len(profiled.Dist) {
+		t.Fatalf("dist lengths differ: %d vs %d", len(base.Dist), len(profiled.Dist))
+	}
+	for v := range base.Dist {
+		if base.Dist[v] != profiled.Dist[v] {
+			t.Fatalf("dist[%d] differs under profiling: %v vs %v", v, base.Dist[v], profiled.Dist[v])
+		}
+	}
+	if base.SimTime != profiled.SimTime {
+		t.Fatalf("SimTime drifted under profiling: %v vs %v", base.SimTime, profiled.SimTime)
+	}
+	if math.Float64bits(base.EnergyJ) != math.Float64bits(profiled.EnergyJ) {
+		t.Fatalf("EnergyJ drifted under profiling: %v vs %v", base.EnergyJ, profiled.EnergyJ)
+	}
+	if base.Iterations != profiled.Iterations || base.EdgesRelaxed != profiled.EdgesRelaxed {
+		t.Fatalf("work counts drifted: iters %d/%d relaxed %d/%d",
+			base.Iterations, profiled.Iterations, base.EdgesRelaxed, profiled.EdgesRelaxed)
+	}
+}
+
+// TestContinuousProfilerSolverPathAllocs pins the zero-alloc claim where
+// it matters: the solver-visible cost of an open profile window is
+// ApplyPhaseLabel, which must allocate nothing while labels are enabled
+// and a window is live. (The profiler's own parse allocates on its own
+// goroutine between windows — off the hot path, bounded by the duty
+// cycle.)
+func TestContinuousProfilerSolverPathAllocs(t *testing.T) {
+	c := NewContinuousProfiler(obs.NewRegistry(), ContinuousOptions{
+		Window:   2 * time.Second,
+		Interval: 2 * time.Second,
+	})
+	c.Start()
+	defer c.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for !obs.PhaseLabelsEnabled() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !obs.PhaseLabelsEnabled() {
+		t.Fatal("profile window never opened")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		obs.ApplyPhaseLabel(obs.PhaseAdvance)
+		obs.ApplyPhaseLabel(obs.PhaseScan)
+		obs.ClearPhaseLabel()
+	})
+	if allocs != 0 {
+		t.Fatalf("phase relabeling under an open window allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestContinuousProfilerNilSafe(t *testing.T) {
+	var c *ContinuousProfiler
+	c.Start()
+	c.Stop()
+	if d, s := c.Windows(); d != 0 || s != 0 {
+		t.Fatalf("nil Windows = %d, %d", d, s)
+	}
+	// Nil registry: profiler still runs, gauges are no-ops.
+	c2 := NewContinuousProfiler(nil, ContinuousOptions{Window: 10 * time.Millisecond, Interval: 20 * time.Millisecond})
+	c2.Start()
+	time.Sleep(30 * time.Millisecond)
+	c2.Stop()
+	c2.Stop() // idempotent
+}

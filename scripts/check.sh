@@ -29,17 +29,22 @@ lint_json="$(go run ./cmd/lint -json ./internal/analysis/...)"
 
 echo "==> go test -race (concurrent packages)"
 go test -race ./internal/parallel/... ./internal/frontier/... ./internal/sssp/... \
-    ./internal/obs/... ./internal/flight/... ./internal/core/...
+    ./internal/obs/... ./internal/flight/... ./internal/core/... \
+    ./internal/perf/... ./internal/incident/...
 
 echo "==> go test -race: concurrent solves on one shared observer (API level)"
 # Two racing solves must stay bit-identical to their sequential runs while
 # recording disjoint span trees and exact fleet-equals-sum-of-scopes metrics.
 go test -race -run 'TestConcurrentSolvesIsolated' -count=1 .
 
-echo "==> zero-allocation steady-state gates (obs off, obs on, spans on, flight on, lazy far queue)"
+echo "==> zero-allocation steady-state gates (obs off, obs on, spans on, flight on, lazy far queue, tsdb sampler, profiler labels)"
 go test -run 'TestAdvanceSteadyStateAllocs|TestObsSteadyStateAllocs|TestSpanSteadyStateAllocs|TestLazyFarSteadyStateAllocs' -count=1 ./internal/sssp/
-go test -run 'TestTracerSteadyStateAllocs|TestEnergyMeterSteadyStateAllocs' -count=1 ./internal/obs/
+go test -run 'TestTracerSteadyStateAllocs|TestEnergyMeterSteadyStateAllocs|TestTSDBSampleSteadyStateAllocs' -count=1 ./internal/obs/
 go test -run 'TestFlightSteadyStateAllocs' -count=1 ./internal/core/
+go test -run 'TestContinuousProfilerSolverPathAllocs' -count=1 ./internal/perf/
+
+echo "==> continuous-profiler sim-neutrality gate: bit-identical results with profiling on"
+go test -run 'TestContinuousProfilerSimNeutral' -count=1 ./internal/perf/
 
 echo "==> flight-recorder gates: record/replay determinism + same-seed diff"
 flightbin="$(mktemp -d)"
@@ -63,6 +68,24 @@ go build -o "$flightbin/flight" ./cmd/flight
 "$flightbin/flight" record -dataset cal -scale 0.01 -seed 42 -P 500 -device TK1 \
     -workers 1 -o "$flightbin/run-b.jsonl" 2>/dev/null
 "$flightbin/flight" diff "$flightbin/run-a.jsonl" "$flightbin/run-b.jsonl" >/dev/null
+
+echo "==> incident-capture smoke: forced detector fire writes a complete, replayable bundle"
+# A live solve with the online detector sensitized to fire on any healthy
+# run (escape band 1.01 around an absurd set-point) must leave a bundle
+# containing every artifact, with the manifest written last as the
+# completeness marker, whose flight log replays bit-exactly.
+go build -o "$flightbin/sssp" ./cmd/sssp
+incdir="$flightbin/incidents"
+"$flightbin/sssp" -dataset cal -scale 0.01 -P 1e9 \
+    -detect-escape 1 -detect-band 1.01 -detect-bootstrap 1 \
+    -incident-dir "$incdir" >/dev/null
+bundle="$(ls -d "$incdir"/incident-* | head -1)"
+for f in manifest.json finding.json flight.jsonl series.json energy.json health.json goroutines.txt; do
+  [[ -s "$bundle/$f" ]] || { echo "incident bundle missing $f in $bundle" >&2; exit 1; }
+done
+"$flightbin/flight" replay -q "$bundle/flight.jsonl"
+grep -q '"schema": "energysssp-incident/v1"' "$bundle/manifest.json" \
+    || { echo "incident manifest schema mismatch" >&2; exit 1; }
 
 echo "==> perfgate: committed trajectory parses and judges clean"
 # Always-on smoke: the committed snapshots + trajectory must load and the
