@@ -1,0 +1,176 @@
+// Command obsagg is the fleet telemetry aggregator: it ingests NDJSON
+// pushes from any number of sssp workers (started with -push-url), merges
+// their metric and time-series planes under instance labels, and re-serves
+// the combined view on the same HTTP surface a single worker exposes —
+// /metrics, /series, /events, /healthz — plus /slo when objectives are
+// loaded.
+//
+// With -snapshot-dir the merged store is checkpointed periodically and
+// flushed once more on SIGTERM, so a restarted aggregator resumes the
+// fleet's series instead of losing history. With -slo a burn-rate engine
+// evaluates the declared objectives against the merged store and publishes
+// breach findings on the fleet event stream; add -incident-dir and each
+// breach is captured as a forensic bundle (finding, merged series window,
+// fleet health, SLO status).
+//
+// Examples:
+//
+//	obsagg -listen :9100
+//	obsagg -listen :9100 -snapshot-dir /var/lib/obsagg
+//	obsagg -listen :9100 -slo objectives.json -incident-dir ./incidents
+//
+// Workers join the fleet with:
+//
+//	sssp -dataset cal -push-url http://localhost:9100/ingest -instance w1 ...
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"energysssp/internal/incident"
+	"energysssp/internal/obs"
+	"energysssp/internal/slo"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":9100", "fleet HTTP surface address (/ingest, /metrics, /series, /events, /healthz, /slo)")
+		history     = flag.Int("history", 0, "points retained per merged series (0 = default)")
+		maxSeries   = flag.Int("max-series", 0, "hard cap on merged series (0 = default)")
+		stale       = flag.Duration("stale", 0, "instance staleness threshold floor (0 = default 10s; effective threshold also scales with push cadence)")
+		snapDir     = flag.String("snapshot-dir", "", "checkpoint the merged store here and restore it on boot (empty = in-memory only)")
+		checkpoint  = flag.Duration("checkpoint", 10*time.Second, "checkpoint period when -snapshot-dir is set")
+		sloPath     = flag.String("slo", "", "JSON file of SLO objectives ([{name, series, op, threshold, target}, ...])")
+		sloInterval = flag.Duration("slo-interval", 15*time.Second, "burn-rate evaluation period when -slo is set")
+		incidentDir = flag.String("incident-dir", "", "write a forensic bundle here when a finding (e.g. an SLO breach) hits the fleet event stream")
+		window      = flag.Duration("incident-window", 0, "series history each incident bundle captures (0 = default 30s)")
+	)
+	flag.Parse()
+
+	a := obs.NewAggregator(obs.AggOptions{
+		History: *history, MaxSeries: *maxSeries, StaleFor: *stale,
+	})
+
+	if *snapDir != "" {
+		switch err := a.Restore(*snapDir); {
+		case err == nil:
+			fmt.Printf("snapshot: restored %d series from %s\n",
+				a.HealthSnapshot().RestoredSer, *snapDir)
+		case errors.Is(err, obs.ErrNoSnapshot):
+			fmt.Printf("snapshot: none in %s yet (first boot)\n", *snapDir)
+		default:
+			// Fail closed but keep serving: a damaged checkpoint must not
+			// take the fleet's live telemetry down with it.
+			fmt.Fprintf(os.Stderr, "obsagg: snapshot restore failed, starting fresh: %v\n", err)
+		}
+	}
+
+	var eng *slo.Engine
+	if *sloPath != "" {
+		objs, err := loadObjectives(*sloPath)
+		if err != nil {
+			fatal(err)
+		}
+		eng, err = slo.New(a, a.Hub(), objs, slo.Windows{})
+		if err != nil {
+			fatal(err)
+		}
+		eng.Start(*sloInterval)
+		fmt.Printf("slo: %d objective(s) evaluated every %v (multi-window burn rate)\n",
+			len(objs), *sloInterval)
+	}
+
+	var capt *incident.Capturer
+	if *incidentDir != "" {
+		var err error
+		capt, err = incident.New(incident.Config{
+			Dir: *incidentDir, Hub: a.Hub(), Series: a, Health: a, SLO: eng,
+			Window: *window,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("incident capture: armed, fleet bundles land in %s\n", *incidentDir)
+	}
+
+	srv, err := obs.ServeAggregator(*listen, a, func(mux *http.ServeMux) {
+		if eng == nil {
+			return
+		}
+		mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := eng.WriteStatusJSON(w); err != nil {
+				return
+			}
+		})
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fleet surface: http://%s/metrics (workers push to http://%s/ingest; watch with 'obswatch -addr %s -fleet')\n",
+		srv.Addr(), srv.Addr(), srv.Addr())
+
+	var ckpt *obs.Checkpointer
+	if *snapDir != "" {
+		ckpt = obs.NewCheckpointer(a, *snapDir, *checkpoint)
+		ckpt.Start()
+		fmt.Printf("durability: checkpointing to %s every %v\n", *snapDir, *checkpoint)
+	}
+
+	// Serve until SIGINT/SIGTERM, then shut down in dependency order: stop
+	// accepting pushes, stop evaluating, drain buffered findings into
+	// bundles, and flush one final checkpoint so the next boot resumes
+	// exactly here.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	fmt.Fprintf(os.Stderr, "\nobsagg: %v: shutting down\n", sig)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "obsagg: server:", err)
+	}
+	eng.Stop()
+	capt.Close()
+	if capt != nil {
+		if s := capt.Stats(); s.Captured > 0 {
+			dir, lerr := capt.LastBundle()
+			if lerr != nil {
+				fmt.Fprintln(os.Stderr, "obsagg: last capture:", lerr)
+			}
+			fmt.Printf("incidents: %d bundle(s) captured, last: %s\n", s.Captured, dir)
+		}
+	}
+	if ckpt != nil {
+		if err := ckpt.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "obsagg: final checkpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("final checkpoint flushed to %s\n", *snapDir)
+	}
+	h := a.HealthSnapshot()
+	fmt.Printf("served %d instance(s), %d push(es), %d merged series\n",
+		len(h.Instances), h.IngestsTotal, h.SeriesCount)
+}
+
+func loadObjectives(path string) ([]slo.Objective, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	objs, err := slo.LoadObjectives(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return objs, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obsagg:", err)
+	os.Exit(1)
+}

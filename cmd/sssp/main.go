@@ -46,6 +46,9 @@ func main() {
 		flightOut = flag.String("flight-out", "", "write the controller flight log as JSONL to this path (replay with 'flight replay')")
 		energyOut = flag.String("energy-out", "", "write the per-phase/per-strategy energy attribution as JSON to this path (requires -device)")
 
+		pushURL      = flag.String("push-url", "", "push telemetry to a fleet aggregator's ingest endpoint (e.g. http://host:9100/ingest, see cmd/obsagg)")
+		instance     = flag.String("instance", "", "instance label for pushed telemetry (default <hostname>-<pid>)")
+		pushPeriod   = flag.Duration("push-period", 0, "telemetry push period (0 = default 2s)")
 		incidentDir  = flag.String("incident-dir", "", "write a forensic bundle (finding, flight log, series window, energy report, goroutine dump) here when an online detector fires")
 		seriesPeriod = flag.Duration("series-period", 250*time.Millisecond, "time-series sampling period for /series and incident bundles")
 		cprofile     = flag.Bool("cprofile", false, "run the continuous profiler: live per-phase CPU gauges on /metrics and /series")
@@ -96,7 +99,7 @@ func main() {
 	}
 
 	var o *energysssp.Observer
-	if *obsListen != "" || *traceOut != "" || *energyOut != "" || *incidentDir != "" || *cprofile {
+	if *obsListen != "" || *traceOut != "" || *energyOut != "" || *incidentDir != "" || *cprofile || *pushURL != "" {
 		o = energysssp.NewObserver(0)
 		cfg.Obs = o
 	}
@@ -121,6 +124,15 @@ func main() {
 		tsdb = energysssp.NewTimeSeriesStore(o, energysssp.TimeSeriesOptions{SamplePeriod: *seriesPeriod})
 		tsdb.Start()
 		defer tsdb.Stop()
+	}
+	var exp *energysssp.TelemetryExporter
+	if *pushURL != "" {
+		exp = energysssp.NewTelemetryExporter(o, energysssp.TelemetryExportConfig{
+			URL: *pushURL, Instance: *instance, Period: *pushPeriod,
+		})
+		exp.Start()
+		defer exp.Stop() // final push so the aggregator sees the terminal state
+		fmt.Printf("telemetry: pushing to %s as instance %q\n", *pushURL, exp.Instance())
 	}
 	var prof *energysssp.ContinuousProfiler
 	if *cprofile {
@@ -167,6 +179,7 @@ func main() {
 		if capt != nil {
 			reportIncidents(capt) // drain buffered findings into bundles
 		}
+		exp.Stop() // nil-safe; final telemetry push so the fleet sees the death
 		if srv != nil {
 			if err := srv.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "sssp: metrics server:", err)

@@ -1,0 +1,625 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultAggHistory is the per-series point capacity of the aggregator
+// store when AggOptions leaves it zero: at the default 2s push cadence
+// batching 250ms tsdb ticks, 14400 points holds an hour of fleet history
+// per series.
+const DefaultAggHistory = 14400
+
+// DefaultAggMaxSeries bounds the merged store when AggOptions leaves it
+// zero: ~40 series per worker × instance labeling leaves room for a
+// few hundred workers before the aggregator starts counting drops.
+const DefaultAggMaxSeries = 16384
+
+// AggOptions configures NewAggregator. Zero values select the defaults.
+type AggOptions struct {
+	History   int           // points retained per merged series
+	MaxSeries int           // hard cap on merged series
+	StaleFor  time.Duration // instance staleness threshold floor; default 10s
+}
+
+func (o AggOptions) withDefaults() AggOptions {
+	if o.History <= 0 {
+		o.History = DefaultAggHistory
+	}
+	if o.MaxSeries <= 0 {
+		o.MaxSeries = DefaultAggMaxSeries
+	}
+	if o.StaleFor <= 0 {
+		o.StaleFor = 10 * time.Second
+	}
+	return o
+}
+
+// aggSeries is one merged series: a fixed ring of (time, value) points
+// fed by ingested sample lines. The name already carries the instance
+// label, so two workers' same-named series never collide.
+type aggSeries struct {
+	name  string
+	kind  string
+	n     uint64
+	times []int64
+	vals  []float64
+}
+
+func (sr *aggSeries) push(tms int64, v float64) {
+	i := int(sr.n % uint64(len(sr.vals)))
+	sr.times[i] = tms
+	sr.vals[i] = v
+	sr.n++
+}
+
+// appendPoints appends the retained points not older than cutoff
+// (unix ms; 0 = everything) in time order.
+func (sr *aggSeries) appendPoints(dst [][2]float64, cutoff int64) [][2]float64 {
+	retained := sr.n
+	if retained > uint64(len(sr.vals)) {
+		retained = uint64(len(sr.vals))
+	}
+	for j := uint64(0); j < retained; j++ {
+		i := int((sr.n - retained + j) % uint64(len(sr.vals)))
+		if sr.times[i] < cutoff {
+			continue
+		}
+		dst = append(dst, [2]float64{float64(sr.times[i]), sr.vals[i]})
+	}
+	return dst
+}
+
+// aggInstance is one worker's identity and latest pushed state.
+type aggInstance struct {
+	name     string
+	seq      uint64
+	startMs  int64
+	periodMs int64 // sender's tsdb tick
+	pushMs   int64 // sender's push cadence
+	lastPush time.Time
+	restarts int64 // hello seq regressions observed
+	samples  int64 // sample lines ingested
+	events   int64 // event lines forwarded
+	metrics  []MetricSnap
+}
+
+// Aggregator merges telemetry pushed by N worker processes (see Exporter)
+// into one instance-labeled store and re-serves the per-process HTTP
+// surfaces fleet-wide: /metrics re-renders every instance's latest
+// registry snapshot under an instance="..." label, /series serves the
+// merged sample store in the same JSON shape as a worker's tsdb, /events
+// streams forwarded hub events stamped with their producing instance, and
+// /healthz reports per-instance liveness. Counter series arrive as exact
+// per-tick deltas and counter snapshots as exact int64 totals, so fleet
+// sums are bit-identical to the workers' own totals, not re-derived from
+// scrapes.
+type Aggregator struct {
+	opt   AggOptions
+	hub   *Hub
+	reg   *Registry // aggregator's own meta metrics (build_info, ingest counters)
+	start time.Time
+
+	mu        sync.Mutex
+	instances map[string]*aggInstance
+	store     map[string]*aggSeries
+	nPoints     int64
+	dropped     int64 // series refused because MaxSeries was hit
+	ingests     int64
+	rejects     int64
+	restored    int64  // series loaded from a snapshot at startup
+	checkpoints uint64 // snapshots written; the persisted generation stamp
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator(opt AggOptions) *Aggregator {
+	a := &Aggregator{
+		opt:       opt.withDefaults(),
+		hub:       newHub(),
+		reg:       NewRegistry(),
+		start:     time.Now(),
+		instances: make(map[string]*aggInstance),
+		store:     make(map[string]*aggSeries),
+	}
+	RegisterBuildInfo(a.reg)
+	a.reg.GaugeFunc("obsagg_instances", "worker instances ever seen", func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(len(a.instances))
+	})
+	a.reg.GaugeFunc("obsagg_ingests_total", "pushes accepted", func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(a.ingests)
+	})
+	a.reg.GaugeFunc("obsagg_rejects_total", "pushes rejected", func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(a.rejects)
+	})
+	return a
+}
+
+// Hub returns the aggregator's event hub, carrying every forwarded worker
+// event (instance-stamped) plus anything published locally (SLO findings).
+// Wire an incident capturer here and fleet incidents come for free.
+func (a *Aggregator) Hub() *Hub { return a.hub }
+
+// instLabel renders the instance label pair for name injection.
+func instLabel(instance string) string {
+	return `instance="` + strings.ReplaceAll(instance, `"`, `'`) + `"`
+}
+
+// Ingest consumes one push body (NDJSON, see wireLine). The first line
+// must be a hello with the exact schema and version; cross-version pushes
+// are rejected whole. Unknown line types are skipped, not errors, so a
+// newer worker can talk to an older aggregator within one version.
+func (a *Aggregator) Ingest(body io.Reader) error {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		return errIngest("empty push body")
+	}
+	var hello wireLine
+	if err := json.Unmarshal(sc.Bytes(), &hello); err != nil {
+		return errIngest("malformed hello line: " + err.Error())
+	}
+	if hello.Line != "hello" {
+		return errIngest("first line must be hello, got " + hello.Line)
+	}
+	if hello.Schema != TelemetrySchema {
+		return errIngest("unknown schema " + hello.Schema)
+	}
+	if hello.V != TelemetryVersion {
+		return errIngest("telemetry version mismatch")
+	}
+	if hello.Instance == "" {
+		return errIngest("hello missing instance")
+	}
+
+	a.mu.Lock()
+	inst := a.instances[hello.Instance]
+	if inst == nil {
+		inst = &aggInstance{name: hello.Instance}
+		a.instances[hello.Instance] = inst
+	}
+	if inst.seq >= hello.Seq || (inst.startMs != 0 && inst.startMs != hello.StartMs) {
+		// Seq regression or a new process start time: the worker restarted.
+		// Accept and restart the cursor — samples are keyed by time, so the
+		// merged series just continues.
+		if inst.startMs != hello.StartMs {
+			inst.restarts++
+		}
+	}
+	inst.seq = hello.Seq
+	inst.startMs = hello.StartMs
+	inst.periodMs = hello.PeriodMs
+	inst.pushMs = hello.PushMs
+	inst.lastPush = time.Now()
+	label := instLabel(hello.Instance)
+	inst.metrics = inst.metrics[:0]
+
+	var ev []Event // forwarded outside the lock: Publish takes hub.mu
+	for sc.Scan() {
+		var ln wireLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			a.rejects++
+			a.mu.Unlock()
+			return errIngest("malformed line: " + err.Error())
+		}
+		switch ln.Line {
+		case "metric":
+			if ln.Metric != nil {
+				inst.metrics = append(inst.metrics, *ln.Metric)
+			}
+		case "sample":
+			if ln.Sample != nil {
+				a.pushSample(label, ln.Sample)
+				inst.samples++
+			}
+		case "event":
+			if ln.Event != nil {
+				e := *ln.Event
+				e.Instance = hello.Instance
+				ev = append(ev, e)
+				inst.events++
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		a.rejects++
+		a.mu.Unlock()
+		return errIngest("push body read: " + err.Error())
+	}
+	a.ingests++
+	a.mu.Unlock()
+
+	for i := range ev {
+		a.hub.Publish(ev[i])
+	}
+	return nil
+}
+
+// pushSample appends one sample line to the merged store; caller holds a.mu.
+func (a *Aggregator) pushSample(label string, p *SamplePoint) {
+	key := withLabel(p.Name, label)
+	sr := a.store[key]
+	if sr == nil {
+		if len(a.store) >= a.opt.MaxSeries {
+			a.dropped++
+			return
+		}
+		sr = &aggSeries{
+			name:  key,
+			kind:  p.Kind,
+			times: make([]int64, a.opt.History),
+			vals:  make([]float64, a.opt.History),
+		}
+		a.store[key] = sr
+	}
+	sr.push(p.TMs, p.V)
+	a.nPoints++
+}
+
+type ingestError string
+
+func (e ingestError) Error() string { return string(e) }
+
+func errIngest(msg string) error { return ingestError(msg) }
+
+// WriteSeriesJSON renders the merged store in the same JSON shape a
+// worker's /series serves, so obswatch and the incident capturer consume
+// either interchangeably. Counter series stay in per-tick-delta units.
+func (a *Aggregator) WriteSeriesJSON(w io.Writer, q SeriesQuery) error {
+	a.mu.Lock()
+	out := tsdbJSON{Samples: a.ingests, Dropped: a.dropped}
+	names := make([]string, 0, len(a.store))
+	for name := range a.store {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sr := a.store[name]
+		if r := sr.n; r > 0 {
+			last := sr.times[int((r-1)%uint64(len(sr.times)))]
+			if last > out.NowMs {
+				out.NowMs = last
+			}
+		}
+	}
+	cutoff := int64(0)
+	if q.Window > 0 {
+		cutoff = out.NowMs - q.Window.Milliseconds()
+	}
+	for _, name := range names {
+		if q.Match != "" && !strings.Contains(name, q.Match) {
+			continue
+		}
+		sr := a.store[name]
+		pts := sr.appendPoints(nil, cutoff)
+		out.Series = append(out.Series, seriesJSON{Name: sr.name, Kind: sr.kind,
+			Points: downsample(pts, q.MaxPoints)})
+	}
+	a.mu.Unlock()
+	return json.NewEncoder(w).Encode(out)
+}
+
+// WriteJSON is WriteSeriesJSON under the name *TSDB uses, so the
+// aggregator satisfies the same structural series-writer shape (incident
+// bundles accept either).
+func (a *Aggregator) WriteJSON(w io.Writer, q SeriesQuery) error {
+	return a.WriteSeriesJSON(w, q)
+}
+
+// QuerySeries returns the merged series whose name contains match,
+// restricted to the trailing window (0 = everything retained) — the
+// query surface the SLO engine evaluates against.
+func (a *Aggregator) QuerySeries(match string, window time.Duration) []QueriedSeries {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var nowMs int64
+	for _, sr := range a.store {
+		if r := sr.n; r > 0 {
+			if last := sr.times[int((r-1)%uint64(len(sr.times)))]; last > nowMs {
+				nowMs = last
+			}
+		}
+	}
+	cutoff := int64(0)
+	if window > 0 {
+		cutoff = nowMs - window.Milliseconds()
+	}
+	names := make([]string, 0, len(a.store))
+	for name := range a.store {
+		if match == "" || strings.Contains(name, match) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]QueriedSeries, 0, len(names))
+	for _, name := range names {
+		sr := a.store[name]
+		out = append(out, QueriedSeries{Name: sr.name, Kind: sr.kind,
+			Points: sr.appendPoints(nil, cutoff)})
+	}
+	return out
+}
+
+// WriteMetrics re-renders the fleet exposition: the aggregator's own meta
+// registry bare, then every instance's latest metric snapshot with the
+// instance label injected. Counter totals are the workers' exact int64s.
+func (a *Aggregator) WriteMetrics(w io.Writer) error {
+	return a.WriteMetricsMatch(w, "")
+}
+
+// WriteMetricsMatch is WriteMetrics restricted to metrics whose name
+// contains match ("" = everything) — the ?match filter on the fleet
+// /metrics, mirroring Observer.WritePrometheusMatch.
+func (a *Aggregator) WriteMetricsMatch(w io.Writer, match string) error {
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool, 64)
+	writeEntries(bw, filterEntries(a.reg.snapshotEntries(), match), "", seen)
+	a.mu.Lock()
+	names := make([]string, 0, len(a.instances))
+	for name := range a.instances {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		inst := a.instances[name]
+		label := instLabel(name)
+		for i := range inst.metrics {
+			if match != "" && !strings.Contains(inst.metrics[i].Name, match) {
+				continue
+			}
+			writeSnap(bw, &inst.metrics[i], label, seen)
+		}
+	}
+	a.mu.Unlock()
+	return bw.Flush()
+}
+
+// writeSnap renders one pushed metric snapshot in Prometheus text format
+// with an extra label injected, mirroring writeEntries for live metrics.
+func writeSnap(bw *bufio.Writer, m *MetricSnap, label string, seen map[string]bool) {
+	fam := family(m.Name)
+	if !seen[fam] {
+		seen[fam] = true
+		typ := m.Kind
+		if typ != "counter" && typ != "histogram" {
+			typ = "gauge"
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n", fam, escapeHelp(m.Help), fam, typ)
+	}
+	name := withLabel(m.Name, label)
+	switch m.Kind {
+	case "counter":
+		fmt.Fprintf(bw, "%s %d\n", name, m.IV)
+	case "histogram":
+		base, labels := splitName(m.Name)
+		inner := label
+		if labels != "" {
+			inner = labels + "," + label
+		}
+		var cum int64
+		for i, b := range m.Bounds {
+			if i < len(m.Buckets) {
+				cum += m.Buckets[i]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=%q,%s} %d%s\n", base, fnum(b), inner, cum, snapExemplarSuffix(m, fnum(b)))
+		}
+		if len(m.Buckets) > len(m.Bounds) {
+			cum += m.Buckets[len(m.Bounds)]
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\",%s} %d%s\n", base, inner, cum, snapExemplarSuffix(m, "+Inf"))
+		fmt.Fprintf(bw, "%s_sum %s\n", name, fnum(m.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", name, m.Count)
+	default:
+		fmt.Fprintf(bw, "%s %s\n", name, fnum(m.V))
+	}
+}
+
+// snapExemplarSuffix finds the exemplar for bucket le in a pushed
+// snapshot and renders the OpenMetrics-style trailing comment.
+func snapExemplarSuffix(m *MetricSnap, le string) string {
+	for i := range m.Exemplars {
+		if m.Exemplars[i].LE == le {
+			return ` # {span_id="` + strconv.FormatInt(m.Exemplars[i].Span, 10) + `"} ` + fnum(m.Exemplars[i].Value)
+		}
+	}
+	return ""
+}
+
+// splitName splits a full exposition name into its base and the label
+// body (without braces); labels is "" when the name is bare.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// AggInstanceHealth is one worker's row in the aggregator /healthz.
+type AggInstanceHealth struct {
+	Instance       string  `json:"instance"`
+	SecondsSince   float64 `json:"seconds_since_push"`
+	Stale          bool    `json:"stale"`
+	Seq            uint64  `json:"seq"`
+	Restarts       int64   `json:"restarts"`
+	SamplesTotal   int64   `json:"samples_total"`
+	EventsTotal    int64   `json:"events_total"`
+	MetricsVisible int     `json:"metrics_visible"`
+}
+
+// AggHealth is the aggregator /healthz payload.
+type AggHealth struct {
+	Status        string              `json:"status"` // "ok", or "stale" when any instance is
+	UptimeSeconds float64             `json:"uptime_s"`
+	Instances     []AggInstanceHealth `json:"instances"`
+	SeriesCount   int                 `json:"series"`
+	PointsTotal   int64               `json:"points_total"`
+	SeriesDropped int64               `json:"series_dropped"`
+	IngestsTotal  int64               `json:"ingests_total"`
+	RejectsTotal  int64               `json:"rejects_total"`
+	RestoredSer   int64               `json:"restored_series,omitempty"`
+	FindingsTotal int64               `json:"findings_total"`
+	LastFinding   string              `json:"last_finding,omitempty"`
+	EventsDropped int64               `json:"events_dropped_total"`
+}
+
+// HealthSnapshot assembles the aggregator /healthz payload. An instance
+// is stale when its silence exceeds 3× its own push cadence (floored at
+// StaleFor); one stale instance degrades the whole status, which is what
+// a fleet probe wants to page on.
+func (a *Aggregator) HealthSnapshot() AggHealth {
+	h := AggHealth{Status: "ok", UptimeSeconds: time.Since(a.start).Seconds()}
+	a.mu.Lock()
+	now := time.Now()
+	names := make([]string, 0, len(a.instances))
+	for name := range a.instances {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		inst := a.instances[name]
+		silence := now.Sub(inst.lastPush)
+		threshold := a.opt.StaleFor
+		if t := 3 * time.Duration(inst.pushMs) * time.Millisecond; t > threshold {
+			threshold = t
+		}
+		row := AggInstanceHealth{
+			Instance:       name,
+			SecondsSince:   silence.Seconds(),
+			Stale:          silence > threshold,
+			Seq:            inst.seq,
+			Restarts:       inst.restarts,
+			SamplesTotal:   inst.samples,
+			EventsTotal:    inst.events,
+			MetricsVisible: len(inst.metrics),
+		}
+		if row.Stale {
+			h.Status = "stale"
+		}
+		h.Instances = append(h.Instances, row)
+	}
+	h.SeriesCount = len(a.store)
+	h.PointsTotal = a.nPoints
+	h.SeriesDropped = a.dropped
+	h.IngestsTotal = a.ingests
+	h.RejectsTotal = a.rejects
+	h.RestoredSer = a.restored
+	a.mu.Unlock()
+	var last time.Time
+	h.FindingsTotal, last = a.hub.Findings()
+	if !last.IsZero() {
+		h.LastFinding = last.Format(time.RFC3339Nano)
+	}
+	h.EventsDropped = a.hub.Dropped()
+	return h
+}
+
+// WriteHealthJSON writes the aggregator /healthz payload.
+func (a *Aggregator) WriteHealthJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(a.HealthSnapshot())
+}
+
+// ServeAggregator starts the fleet HTTP surface on addr:
+//
+//	POST /ingest   worker push endpoint (NDJSON, see Exporter)
+//	GET  /metrics  merged exposition, instance-labeled
+//	GET  /series   merged time-series JSON (same shape as a worker's)
+//	GET  /events   forwarded fleet event stream, instance-stamped
+//	GET  /healthz  per-instance staleness and store population
+//
+// Each extra func may register additional endpoints on the mux before
+// the server starts (cmd/obsagg mounts /slo this way).
+func ServeAggregator(addr string, a *Aggregator, extra ...func(*http.ServeMux)) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := a.Ingest(r.Body); err != nil {
+			writeQueryError(w, "body", err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		match, ok := parseMatch(w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := a.WriteMetricsMatch(w, match); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, r *http.Request) {
+		q, ok := parseSeriesQuery(w, r)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := a.WriteSeriesJSON(w, q); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveHubEvents(w, r, a.hub)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := a.WriteHealthJSON(w); err != nil {
+			return
+		}
+	})
+	for _, fn := range extra {
+		fn(mux)
+	}
+	return newServer(addr, mux)
+}
+
+// serveHubEvents streams a hub as NDJSON: a hello line, then every event
+// the subscriber keeps up with. The aggregator variant of serveEvents —
+// no local scopes, so no heartbeats; workers push theirs as events.
+func serveHubEvents(w http.ResponseWriter, r *http.Request, hub *Hub) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	events, cancel := hub.Subscribe(256)
+	defer cancel()
+	hello := Event{Type: "hello"}
+	hello.stamp()
+	if enc.Encode(hello) != nil {
+		return
+	}
+	if fl != nil {
+		fl.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-events:
+			if enc.Encode(ev) != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	}
+}

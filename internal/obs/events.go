@@ -19,6 +19,7 @@ import (
 type Event struct {
 	T            string  `json:"t"` // host wall clock, RFC3339Nano
 	Type         string  `json:"type"`
+	Instance     string  `json:"instance,omitempty"` // producing process, set by the fleet aggregator
 	Solve        string  `json:"solve,omitempty"`
 	Iter         int64   `json:"iter,omitempty"`
 	Frontier     int64   `json:"frontier,omitempty"`
@@ -54,6 +55,12 @@ type Hub struct {
 	// anomaly without subscribing.
 	findings    atomic.Int64
 	lastFinding atomic.Int64 // host unix ns of the most recent finding, 0 = never
+
+	// dropped counts deliveries skipped because a subscriber's buffer was
+	// full — one per (event, slow subscriber) pair, so a single stalled
+	// stream shows up even while other subscribers keep up. Exposed as
+	// obs_events_dropped_total and on /healthz.
+	dropped atomic.Int64
 }
 
 func newHub() *Hub {
@@ -107,9 +114,19 @@ func (h *Hub) Publish(ev Event) {
 		select {
 		case ch <- ev:
 		default: // subscriber is behind: drop, never block the solver
+			h.dropped.Add(1)
 		}
 	}
 	h.mu.Unlock()
+}
+
+// Dropped reports how many deliveries have been skipped on full
+// subscriber buffers since the hub was created.
+func (h *Hub) Dropped() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.dropped.Load()
 }
 
 // Findings reports how many finding events have passed through the hub and

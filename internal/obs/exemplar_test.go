@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistogramExemplar checks that ObserveSpan stamps the observation's
+// bucket with the span ID, that plain Observe leaves no exemplar, and
+// that /metrics renders the slot as an OpenMetrics-style trailing
+// comment on exactly the stamped bucket line.
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_lat", "latency", []float64{1, 10, 100})
+
+	h.Observe(0.5)        // le="1", no exemplar
+	h.ObserveSpan(5, 42)  // le="10"
+	h.ObserveSpan(500, 7) // le="+Inf"
+	h.ObserveSpan(6, -1)  // dropped span: counted, no exemplar update
+
+	ex := h.Exemplars(nil)
+	if len(ex) != 2 {
+		t.Fatalf("Exemplars = %+v, want 2 entries", ex)
+	}
+	if ex[0].LE != "10" || ex[0].Span != 42 || ex[0].Value != 5 {
+		t.Errorf("bucket 10 exemplar = %+v, want {10 42 5}", ex[0])
+	}
+	if ex[1].LE != "+Inf" || ex[1].Span != 7 || ex[1].Value != 500 {
+		t.Errorf("+Inf exemplar = %+v, want {+Inf 7 500}", ex[1])
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"test_lat_bucket{le=\"10\"} 3 # {span_id=\"42\"} 5\n",
+		"test_lat_bucket{le=\"+Inf\"} 4 # {span_id=\"7\"} 500\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "test_lat_bucket{le=\"1\"} 1\n") {
+		t.Errorf("unstamped bucket should have no exemplar suffix:\n%s", text)
+	}
+}
+
+// TestHistogramExemplarChainsToFleet checks that a scoped observation
+// lands in both histograms but the exemplar stays on the scope's: span
+// IDs index one tracer, so a fleet-level slot would dangle.
+func TestHistogramExemplarChainsToFleet(t *testing.T) {
+	fleet := NewRegistry()
+	scope := NewScopedRegistry(fleet, `solve="s-1"`)
+	h := scope.Histogram("test_lat", "latency", []float64{1})
+	h.ObserveSpan(0.5, 9)
+
+	if got := h.Exemplars(nil); len(got) != 1 || got[0].Span != 9 {
+		t.Fatalf("scope exemplars = %+v, want one with span 9", got)
+	}
+	fh := fleet.Histogram("test_lat", "latency", []float64{1})
+	if fh.count.Load() != 1 {
+		t.Fatalf("fleet twin count = %d, want 1", fh.count.Load())
+	}
+	if got := fh.Exemplars(nil); len(got) != 0 {
+		t.Fatalf("fleet twin exemplars = %+v, want none", got)
+	}
+}
+
+// TestSeriesExemplars checks that /series attaches the histogram's
+// current exemplars to the p50 quantile series only.
+func TestSeriesExemplars(t *testing.T) {
+	o := New(0)
+	ts := NewTSDB(o, TSDBOptions{History: 8})
+	h := o.Reg.Histogram("test_lat", "latency", []float64{1, 10})
+	h.ObserveSpan(5, 3)
+	ts.Sample(time.UnixMilli(1000))
+
+	var sb strings.Builder
+	if err := ts.WriteJSON(&sb, SeriesQuery{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `"exemplars":[{"le":"10","span":3,"value":5}]`
+	if !strings.Contains(out, want) {
+		t.Errorf("series output missing exemplars %q:\n%s", want, out)
+	}
+	if strings.Count(out, `"exemplars"`) != 1 {
+		t.Errorf("exemplars must attach to the p50 series only:\n%s", out)
+	}
+	p50 := strings.Index(out, `test_lat_quantile{q=\"0.5\"}`)
+	exIdx := strings.Index(out, `"exemplars"`)
+	p95 := strings.Index(out, `test_lat_quantile{q=\"0.95\"}`)
+	if p50 < 0 || exIdx < p50 || (p95 >= 0 && exIdx > p95) {
+		t.Errorf("exemplars not attached to the p50 series:\n%s", out)
+	}
+}
+
+// TestExemplarSteadyStateAllocs gates the exemplar hot path: once the
+// histogram is registered, ObserveSpan must not allocate — it is called
+// once per advance inside the solver loop.
+func TestExemplarSteadyStateAllocs(t *testing.T) {
+	fleet := NewRegistry()
+	scope := NewScopedRegistry(fleet, `solve="s-1"`)
+	h := scope.Histogram("test_lat", "latency", []float64{1, 10, 100})
+	h.ObserveSpan(5, 1) // warm
+	var span int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		span++
+		h.ObserveSpan(float64(span%200), span)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveSpan allocates %v per call, want 0", allocs)
+	}
+}

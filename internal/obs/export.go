@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// The remote-write wire protocol: one NDJSON stream per push, each line a
+// wireLine. The first line of every push is a "hello" carrying the schema
+// name, version, instance identity, and a per-process sequence number, so
+// an aggregator can reject foreign streams, detect protocol skew, and spot
+// process restarts (seq going backwards). The rest of the push is the
+// instance's current registry snapshot ("metric" lines), the tsdb samples
+// taken since the last acknowledged push ("sample" lines), and any hub
+// events that fired in between ("event" lines).
+const (
+	// TelemetrySchema names the wire protocol; an ingester must reject
+	// pushes whose hello carries a different schema.
+	TelemetrySchema = "energysssp-telemetry"
+	// TelemetryVersion is bumped on any incompatible wire change. Version
+	// checks are exact: cross-version pushes are rejected, not coerced.
+	TelemetryVersion = 1
+)
+
+// wireLine is one NDJSON line of the push protocol. Line selects which of
+// the payload fields is meaningful.
+type wireLine struct {
+	Line string `json:"line"` // "hello" | "metric" | "sample" | "event"
+
+	// hello fields.
+	Schema   string `json:"schema,omitempty"`
+	V        int    `json:"v,omitempty"`
+	Instance string `json:"instance,omitempty"`
+	Seq      uint64 `json:"seq,omitempty"` // starts at 1
+	StartMs  int64  `json:"start_ms,omitempty"`
+	PeriodMs int64  `json:"period_ms,omitempty"` // tsdb tick of the sender
+	PushMs   int64  `json:"push_ms,omitempty"`   // push cadence, for staleness tracking
+
+	// Payloads for the other line types.
+	Metric *MetricSnap  `json:"metric,omitempty"`
+	Sample *SamplePoint `json:"sample,omitempty"`
+	Event  *Event       `json:"event,omitempty"`
+}
+
+// MetricSnap is one metric's state at push time: counters carry the exact
+// int64 total (IV), gauges and funcs the value (V), histograms their full
+// bucket vector plus sum/count and any exemplars. Names are the full
+// exposition names (scope entries arrive pre-labeled with solve="...").
+type MetricSnap struct {
+	Name      string     `json:"name"`
+	Kind      string     `json:"kind"` // "counter" | "gauge" | "histogram"
+	Help      string     `json:"help,omitempty"`
+	V         float64    `json:"v,omitempty"`
+	IV        int64      `json:"iv,omitempty"`
+	Bounds    []float64  `json:"bounds,omitempty"`
+	Buckets   []int64    `json:"buckets,omitempty"`
+	Sum       float64    `json:"sum,omitempty"`
+	Count     int64      `json:"count,omitempty"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// snapshotMetrics renders the observer's whole metric plane as MetricSnaps:
+// the fleet registry bare, every live and retired scope labeled — the same
+// set WritePrometheus exposes, in the same deterministic order.
+func snapshotMetrics(o *Observer, dst []MetricSnap) []MetricSnap {
+	dst = appendRegistrySnaps(dst, o.Reg.snapshotEntries(), "")
+	for _, s := range o.allScopes() {
+		dst = appendRegistrySnaps(dst, s.reg.snapshotEntries(), s.reg.scopeLabel)
+	}
+	return dst
+}
+
+func appendRegistrySnaps(dst []MetricSnap, entries []*entry, label string) []MetricSnap {
+	for _, e := range entries {
+		m := MetricSnap{Name: withLabel(e.name, label), Help: e.help}
+		switch e.kind {
+		case kindCounter:
+			m.Kind = "counter"
+			m.IV = e.c.Value()
+		case kindGauge:
+			m.Kind = "gauge"
+			m.V = e.g.Value()
+		case kindFunc:
+			m.Kind = "gauge"
+			m.V = e.fn()
+		case kindHistogram:
+			m.Kind = "histogram"
+			m.Bounds = e.h.bounds
+			m.Buckets = make([]int64, len(e.h.buckets))
+			for i := range e.h.buckets {
+				m.Buckets[i] = e.h.buckets[i].Load()
+			}
+			m.Sum = e.h.Sum()
+			m.Count = e.h.count.Load()
+			m.Exemplars = e.h.Exemplars(nil)
+		}
+		dst = append(dst, m)
+	}
+	return dst
+}
+
+// ExportConfig configures an Exporter. Zero values select the defaults
+// noted on each field.
+type ExportConfig struct {
+	URL      string        // aggregator ingest endpoint, e.g. http://host:9100/ingest
+	Instance string        // instance label; default "<hostname>-<pid>"
+	Period   time.Duration // push interval; default 2s
+	Client   *http.Client  // default: http.Client with Period timeout
+}
+
+// DefaultPushPeriod is the push interval when ExportConfig leaves it zero:
+// coarse enough that a push batches several tsdb ticks, fine enough that
+// the fleet view lags a worker by at most a couple of seconds.
+const DefaultPushPeriod = 2 * time.Second
+
+// Exporter periodically pushes one observer's telemetry — metric
+// snapshots, tsdb samples since the last acknowledged push, and hub
+// events — to an aggregator over HTTP as NDJSON. A failed push is
+// retried implicitly: the sample cursor and event queue only advance on
+// success, so the next push re-sends everything the aggregator has not
+// acknowledged (the metric snapshot is state, not deltas, and needs no
+// replay). A nil *Exporter is a no-op.
+type Exporter struct {
+	o   *Observer
+	cfg ExportConfig
+
+	mu      sync.Mutex
+	seq     uint64
+	cursor  uint64 // tsdb tick acknowledged by the aggregator
+	pending []Event
+	snaps   []MetricSnap  // scratch, reused across pushes
+	pts     []SamplePoint // scratch, reused across pushes
+	body    bytes.Buffer
+	pushes  int64
+	fails   int64
+	lastErr error
+
+	events  <-chan Event
+	cancel  func()
+	startMs int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// maxPendingEvents bounds the event replay queue across failed pushes;
+// beyond it the oldest events are dropped (the hub already drops under
+// pressure — the queue is best-effort context, not a log of record).
+const maxPendingEvents = 4096
+
+// NewExporter builds an exporter over o's telemetry plane and subscribes
+// it to the event hub. Returns nil for a nil observer or empty URL.
+func NewExporter(o *Observer, cfg ExportConfig) *Exporter {
+	if o == nil || cfg.URL == "" {
+		return nil
+	}
+	if cfg.Instance == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		cfg.Instance = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = DefaultPushPeriod
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.Period}
+	}
+	e := &Exporter{
+		o:       o,
+		cfg:     cfg,
+		startMs: time.Now().UnixMilli(),
+		stop:    make(chan struct{}),
+	}
+	e.events, e.cancel = o.Hub().Subscribe(256)
+	return e
+}
+
+// Instance returns the resolved instance label.
+func (e *Exporter) Instance() string {
+	if e == nil {
+		return ""
+	}
+	return e.cfg.Instance
+}
+
+// Start launches the push loop: one push per period until Stop.
+// Idempotent; a nil exporter is a no-op.
+func (e *Exporter) Start() {
+	if e == nil {
+		return
+	}
+	e.startOnce.Do(func() {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			tick := time.NewTicker(e.cfg.Period)
+			defer tick.Stop()
+			for {
+				select {
+				case <-e.stop:
+					return
+				case <-tick.C:
+					e.pushLogged()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the push loop, sends one final push so the aggregator sees
+// the terminal state, and unsubscribes from the hub. Idempotent.
+func (e *Exporter) Stop() {
+	if e == nil {
+		return
+	}
+	e.stopOnce.Do(func() {
+		close(e.stop)
+		e.wg.Wait()
+		e.pushLogged()
+		e.cancel()
+	})
+}
+
+// pushLogged is Push with the error folded into the failure counters —
+// the loop has nowhere to return it, Stats/LastErr expose it instead.
+func (e *Exporter) pushLogged() {
+	_ = e.Push() //lint:ignore errcheck failure is recorded in e.fails/e.lastErr for Stats
+}
+
+// Stats reports pushes attempted, failures, and the last push error
+// (nil after a success).
+func (e *Exporter) Stats() (pushes, fails int64, lastErr error) {
+	if e == nil {
+		return 0, 0, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pushes, e.fails, e.lastErr
+}
+
+// Push performs one push synchronously: drain new hub events into the
+// replay queue, snapshot the metric plane, collect tsdb samples past the
+// acknowledged cursor, POST the NDJSON body, and on success advance the
+// cursor and clear the queue. Exposed for tests and for one-shot flushes.
+func (e *Exporter) Push() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Drain events that arrived since the last push into the replay queue.
+	for {
+		select {
+		case ev := <-e.events:
+			e.pending = append(e.pending, ev)
+		default:
+			goto drained
+		}
+	}
+drained:
+	if over := len(e.pending) - maxPendingEvents; over > 0 {
+		e.pending = append(e.pending[:0], e.pending[over:]...)
+	}
+
+	e.seq++
+	e.snaps = snapshotMetrics(e.o, e.snaps[:0])
+	var cursor uint64
+	e.pts, cursor = e.o.TSDB().DumpSince(e.cursor, e.pts[:0])
+
+	e.body.Reset()
+	enc := json.NewEncoder(&e.body)
+	hello := wireLine{
+		Line:     "hello",
+		Schema:   TelemetrySchema,
+		V:        TelemetryVersion,
+		Instance: e.cfg.Instance,
+		Seq:      e.seq,
+		StartMs:  e.startMs,
+		PeriodMs: e.o.TSDB().Period().Milliseconds(),
+		PushMs:   e.cfg.Period.Milliseconds(),
+	}
+	if err := enc.Encode(hello); err != nil {
+		return e.fail(err)
+	}
+	for i := range e.snaps {
+		if err := enc.Encode(wireLine{Line: "metric", Metric: &e.snaps[i]}); err != nil {
+			return e.fail(err)
+		}
+	}
+	for i := range e.pts {
+		if err := enc.Encode(wireLine{Line: "sample", Sample: &e.pts[i]}); err != nil {
+			return e.fail(err)
+		}
+	}
+	for i := range e.pending {
+		if err := enc.Encode(wireLine{Line: "event", Event: &e.pending[i]}); err != nil {
+			return e.fail(err)
+		}
+	}
+
+	resp, err := e.cfg.Client.Post(e.cfg.URL, "application/x-ndjson", bytes.NewReader(e.body.Bytes()))
+	if err != nil {
+		return e.fail(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		return e.fail(err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return e.fail(errors.New("push rejected: " + resp.Status))
+	}
+	e.cursor = cursor
+	e.pending = e.pending[:0]
+	e.pushes++
+	e.lastErr = nil
+	return nil
+}
+
+// fail records a push failure under e.mu and returns the error.
+func (e *Exporter) fail(err error) error {
+	e.pushes++
+	e.fails++
+	e.lastErr = err
+	return err
+}

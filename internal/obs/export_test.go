@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fleetWorker is a worker-side telemetry plane wired to an aggregator:
+// observer, tsdb, and exporter under one instance name.
+type fleetWorker struct {
+	o  *Observer
+	db *TSDB
+	ex *Exporter
+	tt *tickTimes
+}
+
+func newFleetWorker(t *testing.T, instance, ingestURL string) *fleetWorker {
+	t.Helper()
+	o := New(0)
+	db := NewTSDB(o, TSDBOptions{History: 64})
+	ex := NewExporter(o, ExportConfig{URL: ingestURL, Instance: instance, Period: time.Hour})
+	if ex == nil {
+		t.Fatal("NewExporter returned nil")
+	}
+	return &fleetWorker{o: o, db: db, ex: ex, tt: newTickTimes()}
+}
+
+func (w *fleetWorker) push(t *testing.T) {
+	t.Helper()
+	if err := w.ex.Push(); err != nil {
+		t.Fatalf("push from %s: %v", w.ex.Instance(), err)
+	}
+}
+
+// TestExportIngestRoundTrip drives two in-process workers through the
+// full wire protocol into one aggregator and checks the acceptance
+// criterion: the merged /series per-instance counter sums are exact
+// (bit-identical to each worker's own totals), /metrics re-serves both
+// instances' counters with instance labels and exact values, and
+// /healthz tracks both instances.
+func TestExportIngestRoundTrip(t *testing.T) {
+	agg := NewAggregator(AggOptions{History: 128})
+	srv, err := ServeAggregator("127.0.0.1:0", agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	base := "http://" + srv.Addr()
+
+	w1 := newFleetWorker(t, "w1", base+"/ingest")
+	w2 := newFleetWorker(t, "w2", base+"/ingest")
+
+	// Worker totals chosen so float64 exactness is observable: large odd
+	// int64s survive the delta round trip bit-identically.
+	c1 := w1.o.Reg.Counter("fleet_test_ops_total", "ops")
+	c2 := w2.o.Reg.Counter("fleet_test_ops_total", "ops")
+	w1.db.Sample(w1.tt.next(time.Second)) // bind tick: counters baseline at current value
+	w2.db.Sample(w2.tt.next(time.Second))
+	c1.Add(1_234_567_890_123)
+	c2.Add(7)
+	w1.db.Sample(w1.tt.next(time.Second))
+	w2.db.Sample(w2.tt.next(time.Second))
+	c1.Add(3)
+	c2.Add(999_999_999_999_999)
+	w1.db.Sample(w1.tt.next(time.Second))
+	w2.db.Sample(w2.tt.next(time.Second))
+
+	w1.push(t)
+	w2.push(t)
+
+	// Merged /series: per-instance labeled series whose delta sums equal
+	// the workers' exact totals.
+	body, _ := get(t, base+"/series?match=fleet_test_ops_total")
+	var out tsdbJSON
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("decode merged series: %v\n%s", err, body)
+	}
+	wantSums := map[string]float64{
+		`fleet_test_ops_total{instance="w1"}`: 1_234_567_890_126,
+		`fleet_test_ops_total{instance="w2"}`: 1_000_000_000_000_006,
+	}
+	for name, want := range wantSums {
+		sr := findSeries(out, name)
+		if sr == nil {
+			t.Fatalf("merged series %s missing; body:\n%s", name, body)
+		}
+		if sr.Kind != "counter" {
+			t.Errorf("%s kind = %s, want counter", name, sr.Kind)
+		}
+		var sum float64
+		for _, p := range sr.Points {
+			sum += p[1]
+		}
+		if sum != want { // exact: deltas are integers below 2^53
+			t.Errorf("%s delta sum = %v, want exactly %v", name, sum, want)
+		}
+	}
+
+	// Merged /metrics: exact int64 totals under instance labels, plus the
+	// aggregator's own meta registry (build_info included).
+	body, ctype := get(t, base+"/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("aggregator /metrics content-type = %q", ctype)
+	}
+	for _, want := range []string{
+		`fleet_test_ops_total{instance="w1"} 1234567890126`,
+		`fleet_test_ops_total{instance="w2"} 1000000000000006`,
+		"build_info{go_version=",
+		"obsagg_instances 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("aggregator /metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// /healthz: both instances present, fresh, with their push ingested.
+	body, _ = get(t, base+"/healthz")
+	var h AggHealth
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("decode agg health: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || len(h.Instances) != 2 {
+		t.Fatalf("agg health = %+v, want ok with 2 instances", h)
+	}
+	for _, row := range h.Instances {
+		if row.Stale || row.Seq != 1 || row.SamplesTotal == 0 {
+			t.Errorf("instance row %+v: want fresh, seq 1, samples > 0", row)
+		}
+	}
+}
+
+// TestExportCursorResume checks that the sample cursor only advances on
+// acknowledged pushes: samples taken between pushes arrive exactly once,
+// and a failed push replays them instead of losing them.
+func TestExportCursorResume(t *testing.T) {
+	agg := NewAggregator(AggOptions{History: 128})
+	srv, err := ServeAggregator("127.0.0.1:0", agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	base := "http://" + srv.Addr()
+	w := newFleetWorker(t, "w1", base+"/ingest")
+	c := w.o.Reg.Counter("fleet_resume_total", "ops")
+	w.db.Sample(w.tt.next(time.Second))
+	c.Add(5)
+	w.db.Sample(w.tt.next(time.Second))
+	w.push(t)
+
+	// A push against a dead URL must fail and leave the cursor parked.
+	w.ex.cfg.URL = "http://127.0.0.1:1/ingest"
+	c.Add(11)
+	w.db.Sample(w.tt.next(time.Second))
+	if err := w.ex.Push(); err == nil {
+		t.Fatal("push against dead URL succeeded")
+	}
+	w.ex.cfg.URL = base + "/ingest"
+	w.push(t)
+
+	body, _ := get(t, base+"/series?match=fleet_resume_total")
+	var out tsdbJSON
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	sr := findSeries(out, `fleet_resume_total{instance="w1"}`)
+	if sr == nil {
+		t.Fatalf("series missing:\n%s", body)
+	}
+	var sum float64
+	for _, p := range sr.Points {
+		sum += p[1]
+	}
+	if sum != 16 {
+		t.Errorf("delta sum after replay = %v, want exactly 16 (each sample once)", sum)
+	}
+	if len(sr.Points) != 3 {
+		t.Errorf("got %d points, want 3 (no duplicates from the replayed push)", len(sr.Points))
+	}
+}
+
+// TestIngestRejectsForeignStreams table-drives the protocol gate: wrong
+// schema, wrong version, or a missing hello must be rejected whole with
+// HTTP 400 and a JSON error body.
+func TestIngestRejectsForeignStreams(t *testing.T) {
+	agg := NewAggregator(AggOptions{})
+	srv, err := ServeAggregator("127.0.0.1:0", agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	url := "http://" + srv.Addr() + "/ingest"
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ""},
+		{"not json", "hello world\n"},
+		{"wrong schema", `{"line":"hello","schema":"prometheus","v":1,"instance":"x","seq":1}` + "\n"},
+		{"wrong version", `{"line":"hello","schema":"` + TelemetrySchema + `","v":99,"instance":"x","seq":1}` + "\n"},
+		{"missing instance", `{"line":"hello","schema":"` + TelemetrySchema + `","v":1,"seq":1}` + "\n"},
+		{"sample first", `{"line":"sample","sample":{"name":"x","kind":"gauge","t_ms":1,"v":2}}` + "\n"},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var msg map[string]string
+		derr := json.NewDecoder(resp.Body).Decode(&msg)
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+			continue
+		}
+		if derr != nil || msg["error"] == "" {
+			t.Errorf("%s: want JSON error body, got decode err %v, body %v", tc.name, derr, msg)
+		}
+	}
+	if h := agg.HealthSnapshot(); len(h.Instances) != 0 {
+		t.Errorf("rejected pushes must not register instances: %+v", h.Instances)
+	}
+}
+
+// TestIngestForwardsEvents checks that worker hub events cross the wire
+// and re-publish on the aggregator hub stamped with their instance.
+func TestIngestForwardsEvents(t *testing.T) {
+	agg := NewAggregator(AggOptions{})
+	srv, err := ServeAggregator("127.0.0.1:0", agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	w := newFleetWorker(t, "w9", "http://"+srv.Addr()+"/ingest")
+
+	sink, cancel := agg.Hub().Subscribe(16)
+	defer cancel()
+
+	w.o.Hub().Publish(Event{Type: "finding", Kind: "x2-escape", Solve: "s-1", Detail: "test"})
+	w.db.Sample(w.tt.next(time.Second))
+	w.push(t)
+
+	select {
+	case ev := <-sink:
+		if ev.Type != "finding" || ev.Instance != "w9" || ev.Kind != "x2-escape" {
+			t.Errorf("forwarded event = %+v, want instance-stamped finding", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("forwarded finding never reached the aggregator hub")
+	}
+	if total, _ := agg.Hub().Findings(); total != 1 {
+		t.Errorf("aggregator findings = %d, want 1", total)
+	}
+}

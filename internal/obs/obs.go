@@ -293,6 +293,17 @@ func (t *Tracer) Begin(p Phase) Span {
 	return Span{t: t, start: start, id: id, kind: SpanPhase, phase: p}
 }
 
+// ID returns the span's tracer-local ID for exemplar linkage, or -1 when
+// the span is inert (nil tracer) or was dropped by an exhausted budget.
+// The ID indexes this tracer's span list only; it is meaningless across
+// scopes, which is why exemplars never propagate to fleet histograms.
+func (s Span) ID() int64 {
+	if s.t == nil || s.id < 0 {
+		return -1
+	}
+	return int64(s.id)
+}
+
 // End finishes a span that charged no simulated time.
 func (s Span) End(items int64) {
 	s.EndSim(items, 0, 0)

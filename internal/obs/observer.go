@@ -182,6 +182,10 @@ type Observer struct {
 	start  time.Time    // construction time, the /healthz uptime epoch
 	tsdb   atomic.Pointer[TSDB]
 
+	// solveSeconds is the fleet solve-latency histogram, observed once per
+	// retired scope — the natural series for a latency SLO objective.
+	solveSeconds *Histogram
+
 	mu          sync.Mutex
 	scopes      []*Scope // active (unclosed) scopes
 	retired     []*Scope // most recent closed scopes, oldest first
@@ -211,8 +215,15 @@ func New(traceEvents int) *Observer {
 	}
 	o.energy = NewEnergyMeter(nil)
 	RegisterRuntimeMetrics(o.Reg)
+	RegisterBuildInfo(o.Reg)
 	registerEnergyMetrics(o.Reg, o.energy)
 	o.registerFleetPhaseMetrics()
+	hub := o.hub
+	o.Reg.GaugeFunc("obs_events_dropped_total", "hub events dropped on slow subscribers",
+		func() float64 { return float64(hub.Dropped()) })
+	o.solveSeconds = o.Reg.Histogram("sssp_solve_seconds",
+		"end-to-end solve latency (scope open to close)",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30})
 	return o
 }
 
@@ -239,6 +250,7 @@ func (o *Observer) NewScope(name string) *Scope {
 		tracer: NewTracer(o.traceEvents),
 		reg:    NewScopedRegistry(o.Reg, `solve="`+name+`"`),
 		energy: NewEnergyMeter(o.energy),
+		opened: time.Now(),
 	}
 	registerTracerMetrics(s.reg, s.tracer)
 	registerEnergyMetrics(s.reg, s.energy)
@@ -297,6 +309,8 @@ func (o *Observer) retire(s *Scope) {
 	}
 	o.stratJ[strat] += s.energy.TotalJoules()
 	o.stratMu.Unlock()
+
+	o.solveSeconds.Observe(time.Since(s.opened).Seconds())
 
 	o.hub.Publish(Event{
 		Type:    "solve-end",
@@ -631,15 +645,21 @@ func (o *Observer) Flight() FlightSource {
 // bare, then every active and retired scope's metrics with a
 // solve="<name>" label injected, sharing HELP/TYPE headers per family.
 func (o *Observer) WritePrometheus(w io.Writer) error {
+	return o.WritePrometheusMatch(w, "")
+}
+
+// WritePrometheusMatch is WritePrometheus restricted to metrics whose
+// name contains match ("" = everything) — the ?match filter on /metrics.
+func (o *Observer) WritePrometheusMatch(w io.Writer, match string) error {
 	if o == nil {
 		return nil
 	}
-	fleet := o.Reg.snapshotEntries()
+	fleet := filterEntries(o.Reg.snapshotEntries(), match)
 	bw := bufio.NewWriter(w)
 	seen := make(map[string]bool, len(fleet))
 	writeEntries(bw, fleet, "", seen)
 	for _, s := range o.allScopes() {
-		writeEntries(bw, s.reg.snapshotEntries(), s.reg.scopeLabel, seen)
+		writeEntries(bw, filterEntries(s.reg.snapshotEntries(), match), s.reg.scopeLabel, seen)
 	}
 	return bw.Flush()
 }

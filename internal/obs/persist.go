@@ -1,0 +1,387 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Snapshot layout: numbered NDJSON shards plus a manifest, all written
+// tmp-then-rename so a crash mid-checkpoint can never leave a torn file
+// under the final name. The manifest is written last — its presence marks
+// the snapshot complete, so a reader that finds shards without a manifest
+// knows the writer died and fails closed. Each shard opens with a header
+// line repeating the schema, version, and generation; a shard whose
+// header disagrees with the manifest (stale leftover from an older
+// checkpoint, or a ring swept by scope churn between shard writes) also
+// fails the whole restore. Restores never partially apply: the outcome is
+// the full snapshot or a fresh empty store.
+const (
+	// SnapshotSchema names the on-disk snapshot format.
+	SnapshotSchema = "energysssp-tsdb-snapshot"
+	// SnapshotVersion is bumped on incompatible layout changes; checks are
+	// exact.
+	SnapshotVersion = 1
+	// snapshotShardSeries is how many series one shard file holds.
+	snapshotShardSeries = 64
+)
+
+type snapManifest struct {
+	Schema     string      `json:"schema"`
+	V          int         `json:"v"`
+	Generation uint64      `json:"generation"`
+	Series     int         `json:"series"`
+	Shards     []snapShard `json:"shards"`
+	WrittenMs  int64       `json:"written_ms"`
+}
+
+type snapShard struct {
+	File   string `json:"file"`
+	Series int    `json:"series"`
+}
+
+// snapHeader is the first line of every shard file.
+type snapHeader struct {
+	Schema     string `json:"schema"`
+	V          int    `json:"v"`
+	Generation uint64 `json:"generation"`
+	Series     int    `json:"series"`
+}
+
+// snapSeries is one persisted series line.
+type snapSeries struct {
+	Name   string       `json:"name"`
+	Kind   string       `json:"kind"`
+	Points [][2]float64 `json:"points"`
+}
+
+// WriteSnapshot persists series under dir (created if missing) at the
+// given generation. Atomic per file (write-temp-rename) and marked
+// complete by the manifest, which is renamed into place last.
+func WriteSnapshot(dir string, generation uint64, series []QueriedSeries) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	man := snapManifest{
+		Schema:     SnapshotSchema,
+		V:          SnapshotVersion,
+		Generation: generation,
+		Series:     len(series),
+		WrittenMs:  time.Now().UnixMilli(),
+	}
+	for shard := 0; shard*snapshotShardSeries < len(series) || (shard == 0 && len(series) == 0); shard++ {
+		lo := shard * snapshotShardSeries
+		hi := lo + snapshotShardSeries
+		if hi > len(series) {
+			hi = len(series)
+		}
+		file := fmt.Sprintf("shard-%03d.ndjson", shard)
+		if err := writeShard(filepath.Join(dir, file), generation, series[lo:hi]); err != nil {
+			return err
+		}
+		man.Shards = append(man.Shards, snapShard{File: file, Series: hi - lo})
+	}
+	return writeFileAtomic(filepath.Join(dir, "manifest.json"), func(w *bufio.Writer) error {
+		return json.NewEncoder(w).Encode(man)
+	})
+}
+
+func writeShard(path string, generation uint64, series []QueriedSeries) error {
+	return writeFileAtomic(path, func(w *bufio.Writer) error {
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(snapHeader{
+			Schema: SnapshotSchema, V: SnapshotVersion,
+			Generation: generation, Series: len(series),
+		}); err != nil {
+			return err
+		}
+		for _, sr := range series {
+			if err := enc.Encode(snapSeries{Name: sr.Name, Kind: sr.Kind, Points: sr.Points}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// writeFileAtomic writes via a sibling temp file, fsyncs, and renames
+// into place, so the final name only ever holds a complete file.
+func writeFileAtomic(path string, fill func(*bufio.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := fill(bw); err != nil {
+		_ = f.Close()          //lint:ignore errcheck best-effort cleanup on the error path
+		_ = os.Remove(tmp)     //lint:ignore errcheck best-effort cleanup on the error path
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		_ = f.Close()      //lint:ignore errcheck best-effort cleanup on the error path
+		_ = os.Remove(tmp) //lint:ignore errcheck best-effort cleanup on the error path
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()      //lint:ignore errcheck best-effort cleanup on the error path
+		_ = os.Remove(tmp) //lint:ignore errcheck best-effort cleanup on the error path
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp) //lint:ignore errcheck best-effort cleanup on the error path
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ErrNoSnapshot reports a restore directory without a complete snapshot
+// (no manifest): distinguishable from a corrupt one so callers can treat
+// first boot as normal.
+var ErrNoSnapshot = errors.New("obs: no snapshot manifest")
+
+// ReadSnapshot loads a snapshot written by WriteSnapshot. Any
+// inconsistency — missing manifest, schema or version skew, a shard whose
+// header generation disagrees with the manifest, or a shard holding fewer
+// series than its header promised (truncation) — fails the whole read;
+// the caller keeps its fresh store.
+func ReadSnapshot(dir string) (generation uint64, series []QueriedSeries, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, ErrNoSnapshot
+		}
+		return 0, nil, err
+	}
+	var man snapManifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return 0, nil, fmt.Errorf("obs: snapshot manifest corrupt: %w", err)
+	}
+	if man.Schema != SnapshotSchema {
+		return 0, nil, fmt.Errorf("obs: snapshot schema %q, want %q", man.Schema, SnapshotSchema)
+	}
+	if man.V != SnapshotVersion {
+		return 0, nil, fmt.Errorf("obs: snapshot version %d, want %d", man.V, SnapshotVersion)
+	}
+	for _, sh := range man.Shards {
+		got, err := readShard(filepath.Join(dir, sh.File), man.Generation)
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(got) != sh.Series {
+			return 0, nil, fmt.Errorf("obs: shard %s holds %d series, manifest promised %d", sh.File, len(got), sh.Series)
+		}
+		series = append(series, got...)
+	}
+	if len(series) != man.Series {
+		return 0, nil, fmt.Errorf("obs: snapshot holds %d series, manifest promised %d", len(series), man.Series)
+	}
+	return man.Generation, series, nil
+}
+
+func readShard(path string, wantGen uint64) ([]QueriedSeries, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_ = f.Close() //lint:ignore errcheck read-only file, nothing to report at close
+	}()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("obs: shard %s is empty (truncated?)", path)
+	}
+	var hdr snapHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("obs: shard %s header corrupt: %w", path, err)
+	}
+	if hdr.Schema != SnapshotSchema || hdr.V != SnapshotVersion {
+		return nil, fmt.Errorf("obs: shard %s schema/version skew", path)
+	}
+	if hdr.Generation != wantGen {
+		return nil, fmt.Errorf("obs: shard %s generation %d, manifest generation %d", path, hdr.Generation, wantGen)
+	}
+	out := make([]QueriedSeries, 0, hdr.Series)
+	for sc.Scan() {
+		var sr snapSeries
+		if err := json.Unmarshal(sc.Bytes(), &sr); err != nil {
+			return nil, fmt.Errorf("obs: shard %s series line corrupt: %w", path, err)
+		}
+		out = append(out, QueriedSeries{Name: sr.Name, Kind: sr.Kind, Points: sr.Points})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) != hdr.Series {
+		return nil, fmt.Errorf("obs: shard %s truncated: %d series, header promised %d", path, len(out), hdr.Series)
+	}
+	return out, nil
+}
+
+// Snapshot persists the store's full retained history to dir, stamped
+// with the current churn generation.
+func (t *TSDB) Snapshot(dir string) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	gen := t.gen
+	t.mu.Unlock()
+	return WriteSnapshot(dir, gen, t.QuerySeries("", 0))
+}
+
+// Restore loads a snapshot into a store that has not ticked yet. The
+// restored series are served as static history on /series and
+// QuerySeries, merged in front of the live points their names accumulate
+// after restart — the live sampling machinery is untouched. Fails closed:
+// on any snapshot inconsistency the store stays fresh and empty.
+func (t *TSDB) Restore(dir string) error {
+	if t == nil {
+		return nil
+	}
+	gen, series, err := ReadSnapshot(dir)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.tick != 0 {
+		return errors.New("obs: Restore requires a store that has not sampled yet")
+	}
+	t.gen = gen
+	t.restored = series
+	return nil
+}
+
+// Generation reports the churn generation: how many sources (scopes) have
+// been swept from the store over its lifetime. Snapshots are stamped with
+// it so a restore can detect shards written across a churn boundary.
+func (t *TSDB) Generation() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.gen
+}
+
+// Checkpoint persists the aggregator's merged store to dir.
+func (a *Aggregator) Checkpoint(dir string) error {
+	a.mu.Lock()
+	a.checkpoints++
+	gen := a.checkpoints
+	a.mu.Unlock()
+	return WriteSnapshot(dir, gen, a.QuerySeries("", 0))
+}
+
+// Restore loads a checkpoint into an empty aggregator store; ingested
+// pushes then keep appending to the restored rings, so a restarted
+// obsagg resumes the fleet trajectory instead of losing it. Fails
+// closed: on any snapshot inconsistency the store stays fresh.
+func (a *Aggregator) Restore(dir string) error {
+	gen, series, err := ReadSnapshot(dir)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.store) != 0 {
+		return errors.New("obs: Restore requires an empty aggregator store")
+	}
+	a.checkpoints = gen
+	for _, qs := range series {
+		sr := &aggSeries{
+			name:  qs.Name,
+			kind:  qs.Kind,
+			times: make([]int64, a.opt.History),
+			vals:  make([]float64, a.opt.History),
+		}
+		for _, p := range qs.Points {
+			sr.push(int64(p[0]), p[1])
+			a.nPoints++
+		}
+		a.store[qs.Name] = sr
+		a.restored++
+	}
+	return nil
+}
+
+// Checkpointer periodically checkpoints an aggregator to a directory and
+// flushes once more on Stop — the durability loop obsagg runs so a
+// SIGTERM (or crash within one period) loses at most that period.
+type Checkpointer struct {
+	a      *Aggregator
+	dir    string
+	period time.Duration
+
+	lastErr   error
+	errMu     sync.Mutex
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewCheckpointer builds a checkpoint loop for a into dir every period
+// (default 10s).
+func NewCheckpointer(a *Aggregator, dir string, period time.Duration) *Checkpointer {
+	if period <= 0 {
+		period = 10 * time.Second
+	}
+	return &Checkpointer{a: a, dir: dir, period: period, stopCh: make(chan struct{})}
+}
+
+// Start launches the checkpoint loop. Idempotent.
+func (c *Checkpointer) Start() {
+	c.startOnce.Do(func() {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			tick := time.NewTicker(c.period)
+			defer tick.Stop()
+			for {
+				select {
+				case <-c.stopCh:
+					return
+				case <-tick.C:
+					c.record(c.a.Checkpoint(c.dir))
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the loop and writes one final checkpoint, returning its
+// error. Idempotent; later calls return nil.
+func (c *Checkpointer) Stop() error {
+	var err error
+	c.stopOnce.Do(func() {
+		close(c.stopCh)
+		c.wg.Wait()
+		err = c.a.Checkpoint(c.dir)
+		c.record(err)
+	})
+	return err
+}
+
+// LastErr reports the most recent checkpoint failure (nil when the loop
+// has been healthy).
+func (c *Checkpointer) LastErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.lastErr
+}
+
+func (c *Checkpointer) record(err error) {
+	c.errMu.Lock()
+	if err != nil {
+		c.lastErr = err
+	}
+	c.errMu.Unlock()
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSnapshotRoundTrip writes a populated tsdb snapshot and restores it
+// into a fresh store: the restored history must serve bit-identically on
+// QuerySeries and survive into /series output ahead of new live points.
+func TestSnapshotRoundTrip(t *testing.T) {
+	o := New(0)
+	db := NewTSDB(o, TSDBOptions{History: 16})
+	c := o.Reg.Counter("persist_test_ops_total", "ops")
+	tt := newTickTimes()
+	db.Sample(tt.next(time.Second))
+	c.Add(41)
+	db.Sample(tt.next(time.Second))
+	c.Add(1)
+	db.Sample(tt.next(time.Second))
+
+	dir := t.TempDir()
+	if err := db.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	before := db.QuerySeries("persist_test_ops_total", 0)
+	if len(before) != 1 || len(before[0].Points) != 3 {
+		t.Fatalf("pre-snapshot query = %+v, want 1 series with 3 points", before)
+	}
+
+	// Fresh process: restore, then resume live sampling under the same name.
+	o2 := New(0)
+	db2 := NewTSDB(o2, TSDBOptions{History: 16})
+	if err := db2.Restore(dir); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	got := db2.QuerySeries("persist_test_ops_total", 0)
+	if len(got) != 1 {
+		t.Fatalf("restored query returned %d series, want 1", len(got))
+	}
+	for i, p := range before[0].Points {
+		if got[0].Points[i] != p {
+			t.Fatalf("restored point %d = %v, want bit-identical %v", i, got[0].Points[i], p)
+		}
+	}
+
+	// Live samples after restore append behind the restored history.
+	c2 := o2.Reg.Counter("persist_test_ops_total", "ops")
+	tt2 := &tickTimes{t: time.Unix(1_700_000_100, 0)} // later than the snapshot
+	db2.Sample(tt2.next(time.Second))
+	c2.Add(7)
+	db2.Sample(tt2.next(time.Second))
+	merged := db2.QuerySeries("persist_test_ops_total", 0)
+	if len(merged) != 1 {
+		t.Fatalf("merged query returned %d series, want 1", len(merged))
+	}
+	pts := merged[0].Points
+	if len(pts) != 5 {
+		t.Fatalf("merged history has %d points, want 3 restored + 2 live: %v", len(pts), pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] <= pts[i-1][0] {
+			t.Fatalf("merged history not time-ordered: %v", pts)
+		}
+	}
+}
+
+// TestAggregatorCheckpointResume is the obsagg durability criterion in
+// miniature: checkpoint a populated aggregator, restore into a fresh one,
+// and push more samples — the merged series must continue, not reset.
+func TestAggregatorCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	a := NewAggregator(AggOptions{History: 32})
+	srv, err := ServeAggregator("127.0.0.1:0", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newFleetWorker(t, "w1", "http://"+srv.Addr()+"/ingest")
+	c := w.o.Reg.Counter("persist_agg_total", "ops")
+	w.db.Sample(w.tt.next(time.Second))
+	c.Add(9)
+	w.db.Sample(w.tt.next(time.Second))
+	w.push(t)
+	if err := a.Checkpoint(dir); err != nil {
+		t.Fatal(err)
+	}
+	if cerr := srv.Close(); cerr != nil {
+		t.Error(cerr)
+	}
+
+	// "Restart": new aggregator restores the checkpoint, worker keeps pushing.
+	a2 := NewAggregator(AggOptions{History: 32})
+	if err := a2.Restore(dir); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	srv2, err := ServeAggregator("127.0.0.1:0", a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := srv2.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	w.ex.cfg.URL = "http://" + srv2.Addr() + "/ingest"
+	c.Add(5)
+	w.db.Sample(w.tt.next(time.Second))
+	w.push(t)
+
+	qs := a2.QuerySeries(`persist_agg_total{instance="w1"}`, 0)
+	if len(qs) != 1 {
+		t.Fatalf("restored aggregator query = %+v, want 1 series", qs)
+	}
+	var sum float64
+	for _, p := range qs[0].Points {
+		sum += p[1]
+	}
+	if sum != 14 {
+		t.Errorf("resumed series delta sum = %v, want exactly 14 (9 pre-restart + 5 post)", sum)
+	}
+	if h := a2.HealthSnapshot(); h.RestoredSer == 0 {
+		t.Errorf("health does not report restored series: %+v", h)
+	}
+}
+
+// corruptSnapshot writes a valid snapshot for one populated store and
+// returns its directory plus the tsdb that wrote it.
+func writeTestSnapshot(t *testing.T) string {
+	t.Helper()
+	o := New(0)
+	db := NewTSDB(o, TSDBOptions{History: 8})
+	o.Reg.Counter("persist_edge_total", "ops").Add(3)
+	tt := newTickTimes()
+	db.Sample(tt.next(time.Second))
+	db.Sample(tt.next(time.Second))
+	dir := t.TempDir()
+	if err := db.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// restoreInto runs Restore on a fresh store and asserts it failed closed:
+// error returned, no restored series, store still usable and empty.
+func restoreInto(t *testing.T, dir, wantErrSub string) {
+	t.Helper()
+	o := New(0)
+	db := NewTSDB(o, TSDBOptions{History: 8})
+	err := db.Restore(dir)
+	if err == nil {
+		t.Fatal("Restore succeeded on a damaged snapshot, want fail-closed error")
+	}
+	if wantErrSub != "" && !strings.Contains(err.Error(), wantErrSub) {
+		t.Errorf("Restore error = %q, want substring %q", err, wantErrSub)
+	}
+	if got := db.QuerySeries("", 0); len(got) != 0 {
+		t.Errorf("failed restore left %d series behind, want a fresh empty store", len(got))
+	}
+	// The store must still sample normally after the failed restore.
+	tt := newTickTimes()
+	db.Sample(tt.next(time.Second))
+	if n := db.SampleCount(); n != 1 {
+		t.Errorf("store wedged after failed restore: %d ticks", n)
+	}
+}
+
+// TestRestoreEdgeCases drives every fail-closed path: missing manifest,
+// corrupt manifest, truncated shard, missing shard, and a generation
+// mismatch between manifest and shard (a checkpoint torn across scope
+// churn). None may panic; all must leave a fresh ring.
+func TestRestoreEdgeCases(t *testing.T) {
+	t.Run("missing manifest", func(t *testing.T) {
+		dir := writeTestSnapshot(t)
+		if err := os.Remove(filepath.Join(dir, "manifest.json")); err != nil {
+			t.Fatal(err)
+		}
+		o := New(0)
+		db := NewTSDB(o, TSDBOptions{History: 8})
+		if err := db.Restore(dir); !errors.Is(err, ErrNoSnapshot) {
+			t.Fatalf("Restore without manifest = %v, want ErrNoSnapshot", err)
+		}
+	})
+	t.Run("corrupt manifest", func(t *testing.T) {
+		dir := writeTestSnapshot(t)
+		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		restoreInto(t, dir, "manifest corrupt")
+	})
+	t.Run("truncated shard", func(t *testing.T) {
+		dir := writeTestSnapshot(t)
+		path := filepath.Join(dir, "shard-000.ndjson")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Keep the header, drop every series line: the header's count no
+		// longer matches, exactly what a torn write leaves behind.
+		lines := strings.SplitN(string(raw), "\n", 2)
+		if err := os.WriteFile(path, []byte(lines[0]+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		restoreInto(t, dir, "truncated")
+	})
+	t.Run("missing shard", func(t *testing.T) {
+		dir := writeTestSnapshot(t)
+		if err := os.Remove(filepath.Join(dir, "shard-000.ndjson")); err != nil {
+			t.Fatal(err)
+		}
+		restoreInto(t, dir, "shard-000")
+	})
+	t.Run("generation mismatch", func(t *testing.T) {
+		dir := writeTestSnapshot(t)
+		// Rewrite the manifest claiming a later churn generation than the
+		// shard header carries — a snapshot torn across scope churn.
+		raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var man map[string]any
+		if err := json.Unmarshal(raw, &man); err != nil {
+			t.Fatal(err)
+		}
+		man["generation"] = 7
+		out, err := json.Marshal(man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		restoreInto(t, dir, "generation")
+	})
+	t.Run("version skew", func(t *testing.T) {
+		dir := writeTestSnapshot(t)
+		raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var man map[string]any
+		if err := json.Unmarshal(raw, &man); err != nil {
+			t.Fatal(err)
+		}
+		man["v"] = SnapshotVersion + 1
+		out, err := json.Marshal(man)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		restoreInto(t, dir, "version")
+	})
+}
+
+// TestTSDBChurnGeneration checks that sweeping a retired scope bumps the
+// churn generation snapshots are stamped with.
+func TestTSDBChurnGeneration(t *testing.T) {
+	o := New(0)
+	db := NewTSDB(o, TSDBOptions{History: 8})
+	tt := newTickTimes()
+	s := o.NewScope("churn")
+	db.Sample(tt.next(time.Second))
+	if g := db.Generation(); g != 0 {
+		t.Fatalf("generation before churn = %d, want 0", g)
+	}
+	s.Close()
+	// Fill the retired ring so the closed scope is evicted entirely.
+	for i := 0; i < 20; i++ {
+		o.NewScope("filler").Close()
+	}
+	db.Sample(tt.next(time.Second))
+	if g := db.Generation(); g == 0 {
+		t.Fatal("generation did not advance after scope churn swept a source")
+	}
+}

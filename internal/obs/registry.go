@@ -77,19 +77,52 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// exemplar is one bucket's most recent span-linked observation: the
+// observed value and the span that produced it, each a padded atomic slot
+// so hot buckets updated from different workers never false-share. The two
+// words are written without a lock; a reader racing two writers can pair a
+// value with the other write's span, which is acceptable for telemetry —
+// both exemplars were real observations landing in the same bucket.
+type exemplar struct {
+	valueBits atomic.Uint64 // float64 bits of the observation
+	span      atomic.Int64  // span ID + 1; 0 = bucket has no exemplar yet
+	_         [6]int64
+}
+
+// Exemplar is one bucket's exported span-linked observation.
+type Exemplar struct {
+	LE    string  `json:"le"` // bucket upper bound ("+Inf" for the overflow bucket)
+	Span  int64   `json:"span"`
+	Value float64 `json:"value"`
+}
+
 // Histogram is a fixed-bucket histogram with atomic counters. Buckets are
 // preallocated at registration; Observe is a bucket walk plus three atomic
-// ops and never allocates. A nil *Histogram is a no-op.
+// ops and never allocates. Each bucket also carries an exemplar slot that
+// ObserveSpan fills with the most recent span-linked observation, so a
+// latency spike on /metrics or /series points straight at the span tree
+// that produced it. A nil *Histogram is a no-op.
 type Histogram struct {
 	bounds  []float64 // upper bounds, ascending; +Inf bucket is implicit
 	buckets []atomic.Int64
+	ex      []exemplar // one slot per bucket, +Inf included
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
 	next    *Histogram    // fleet twin when registered on a scoped registry
 }
 
-// Observe records one sample.
+// Observe records one sample with no exemplar.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveSpan(v, -1)
+}
+
+// ObserveSpan records one sample and, when span >= 0, stamps the sample's
+// bucket exemplar with the span ID (see Span.ID). The chained fleet twin
+// receives the sample without the exemplar: span IDs index one scope's
+// tracer, so they are only meaningful on the scope's own labeled series.
+//
+//hot:alloc-free
+func (h *Histogram) ObserveSpan(v float64, span int64) {
 	if h == nil {
 		return
 	}
@@ -106,7 +139,35 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+	if span >= 0 {
+		h.ex[i].valueBits.Store(math.Float64bits(v))
+		h.ex[i].span.Store(span + 1)
+	}
 	h.next.Observe(v)
+}
+
+// Exemplars appends every populated bucket exemplar to dst and returns it.
+// Allocates only when dst lacks capacity.
+func (h *Histogram) Exemplars(dst []Exemplar) []Exemplar {
+	if h == nil {
+		return dst
+	}
+	for i := range h.ex {
+		sp := h.ex[i].span.Load()
+		if sp == 0 {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = fnum(h.bounds[i])
+		}
+		dst = append(dst, Exemplar{
+			LE:    le,
+			Span:  sp - 1,
+			Value: math.Float64frombits(h.ex[i].valueBits.Load()),
+		})
+	}
+	return dst
 }
 
 // Count returns the number of observations.
@@ -299,6 +360,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 		e.h = &Histogram{
 			bounds:  append([]float64(nil), bounds...),
 			buckets: make([]atomic.Int64, len(bounds)+1),
+			ex:      make([]exemplar, len(bounds)+1),
 		}
 		if r.parent != nil {
 			e.h.next = r.parent.Histogram(name, help, bounds)
@@ -443,10 +505,10 @@ func writeEntries(bw *bufio.Writer, entries []*entry, extraLabel string, seen ma
 			var cum int64
 			for i, b := range e.h.bounds {
 				cum += e.h.buckets[i].Load()
-				fmt.Fprintf(bw, "%s_bucket{le=%q%s} %d\n", e.name, fnum(b), labelSuffix(extraLabel), cum)
+				fmt.Fprintf(bw, "%s_bucket{le=%q%s} %d%s\n", e.name, fnum(b), labelSuffix(extraLabel), cum, exemplarSuffix(e.h, i))
 			}
 			cum += e.h.buckets[len(e.h.bounds)].Load()
-			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"%s} %d\n", e.name, labelSuffix(extraLabel), cum)
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"%s} %d%s\n", e.name, labelSuffix(extraLabel), cum, exemplarSuffix(e.h, len(e.h.bounds)))
 			fmt.Fprintf(bw, "%s_sum %s\n", name, fnum(e.h.Sum()))
 			fmt.Fprintf(bw, "%s_count %d\n", name, e.h.count.Load())
 			// Derived summary quantiles: a separate gauge family so the
@@ -468,11 +530,39 @@ func writeEntries(bw *bufio.Writer, entries []*entry, extraLabel string, seen ma
 	}
 }
 
+// exemplarSuffix renders bucket i's exemplar as an OpenMetrics-style
+// trailing comment (` # {span_id="N"} value`), or "" when the slot is
+// empty. 0.0.4 parsers and the repo's Contains-based tests see an
+// unchanged sample; OpenMetrics-aware readers get the span link.
+func exemplarSuffix(h *Histogram, i int) string {
+	sp := h.ex[i].span.Load()
+	if sp == 0 {
+		return ""
+	}
+	v := math.Float64frombits(h.ex[i].valueBits.Load())
+	return ` # {span_id="` + strconv.FormatInt(sp-1, 10) + `"} ` + fnum(v)
+}
+
 func labelSuffix(label string) string {
 	if label == "" {
 		return ""
 	}
 	return "," + label
+}
+
+// filterEntries returns the entries whose name contains match; "" keeps
+// everything (and the original slice).
+func filterEntries(entries []*entry, match string) []*entry {
+	if match == "" {
+		return entries
+	}
+	out := entries[:0:0]
+	for _, e := range entries {
+		if strings.Contains(e.name, match) {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // WritePrometheus writes every registered metric in Prometheus text

@@ -1,6 +1,24 @@
 package obs
 
-import "runtime"
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo adds a constant build_info gauge (value 1) carrying
+// the Go toolchain version, GOMAXPROCS, and the module version as labels —
+// the identity line that lets a fleet view tell workers apart. Idempotent
+// per registry.
+func RegisterBuildInfo(r *Registry) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	name := fmt.Sprintf("build_info{go_version=%q,gomaxprocs=\"%d\",version=%q}",
+		runtime.Version(), runtime.GOMAXPROCS(0), version)
+	r.Gauge(name, "build and runtime identity of this process").Set(1)
+}
 
 // RegisterRuntimeMetrics adds a Go runtime sampler to the registry: heap
 // size, GC pause totals, and goroutine count, refreshed by a scrape hook so

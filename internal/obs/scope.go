@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // SolveStats is a scope's live iteration snapshot: a handful of atomics the
@@ -81,6 +82,7 @@ type Scope struct {
 
 	strategy atomic.Pointer[string]
 	closed   atomic.Bool
+	opened   time.Time // host clock at NewScope, for the solve-latency histogram
 }
 
 // Name returns the scope's label value on fleet expositions.

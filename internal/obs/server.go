@@ -41,9 +41,13 @@ func Serve(addr string, o *Observer) (*Server, error) {
 		return nil, errors.New("obs: Serve requires a non-nil Observer")
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		match, ok := parseMatch(w, r)
+		if !ok {
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := o.WritePrometheus(w); err != nil {
+		if err := o.WritePrometheusMatch(w, match); err != nil {
 			// Headers are already out; nothing useful left to do.
 			return
 		}
@@ -74,16 +78,9 @@ func Serve(addr string, o *Observer) (*Server, error) {
 			http.Error(w, "no time-series store attached", http.StatusNotFound)
 			return
 		}
-		q := SeriesQuery{Match: r.URL.Query().Get("match")}
-		if v := r.URL.Query().Get("window"); v != "" {
-			if d, err := time.ParseDuration(v); err == nil && d > 0 {
-				q.Window = d
-			}
-		}
-		if v := r.URL.Query().Get("points"); v != "" {
-			if n, err := strconv.Atoi(v); err == nil && n > 0 {
-				q.MaxPoints = n
-			}
+		q, ok := parseSeriesQuery(w, r)
+		if !ok {
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := db.WriteJSON(w, q); err != nil {
@@ -96,6 +93,12 @@ func Serve(addr string, o *Observer) (*Server, error) {
 			return
 		}
 	})
+	return newServer(addr, mux)
+}
+
+// newServer binds addr and starts serving mux on its own goroutine; the
+// common tail of the per-process server and the fleet aggregator.
+func newServer(addr string, mux *http.ServeMux) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -108,6 +111,99 @@ func Serve(addr string, o *Observer) (*Server, error) {
 	//lint:ignore leakspawn one-off accept-loop goroutine; joined at Close through the buffered serveErr channel
 	go func() { s.serveErr <- s.srv.Serve(ln) }()
 	return s, nil
+}
+
+// writeQueryError rejects a request with HTTP 400 and a JSON body naming
+// the offending parameter — malformed input gets a hard error, never a
+// silent clamp that would make a dashboard quietly render the wrong
+// window.
+func writeQueryError(w http.ResponseWriter, param, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": msg, "param": param}); err != nil {
+		return
+	}
+}
+
+// maxMatchLen bounds the ?match filter; longer values are rejected as
+// malformed rather than scanned against every series name.
+const maxMatchLen = 256
+
+func validMatch(s string) bool {
+	if len(s) > maxMatchLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// parseMatch validates the ?match parameter shared by /metrics and
+// /series. On malformed input it writes the 400 response and reports
+// ok=false.
+func parseMatch(w http.ResponseWriter, r *http.Request) (string, bool) {
+	v := r.URL.Query().Get("match")
+	if v != "" && !validMatch(v) {
+		writeQueryError(w, "match", "match must be a printable substring of at most 256 bytes")
+		return "", false
+	}
+	return v, true
+}
+
+// parseSeriesQuery validates the /series parameters — window (positive Go
+// duration), points (positive integer), step (positive Go duration,
+// converted to a point budget over the window, mutually exclusive with
+// points), and match — writing the 400 response itself on malformed
+// input. Shared by the per-process server and the fleet aggregator so
+// both surfaces reject identically.
+func parseSeriesQuery(w http.ResponseWriter, r *http.Request) (SeriesQuery, bool) {
+	var q SeriesQuery
+	var ok bool
+	if q.Match, ok = parseMatch(w, r); !ok {
+		return q, false
+	}
+	query := r.URL.Query()
+	if v := query.Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeQueryError(w, "window", "window must be a positive Go duration, e.g. 30s")
+			return q, false
+		}
+		q.Window = d
+	}
+	points, step := query.Get("points"), query.Get("step")
+	if points != "" && step != "" {
+		writeQueryError(w, "step", "points and step are mutually exclusive")
+		return q, false
+	}
+	if points != "" {
+		n, err := strconv.Atoi(points)
+		if err != nil || n <= 0 {
+			writeQueryError(w, "points", "points must be a positive integer")
+			return q, false
+		}
+		q.MaxPoints = n
+	}
+	if step != "" {
+		d, err := time.ParseDuration(step)
+		if err != nil || d <= 0 {
+			writeQueryError(w, "step", "step must be a positive Go duration, e.g. 5s")
+			return q, false
+		}
+		if q.Window <= 0 {
+			writeQueryError(w, "step", "step requires a window to divide")
+			return q, false
+		}
+		n := int(q.Window / d)
+		if n < 1 {
+			n = 1
+		}
+		q.MaxPoints = n
+	}
+	return q, true
 }
 
 // Health is the /healthz payload: enough of the fleet's vital signs that
@@ -123,6 +219,7 @@ type Health struct {
 	TSDBSeries    int     `json:"tsdb_series"`
 	FindingsTotal int64   `json:"findings_total"`
 	LastFinding   string  `json:"last_finding,omitempty"` // RFC3339Nano, absent when none
+	EventsDropped int64   `json:"events_dropped_total"`
 }
 
 // HealthSnapshot assembles the /healthz payload.
@@ -139,6 +236,7 @@ func (o *Observer) HealthSnapshot() Health {
 	if !last.IsZero() {
 		h.LastFinding = last.Format(time.RFC3339Nano)
 	}
+	h.EventsDropped = o.Hub().Dropped()
 	return h
 }
 

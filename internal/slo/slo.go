@@ -1,0 +1,331 @@
+// Package slo evaluates declared service-level objectives against a
+// time-series source (a process-local obs.TSDB or the fleet-merged
+// obs.Aggregator store) with multi-window burn-rate alerting.
+//
+// Each objective declares what a *bad* sample is (value Op threshold on
+// every series matching a substring) and a target good fraction. The
+// engine measures the bad fraction over two window pairs and converts it
+// to a burn rate — how many times faster than "exactly meeting target"
+// the error budget is being spent:
+//
+//	burn = badFraction / (1 - target)
+//
+// An alert fires only when both windows of a pair burn hot: the short
+// window proves the problem is happening *now* (fast reset once it
+// stops), the long window proves it is sustained (no paging on a single
+// bad scrape). The fast pair (5m over 1h, burn ≥ 14.4) catches budget
+// exhaustion within hours; the slow pair (1h over 6h, burn ≥ 6) catches
+// smoldering regressions. Breaches publish "finding" events into the
+// event hub on the rising edge, so an attached incident capturer bundles
+// fleet incidents with no extra wiring.
+package slo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"energysssp/internal/obs"
+)
+
+// Objective declares one SLO. A sample is bad when `value Op Threshold`
+// holds; the objective is met while the good fraction stays >= Target.
+type Objective struct {
+	Name      string  `json:"name"`      // stable identity, used in findings
+	Series    string  `json:"series"`    // substring match on source series names
+	Op        string  `json:"op"`        // ">" or "<": the comparison that makes a sample bad
+	Threshold float64 `json:"threshold"` // bad-sample boundary
+	Target    float64 `json:"target"`    // required good fraction in [0, 1)
+}
+
+func (o Objective) validate() error {
+	if o.Name == "" {
+		return errors.New("slo: objective missing name")
+	}
+	if o.Series == "" {
+		return fmt.Errorf("slo: objective %s missing series match", o.Name)
+	}
+	if o.Op != ">" && o.Op != "<" {
+		return fmt.Errorf("slo: objective %s op %q, want \">\" or \"<\"", o.Name, o.Op)
+	}
+	if o.Target < 0 || o.Target >= 1 {
+		return fmt.Errorf("slo: objective %s target %v outside [0, 1)", o.Name, o.Target)
+	}
+	return nil
+}
+
+// bad reports whether one sample violates the objective.
+func (o Objective) bad(v float64) bool {
+	if o.Op == ">" {
+		return v > o.Threshold
+	}
+	return v < o.Threshold
+}
+
+// LoadObjectives parses a JSON array of objectives (the -slo file format
+// of cmd/obsagg) and validates each.
+func LoadObjectives(r io.Reader) ([]Objective, error) {
+	var objs []Objective
+	if err := json.NewDecoder(r).Decode(&objs); err != nil {
+		return nil, fmt.Errorf("slo: objectives file: %w", err)
+	}
+	for _, o := range objs {
+		if err := o.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return objs, nil
+}
+
+// Windows configures the two burn-rate window pairs. The zero value
+// selects the standard multi-window multi-burn-rate policy: fast 5m/1h
+// at burn 14.4 (2% of a 30-day budget in one hour), slow 1h/6h at burn 6
+// (10% in six hours).
+type Windows struct {
+	FastShort, FastLong time.Duration
+	SlowShort, SlowLong time.Duration
+	FastBurn, SlowBurn  float64
+}
+
+func (w Windows) withDefaults() Windows {
+	if w.FastShort <= 0 {
+		w.FastShort = 5 * time.Minute
+	}
+	if w.FastLong <= 0 {
+		w.FastLong = time.Hour
+	}
+	if w.SlowShort <= 0 {
+		w.SlowShort = time.Hour
+	}
+	if w.SlowLong <= 0 {
+		w.SlowLong = 6 * time.Hour
+	}
+	if w.FastBurn <= 0 {
+		w.FastBurn = 14.4
+	}
+	if w.SlowBurn <= 0 {
+		w.SlowBurn = 6
+	}
+	return w
+}
+
+// Source is any store the engine can evaluate against; *obs.TSDB and
+// *obs.Aggregator both implement it.
+type Source interface {
+	QuerySeries(match string, window time.Duration) []obs.QueriedSeries
+}
+
+// WindowBurn is one window pair's measurement for an objective.
+type WindowBurn struct {
+	ShortBadFrac float64 `json:"short_bad_frac"`
+	LongBadFrac  float64 `json:"long_bad_frac"`
+	ShortBurn    float64 `json:"short_burn"`
+	LongBurn     float64 `json:"long_burn"`
+	Hot          bool    `json:"hot"` // both windows at or past the pair's burn limit
+}
+
+// Status is one objective's latest evaluation.
+type Status struct {
+	Objective Objective  `json:"objective"`
+	Fast      WindowBurn `json:"fast"`
+	Slow      WindowBurn `json:"slow"`
+	Breached  bool       `json:"breached"`
+	Samples   int        `json:"samples"` // points seen in the longest window
+	EvalMs    int64      `json:"eval_ms"` // unix ms of this evaluation
+}
+
+// Engine periodically evaluates objectives against a source and publishes
+// breach findings into a hub. A nil *Engine is a no-op.
+type Engine struct {
+	src  Source
+	hub  *obs.Hub
+	objs []Objective
+	win  Windows
+
+	mu     sync.Mutex
+	status []Status
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds an engine over src, publishing findings into hub (may be
+// nil: evaluation still runs, nothing is published). Objectives must
+// already be validated (LoadObjectives does; hand-built ones are
+// re-validated here, with invalid ones rejected).
+func New(src Source, hub *obs.Hub, objs []Objective, win Windows) (*Engine, error) {
+	if src == nil {
+		return nil, errors.New("slo: New requires a source")
+	}
+	for _, o := range objs {
+		if err := o.validate(); err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{
+		src:  src,
+		hub:  hub,
+		objs: objs,
+		win:  win.withDefaults(),
+		stop: make(chan struct{}),
+	}
+	e.status = make([]Status, len(objs))
+	for i, o := range objs {
+		e.status[i] = Status{Objective: o}
+	}
+	return e, nil
+}
+
+// Start launches the evaluation loop at the given interval (default 15s).
+// Idempotent; a nil engine is a no-op.
+func (e *Engine) Start(interval time.Duration) {
+	if e == nil {
+		return
+	}
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	e.startOnce.Do(func() {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-e.stop:
+					return
+				case now := <-tick.C:
+					e.Eval(now)
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the evaluation loop. Idempotent; safe before Start.
+func (e *Engine) Stop() {
+	if e == nil {
+		return
+	}
+	e.stopOnce.Do(func() {
+		close(e.stop)
+		e.wg.Wait()
+	})
+}
+
+// Eval evaluates every objective once at the given time, publishing a
+// finding for each objective whose breach state rises. Driven by Start's
+// loop; exposed for tests and one-shot checks.
+func (e *Engine) Eval(now time.Time) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.status {
+		st := &e.status[i]
+		obj := st.Objective
+		wasBreached := st.Breached
+
+		st.Fast = e.measure(obj, e.win.FastShort, e.win.FastLong, e.win.FastBurn)
+		st.Slow = e.measure(obj, e.win.SlowShort, e.win.SlowLong, e.win.SlowBurn)
+		st.Samples = e.countSamples(obj, maxDur(e.win.FastLong, e.win.SlowLong))
+		st.Breached = st.Fast.Hot || st.Slow.Hot
+		st.EvalMs = now.UnixMilli()
+
+		if st.Breached && !wasBreached {
+			pair, burn := "fast", st.Fast.ShortBurn
+			if !st.Fast.Hot {
+				pair, burn = "slow", st.Slow.ShortBurn
+			}
+			e.hub.Publish(obs.Event{
+				Type:  "finding",
+				Kind:  "slo-burn",
+				Solve: obj.Name,
+				Detail: fmt.Sprintf("%s window pair burning %.1fx budget (objective %s %s %v, target %v)",
+					pair, burn, obj.Series, obj.Op, obj.Threshold, obj.Target),
+			})
+		}
+		if !st.Breached && wasBreached {
+			e.hub.Publish(obs.Event{
+				Type:   "slo-recover",
+				Kind:   "slo-burn",
+				Solve:  obj.Name,
+				Detail: "burn rate back under both window pairs",
+			})
+		}
+	}
+}
+
+// measure computes one window pair's burn. A window with no samples has
+// bad fraction 0: no data never pages.
+func (e *Engine) measure(obj Objective, short, long time.Duration, limit float64) WindowBurn {
+	var wb WindowBurn
+	wb.ShortBadFrac = e.badFrac(obj, short)
+	wb.LongBadFrac = e.badFrac(obj, long)
+	budget := 1 - obj.Target
+	wb.ShortBurn = wb.ShortBadFrac / budget
+	wb.LongBurn = wb.LongBadFrac / budget
+	wb.Hot = wb.ShortBurn >= limit && wb.LongBurn >= limit
+	return wb
+}
+
+func (e *Engine) badFrac(obj Objective, window time.Duration) float64 {
+	var bad, total int
+	for _, sr := range e.src.QuerySeries(obj.Series, window) {
+		for _, p := range sr.Points {
+			total++
+			if obj.bad(p[1]) {
+				bad++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(bad) / float64(total)
+}
+
+func (e *Engine) countSamples(obj Objective, window time.Duration) int {
+	var total int
+	for _, sr := range e.src.QuerySeries(obj.Series, window) {
+		total += len(sr.Points)
+	}
+	return total
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Statuses returns a copy of every objective's latest evaluation.
+func (e *Engine) Statuses() []Status {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Status, len(e.status))
+	copy(out, e.status)
+	return out
+}
+
+// WriteStatusJSON writes the latest evaluations as a JSON array — the
+// /slo surface of cmd/obsagg and the slo.json artifact of fleet
+// incident bundles.
+func (e *Engine) WriteStatusJSON(w io.Writer) error {
+	statuses := e.Statuses()
+	if statuses == nil {
+		statuses = []Status{}
+	}
+	return json.NewEncoder(w).Encode(statuses)
+}

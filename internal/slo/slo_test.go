@@ -1,0 +1,365 @@
+package slo_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"energysssp/internal/incident"
+	"energysssp/internal/obs"
+	"energysssp/internal/slo"
+)
+
+// fakeSource is a window-aware slo.Source: it serves timestamped points
+// for one series and clips them to the requested trailing window relative
+// to the newest point, mimicking TSDB/Aggregator query semantics.
+type fakeSource struct {
+	name string
+	pts  [][2]float64 // [t_ms, value]
+}
+
+func (f *fakeSource) QuerySeries(match string, window time.Duration) []obs.QueriedSeries {
+	if match != "" && !strings.Contains(f.name, match) {
+		return nil
+	}
+	var nowMs int64
+	for _, p := range f.pts {
+		if int64(p[0]) > nowMs {
+			nowMs = int64(p[0])
+		}
+	}
+	cutoff := int64(0)
+	if window > 0 {
+		cutoff = nowMs - window.Milliseconds()
+	}
+	var out [][2]float64
+	for _, p := range f.pts {
+		if int64(p[0]) >= cutoff {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return []obs.QueriedSeries{{Name: f.name, Kind: "gauge", Points: out}}
+}
+
+// minutes fills src with one point per minute over the trailing span,
+// valued bad inside [badFrom, badUntil) minutes-ago and good elsewhere.
+func minutes(span time.Duration, bad func(minAgo int) bool) [][2]float64 {
+	n := int(span / time.Minute)
+	base := int64(1_700_000_000_000)
+	pts := make([][2]float64, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		v := 0.0
+		if bad(i) {
+			v = 1.0
+		}
+		pts = append(pts, [2]float64{float64(base - int64(i)*60_000), v})
+	}
+	return pts
+}
+
+// drainEvents collects everything currently buffered on the channel.
+func drainEvents(ch <-chan obs.Event) []obs.Event {
+	var out []obs.Event
+	for {
+		select {
+		case ev := <-ch:
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+func mustEngine(t *testing.T, src slo.Source, hub *obs.Hub, obj slo.Objective) *slo.Engine {
+	t.Helper()
+	eng, err := slo.New(src, hub, []slo.Objective{obj}, slo.Windows{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestEvalBreachAndRecover drives the full alert lifecycle: a sustained
+// burn breaches (slow pair), the rising edge publishes exactly one
+// finding, re-evaluation while still hot stays silent, and going healthy
+// publishes the recovery event.
+func TestEvalBreachAndRecover(t *testing.T) {
+	src := &fakeSource{name: "fake_err_ratio", pts: minutes(6*time.Hour, func(int) bool { return true })}
+	hub := obs.New(0).Hub()
+	events, cancel := hub.Subscribe(16)
+	defer cancel()
+	obj := slo.Objective{Name: "errs", Series: "fake_err_ratio", Op: ">", Threshold: 0.5, Target: 0.9}
+	eng := mustEngine(t, src, hub, obj)
+
+	now := time.Unix(1_700_000_000, 0)
+	eng.Eval(now)
+	st := eng.Statuses()[0]
+	if !st.Breached {
+		t.Fatalf("fully-bad source did not breach: %+v", st)
+	}
+	// budget = 1 - 0.9 = 0.1; every sample bad, so burn = 10x: past the
+	// slow limit (6) but under the fast one (14.4).
+	if st.Slow.ShortBadFrac != 1 || st.Slow.ShortBurn < 9.99 || st.Slow.ShortBurn > 10.01 || !st.Slow.Hot {
+		t.Errorf("slow pair = %+v, want fully-bad short window burning 10x and hot", st.Slow)
+	}
+	if st.Fast.Hot {
+		t.Errorf("fast pair hot at 10x burn, limit is 14.4: %+v", st.Fast)
+	}
+	if st.EvalMs != now.UnixMilli() {
+		t.Errorf("EvalMs = %d, want %d", st.EvalMs, now.UnixMilli())
+	}
+
+	evs := drainEvents(events)
+	if len(evs) != 1 || evs[0].Type != "finding" || evs[0].Kind != "slo-burn" || evs[0].Solve != "errs" {
+		t.Fatalf("rising edge published %+v, want one slo-burn finding for errs", evs)
+	}
+	if !strings.Contains(evs[0].Detail, "slow window pair") {
+		t.Errorf("finding detail %q does not name the hot pair", evs[0].Detail)
+	}
+
+	// Still burning: no duplicate finding.
+	eng.Eval(now.Add(time.Minute))
+	if evs := drainEvents(events); len(evs) != 0 {
+		t.Fatalf("re-evaluation while breached re-published: %+v", evs)
+	}
+
+	// Recovery: everything good again.
+	src.pts = minutes(6*time.Hour, func(int) bool { return false })
+	eng.Eval(now.Add(2 * time.Minute))
+	evs = drainEvents(events)
+	if len(evs) != 1 || evs[0].Type != "slo-recover" {
+		t.Fatalf("falling edge published %+v, want one slo-recover", evs)
+	}
+	if eng.Statuses()[0].Breached {
+		t.Error("engine still breached after recovery")
+	}
+}
+
+// TestShortWindowGatesAlert: a burn that stopped an hour ago lights up
+// the long windows but not the short ones — the pair condition must keep
+// it from paging.
+func TestShortWindowGatesAlert(t *testing.T) {
+	// Bad from 6h ago until just over 1h ago, clean since (strictly past
+	// the 1h cutoff so the inclusive window boundary stays clean).
+	src := &fakeSource{name: "fake_err_ratio", pts: minutes(6*time.Hour, func(minAgo int) bool { return minAgo >= 61 })}
+	hub := obs.New(0).Hub()
+	events, cancel := hub.Subscribe(16)
+	defer cancel()
+	obj := slo.Objective{Name: "errs", Series: "fake_err_ratio", Op: ">", Threshold: 0.5, Target: 0.99}
+	eng := mustEngine(t, src, hub, obj)
+
+	eng.Eval(time.Unix(1_700_000_000, 0))
+	st := eng.Statuses()[0]
+	if st.Breached {
+		t.Fatalf("stale burn paged: %+v", st)
+	}
+	if st.Slow.LongBurn < 6 {
+		t.Errorf("long window burn = %v, test meant it to be past the slow limit", st.Slow.LongBurn)
+	}
+	if st.Slow.ShortBurn != 0 || st.Fast.ShortBurn != 0 {
+		t.Errorf("short windows saw bad samples in the clean hour: %+v / %+v", st.Fast, st.Slow)
+	}
+	if evs := drainEvents(events); len(evs) != 0 {
+		t.Errorf("gated breach still published: %+v", evs)
+	}
+}
+
+// TestNoDataNeverPages: an empty source evaluates to zero burn.
+func TestNoDataNeverPages(t *testing.T) {
+	hub := obs.New(0).Hub()
+	events, cancel := hub.Subscribe(4)
+	defer cancel()
+	obj := slo.Objective{Name: "errs", Series: "nothing_here", Op: ">", Threshold: 0, Target: 0.999}
+	eng := mustEngine(t, &fakeSource{name: "other"}, hub, obj)
+	eng.Eval(time.Unix(1_700_000_000, 0))
+	st := eng.Statuses()[0]
+	if st.Breached || st.Samples != 0 || st.Fast.ShortBurn != 0 {
+		t.Fatalf("empty source produced %+v, want all-zero status", st)
+	}
+	if evs := drainEvents(events); len(evs) != 0 {
+		t.Errorf("empty source published: %+v", evs)
+	}
+}
+
+// TestOpLess covers the "<" direction: throughput below a floor is bad.
+func TestOpLess(t *testing.T) {
+	src := &fakeSource{name: "fake_throughput", pts: minutes(6*time.Hour, func(int) bool { return false })}
+	obj := slo.Objective{Name: "tput", Series: "fake_throughput", Op: "<", Threshold: 0.5, Target: 0.9}
+	eng := mustEngine(t, src, nil, obj) // nil hub: evaluation only
+	eng.Eval(time.Unix(1_700_000_000, 0))
+	if st := eng.Statuses()[0]; !st.Breached {
+		t.Fatalf("all samples (0) below floor 0.5 did not breach: %+v", st)
+	}
+}
+
+func TestLoadObjectives(t *testing.T) {
+	good := `[{"name":"lat","series":"solve_seconds","op":">","threshold":0.5,"target":0.99}]`
+	objs, err := slo.LoadObjectives(strings.NewReader(good))
+	if err != nil || len(objs) != 1 || objs[0].Name != "lat" {
+		t.Fatalf("LoadObjectives(good) = %+v, %v", objs, err)
+	}
+	for name, bad := range map[string]string{
+		"bad op":       `[{"name":"x","series":"s","op":">=","threshold":1,"target":0.9}]`,
+		"bad target":   `[{"name":"x","series":"s","op":">","threshold":1,"target":1}]`,
+		"missing name": `[{"series":"s","op":">","threshold":1,"target":0.9}]`,
+		"no series":    `[{"name":"x","op":">","threshold":1,"target":0.9}]`,
+		"torn json":    `[{"name":`,
+	} {
+		if _, err := slo.LoadObjectives(strings.NewReader(bad)); err == nil {
+			t.Errorf("LoadObjectives(%s) accepted %s", name, bad)
+		}
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := slo.New(nil, nil, nil, slo.Windows{}); err == nil {
+		t.Error("New accepted a nil source")
+	}
+	bad := slo.Objective{Name: "x", Series: "s", Op: "between", Threshold: 1, Target: 0.9}
+	if _, err := slo.New(&fakeSource{}, nil, []slo.Objective{bad}, slo.Windows{}); err == nil {
+		t.Error("New accepted an invalid objective")
+	}
+}
+
+// TestStartStopLifecycle: the background loop starts, evaluates, and
+// stops idempotently; nil engines are no-ops throughout.
+func TestStartStopLifecycle(t *testing.T) {
+	src := &fakeSource{name: "fake_err_ratio", pts: minutes(time.Hour, func(int) bool { return false })}
+	eng := mustEngine(t, src, nil, slo.Objective{Name: "e", Series: "fake", Op: ">", Threshold: 1, Target: 0.9})
+	eng.Start(time.Millisecond)
+	eng.Start(time.Millisecond) // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for eng.Statuses()[0].EvalMs == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if eng.Statuses()[0].EvalMs == 0 {
+		t.Error("background loop never evaluated")
+	}
+	eng.Stop()
+	eng.Stop() // idempotent
+
+	var nilEng *slo.Engine
+	nilEng.Start(time.Second)
+	nilEng.Eval(time.Now())
+	nilEng.Stop()
+	if nilEng.Statuses() != nil {
+		t.Error("nil engine returned statuses")
+	}
+	var sb strings.Builder
+	if err := nilEng.WriteStatusJSON(&sb); err != nil || strings.TrimSpace(sb.String()) != "[]" {
+		t.Errorf("nil engine status JSON = %q, %v, want []", sb.String(), err)
+	}
+}
+
+// TestFleetIncidentBundle is the acceptance criterion end to end: a
+// worker pushes hot samples into an aggregator, the SLO engine evaluated
+// against the merged store breaches, its finding lands on the
+// aggregator's hub, and the incident capturer — wired to that hub with
+// the aggregator as its series and health source — writes a fleet bundle
+// containing slo.json.
+func TestFleetIncidentBundle(t *testing.T) {
+	a := obs.NewAggregator(obs.AggOptions{History: 64})
+	srv, err := obs.ServeAggregator("127.0.0.1:0", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+
+	o := obs.New(0)
+	db := obs.NewTSDB(o, obs.TSDBOptions{History: 64})
+	lat := o.Reg.Gauge("slo_fleet_lat_ms", "observed latency")
+	ex := obs.NewExporter(o, obs.ExportConfig{
+		URL: "http://" + srv.Addr() + "/ingest", Instance: "w1", Period: time.Hour,
+	})
+	base := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 10; i++ {
+		lat.Set(500) // way past the 100ms objective
+		db.Sample(base.Add(time.Duration(i) * time.Second))
+	}
+	if err := ex.Push(); err != nil {
+		t.Fatal(err)
+	}
+
+	obj := slo.Objective{Name: "fleet-latency", Series: "slo_fleet_lat_ms", Op: ">", Threshold: 100, Target: 0.99}
+	eng, err := slo.New(a, a.Hub(), []slo.Objective{obj}, slo.Windows{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cap, err := incident.New(incident.Config{
+		Dir: dir, Hub: a.Hub(), Series: a, Health: a, SLO: eng, MinGap: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cap.Close()
+
+	eng.Eval(base.Add(10 * time.Second))
+	if st := eng.Statuses()[0]; !st.Breached {
+		t.Fatalf("fleet objective did not breach on merged store: %+v", st)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for cap.Stats().Captured == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	bundle, lastErr := cap.LastBundle()
+	if lastErr != nil || bundle == "" {
+		t.Fatalf("no bundle captured: dir=%q err=%v stats=%+v", bundle, lastErr, cap.Stats())
+	}
+
+	var man struct {
+		Schema  string    `json:"schema"`
+		Finding obs.Event `json:"finding"`
+		Files   []string  `json:"files"`
+	}
+	raw, err := os.ReadFile(filepath.Join(bundle, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Finding.Kind != "slo-burn" || man.Finding.Solve != "fleet-latency" {
+		t.Errorf("bundled finding = %+v, want the slo-burn breach", man.Finding)
+	}
+	files := strings.Join(man.Files, " ")
+	for _, want := range []string{"finding.json", "series.json", "health.json", "slo.json"} {
+		if !strings.Contains(files, want) {
+			t.Errorf("fleet bundle missing %s: %v", want, man.Files)
+		}
+	}
+	if strings.Contains(files, "energy.json") {
+		t.Errorf("fleet bundle claims energy.json with no observer attached: %v", man.Files)
+	}
+
+	series, err := os.ReadFile(filepath.Join(bundle, "series.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(series), `slo_fleet_lat_ms{instance=\"w1\"}`) &&
+		!strings.Contains(string(series), `slo_fleet_lat_ms{instance="w1"}`) {
+		t.Errorf("bundled series.json lacks the instance-labeled fleet series: %.200s", series)
+	}
+	var slos []slo.Status
+	rawSLO, err := os.ReadFile(filepath.Join(bundle, "slo.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rawSLO, &slos); err != nil {
+		t.Fatal(err)
+	}
+	if len(slos) != 1 || !slos[0].Breached {
+		t.Errorf("bundled slo.json = %+v, want the breached objective", slos)
+	}
+}

@@ -374,7 +374,9 @@ func (kn *Kernels) AdvanceRange(front []graph.VID, wlo, whi graph.Weight) Advanc
 	if useEdge {
 		kn.obsEdgeBal.Inc()
 	}
-	kn.obsX2.Observe(float64(res.X2))
+	// Exemplar: the X2 observation carries the advance span that produced
+	// it, so a tail bucket on /metrics links straight to the span tree.
+	kn.obsX2.ObserveSpan(float64(res.X2), spAdv.ID())
 	return res
 }
 
